@@ -1,0 +1,201 @@
+//! The neuron-concentration metric (Figs. 4, 13–17).
+//!
+//! Definition (DESIGN.md §2): feed an evaluation set through the model
+//! and, for each hidden neuron `n`, compute the mean *magnitude* of its
+//! activation per class, `a_{n,c} ≥ 0`. The neuron's concentration is the
+//! share of its activation mass captured by its dominant class,
+//! `max_c a_{n,c} / Σ_c a_{n,c}` ∈ [1/C, 1]. A layer's concentration is
+//! the mean over its (active) neurons; the model's is the mean over
+//! layers. Under minority collapse the majority classes monopolise the
+//! representation and the metric spikes towards 1 — the signature the
+//! paper reports for FedCM under long tails.
+
+use fedwcm_data::dataset::Dataset;
+use fedwcm_nn::model::Model;
+
+/// Per-layer and aggregate concentration of one model snapshot.
+#[derive(Clone, Debug)]
+pub struct ConcentrationReport {
+    /// `(layer name, concentration)` for each layer with ≥ 1 active
+    /// neuron, in network order.
+    pub per_layer: Vec<(String, f64)>,
+    /// Mean over the reported layers.
+    pub mean: f64,
+}
+
+/// Compute per-layer neuron concentrations on (a subset of) the dataset.
+///
+/// `max_samples` caps the evaluation cost; samples are taken from the
+/// front of the dataset (synthetic sets are shuffled at generation).
+pub fn layer_concentrations(
+    model: &mut Model,
+    dataset: &Dataset,
+    max_samples: usize,
+) -> ConcentrationReport {
+    assert!(!dataset.is_empty(), "empty dataset");
+    assert!(max_samples >= dataset.classes(), "need at least one sample per class on average");
+    let n = dataset.len().min(max_samples);
+    let idx: Vec<usize> = (0..n).collect();
+    let (x, y) = dataset.gather(&idx);
+    let classes = dataset.classes();
+    let names = model.layer_names();
+    let (_, acts) = model.forward_collect(&x);
+
+    let mut per_layer = Vec::new();
+    for (layer_idx, act) in acts.iter().enumerate() {
+        let neurons = act.cols();
+        // Mean |activation| per (neuron, class).
+        let mut sums = vec![0.0f64; neurons * classes];
+        let mut counts = vec![0usize; classes];
+        for (r, &label) in y.iter().enumerate() {
+            counts[label] += 1;
+            let row = act.row(r);
+            let base = &mut sums[..];
+            for (j, &v) in row.iter().enumerate() {
+                base[j * classes + label] += v.abs() as f64;
+            }
+        }
+        let mut conc_sum = 0.0f64;
+        let mut active = 0usize;
+        for j in 0..neurons {
+            let mut total = 0.0f64;
+            let mut max = 0.0f64;
+            for c in 0..classes {
+                let mean = if counts[c] > 0 {
+                    sums[j * classes + c] / counts[c] as f64
+                } else {
+                    0.0
+                };
+                total += mean;
+                if mean > max {
+                    max = mean;
+                }
+            }
+            if total > 1e-12 {
+                conc_sum += max / total;
+                active += 1;
+            }
+        }
+        if active > 0 {
+            per_layer.push((names[layer_idx].to_string(), conc_sum / active as f64));
+        }
+    }
+    let mean = if per_layer.is_empty() {
+        0.0
+    } else {
+        per_layer.iter().map(|(_, c)| c).sum::<f64>() / per_layer.len() as f64
+    };
+    ConcentrationReport { per_layer, mean }
+}
+
+/// Convenience: just the mean concentration.
+pub fn mean_concentration(model: &mut Model, dataset: &Dataset, max_samples: usize) -> f64 {
+    layer_concentrations(model, dataset, max_samples).mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwcm_data::synth::DatasetPreset;
+    use fedwcm_nn::dense::Dense;
+    use fedwcm_nn::layer::Relu;
+    use fedwcm_nn::models::mlp;
+    use fedwcm_stats::Xoshiro256pp;
+    use fedwcm_tensor::Tensor;
+
+    #[test]
+    fn bounds_hold() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let test = spec.generate_test(201);
+        let mut rng = Xoshiro256pp::seed_from(1);
+        let mut model = mlp(64, &[32, 16], 10, &mut rng);
+        let report = layer_concentrations(&mut model, &test, 300);
+        assert!(!report.per_layer.is_empty());
+        for (name, c) in &report.per_layer {
+            assert!(
+                (0.1 - 1e-9..=1.0).contains(c),
+                "layer {name} concentration {c} out of [1/C, 1]"
+            );
+        }
+        assert!(report.mean > 0.0 && report.mean <= 1.0);
+    }
+
+    #[test]
+    fn random_model_near_uniform_concentration() {
+        // A random model's neurons should not be class-specialised: the
+        // concentration stays near 1/C (well below 0.5 for C = 10).
+        let spec = DatasetPreset::FashionMnist.spec();
+        let test = spec.generate_test(202);
+        let mut rng = Xoshiro256pp::seed_from(2);
+        let mut model = mlp(64, &[32], 10, &mut rng);
+        let mean = mean_concentration(&mut model, &test, 400);
+        assert!(mean < 0.4, "random model concentration {mean}");
+    }
+
+    #[test]
+    fn collapsed_model_high_concentration() {
+        // Hand-build a network whose single hidden neuron fires only for
+        // one input direction ⇒ dominated by whichever class owns it.
+        let mut rng = Xoshiro256pp::seed_from(3);
+        let mut model = fedwcm_nn::model::Model::new(
+            vec![
+                Box::new(Dense::new(2, 2)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(2, 2)),
+            ],
+            2,
+            &mut rng,
+        );
+        // Hidden unit 0 fires on feature 0 only; unit 1 on feature 1 only.
+        let params: Vec<f32> = vec![
+            5.0, 0.0, // w row 0
+            0.0, 5.0, // w row 1
+            0.0, 0.0, // biases
+            1.0, 0.0, 0.0, 1.0, 0.0, 0.0, // classifier (unused here)
+        ];
+        model.set_params(&params);
+        // Class 0 = e0 inputs, class 1 = e1 inputs.
+        let mut xv = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            if i % 2 == 0 {
+                xv.extend_from_slice(&[1.0, 0.0]);
+                labels.push(0);
+            } else {
+                xv.extend_from_slice(&[0.0, 1.0]);
+                labels.push(1);
+            }
+        }
+        let ds = Dataset::new(Tensor::from_vec(xv, &[20, 2]), labels, 2);
+        let report = layer_concentrations(&mut model, &ds, 20);
+        // ReLU layer: each neuron belongs entirely to one class.
+        let relu_conc = report
+            .per_layer
+            .iter()
+            .find(|(n, _)| n == "relu")
+            .map(|(_, c)| *c)
+            .expect("relu layer reported");
+        assert!(relu_conc > 0.99, "perfectly specialised neurons: {relu_conc}");
+    }
+
+    #[test]
+    fn trained_model_concentration_exceeds_random() {
+        // Training class-specialises neurons ⇒ concentration rises.
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = vec![60usize; 10];
+        let train = spec.generate_train(&counts, 203);
+        let test = spec.generate_test(203);
+        let mut rng = Xoshiro256pp::seed_from(4);
+        let mut model = mlp(64, &[32], 10, &mut rng);
+        let before = mean_concentration(&mut model, &test, 400);
+        let (x, y) = train.as_batch();
+        let loss = fedwcm_nn::loss::CrossEntropy;
+        let mut grads = vec![0.0f32; model.param_len()];
+        for _ in 0..80 {
+            let _ = model.loss_grad(&x, &y, &loss, &mut grads);
+            fedwcm_nn::opt::sgd_step(model.params_mut(), &grads, 0.1);
+        }
+        let after = mean_concentration(&mut model, &test, 400);
+        assert!(after > before, "concentration {before} -> {after}");
+    }
+}

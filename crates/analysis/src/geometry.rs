@@ -1,0 +1,241 @@
+//! Classifier-geometry diagnostics (the Appendix-B / neural-collapse
+//! toolkit).
+//!
+//! Minority collapse (Fang et al., 2021) manifests in the classifier
+//! head: majority-class rows grow and spread apart while minority-class
+//! rows shrink and their pairwise angles close. These metrics quantify
+//! that directly from the model's final linear layer:
+//!
+//! * per-class classifier-row norms,
+//! * pairwise cosines between class rows (collapse ⇒ minority cosines
+//!   approach each other / 1),
+//! * within-class feature variability on a probe set (neural collapse ⇒
+//!   → 0 for majority classes first).
+
+use fedwcm_data::dataset::Dataset;
+use fedwcm_nn::model::Model;
+
+/// Geometry snapshot of the classifier head.
+#[derive(Clone, Debug)]
+pub struct ClassifierGeometry {
+    /// L2 norm of each class's classifier row.
+    pub row_norms: Vec<f64>,
+    /// Pairwise cosine matrix between class rows (row-major, `C×C`).
+    pub cosines: Vec<f64>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl ClassifierGeometry {
+    /// Cosine between the rows of classes `a` and `b`.
+    pub fn cosine(&self, a: usize, b: usize) -> f64 {
+        self.cosines[a * self.classes + b]
+    }
+
+    /// Mean pairwise cosine within a subset of classes (e.g. the tail).
+    pub fn mean_cosine_within(&self, subset: &[usize]) -> f64 {
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for (i, &a) in subset.iter().enumerate() {
+            for &b in &subset[i + 1..] {
+                total += self.cosine(a, b);
+                pairs += 1;
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total / pairs as f64
+        }
+    }
+
+    /// Ratio of mean head-half row norm to mean tail-half row norm, with
+    /// classes ranked by `train_counts`. > 1 signals head dominance.
+    pub fn head_tail_norm_ratio(&self, train_counts: &[usize]) -> f64 {
+        assert_eq!(train_counts.len(), self.classes);
+        let mut order: Vec<usize> = (0..self.classes).collect();
+        order.sort_by(|&a, &b| train_counts[b].cmp(&train_counts[a]));
+        let half = self.classes / 2;
+        let head: f64 =
+            order[..half].iter().map(|&c| self.row_norms[c]).sum::<f64>() / half as f64;
+        let tail: f64 = order[half..].iter().map(|&c| self.row_norms[c]).sum::<f64>()
+            / (self.classes - half) as f64;
+        if tail <= 1e-12 {
+            f64::INFINITY
+        } else {
+            head / tail
+        }
+    }
+}
+
+/// Extract the classifier geometry from a model whose final layer is the
+/// linear head (`[classes, feat]` weights followed by biases).
+pub fn classifier_geometry(model: &Model) -> ClassifierGeometry {
+    let classes = model.out_features();
+    let (off, len) = model.layer_param_range(model.num_layers() - 1);
+    assert!(len > classes, "final layer is not a linear head");
+    let feat = (len - classes) / classes;
+    assert_eq!(feat * classes + classes, len, "unexpected head layout");
+    let w = &model.params()[off..off + classes * feat];
+
+    let rows: Vec<&[f32]> = (0..classes).map(|c| &w[c * feat..(c + 1) * feat]).collect();
+    let row_norms: Vec<f64> = rows
+        .iter()
+        .map(|r| (r.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt())
+        .collect();
+    let mut cosines = vec![0.0f64; classes * classes];
+    for a in 0..classes {
+        for b in 0..classes {
+            let dot: f64 = rows[a]
+                .iter()
+                .zip(rows[b])
+                .map(|(&x, &y)| x as f64 * y as f64)
+                .sum();
+            let denom = (row_norms[a] * row_norms[b]).max(1e-12);
+            cosines[a * classes + b] = dot / denom;
+        }
+    }
+    ClassifierGeometry { row_norms, cosines, classes }
+}
+
+/// Within-class feature variability on a probe set: for each class, the
+/// mean squared distance of penultimate features to their class mean,
+/// normalised by the overall feature scale. Neural collapse drives this
+/// towards zero.
+pub fn within_class_variability(model: &mut Model, probe: &Dataset, max_samples: usize) -> Vec<f64> {
+    let n = probe.len().min(max_samples);
+    assert!(n > 0, "empty probe set");
+    let idx: Vec<usize> = (0..n).collect();
+    let (x, y) = probe.gather(&idx);
+    let (_, acts) = model.forward_collect(&x);
+    let feats = &acts[acts.len() - 2];
+    let dim = feats.cols();
+    let classes = probe.classes();
+
+    let mut means = vec![vec![0.0f64; dim]; classes];
+    let mut counts = vec![0usize; classes];
+    for (r, &label) in y.iter().enumerate() {
+        counts[label] += 1;
+        for (m, &v) in means[label].iter_mut().zip(feats.row(r)) {
+            *m += v as f64;
+        }
+    }
+    for (mean, &cnt) in means.iter_mut().zip(&counts) {
+        if cnt > 0 {
+            for m in mean.iter_mut() {
+                *m /= cnt as f64;
+            }
+        }
+    }
+    // Overall scale: mean squared feature norm.
+    let scale: f64 = (0..n)
+        .map(|r| {
+            feats
+                .row(r)
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        / n as f64;
+    let scale = scale.max(1e-12);
+
+    let mut var = vec![0.0f64; classes];
+    for (r, &label) in y.iter().enumerate() {
+        let d2: f64 = feats
+            .row(r)
+            .iter()
+            .zip(&means[label])
+            .map(|(&v, &m)| {
+                let d = v as f64 - m;
+                d * d
+            })
+            .sum();
+        var[label] += d2;
+    }
+    var.iter()
+        .zip(&counts)
+        .map(|(&v, &c)| if c > 0 { v / c as f64 / scale } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwcm_data::longtail::longtail_counts;
+    use fedwcm_data::synth::DatasetPreset;
+    use fedwcm_nn::loss::CrossEntropy;
+    use fedwcm_nn::models::mlp;
+    use fedwcm_stats::Xoshiro256pp;
+
+    fn trained_longtail_model(seed: u64, imb: f64, steps: usize) -> (Model, Dataset, Vec<usize>) {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 150, imb);
+        let train = spec.generate_train(&counts, seed);
+        let test = spec.generate_test(seed);
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let mut model = mlp(64, &[32], 10, &mut rng);
+        let (x, y) = train.as_batch();
+        let mut grads = vec![0.0f32; model.param_len()];
+        for _ in 0..steps {
+            let _ = model.loss_grad(&x, &y, &CrossEntropy, &mut grads);
+            fedwcm_nn::opt::sgd_step(model.params_mut(), &grads, 0.1);
+        }
+        (model, test, counts)
+    }
+
+    #[test]
+    fn geometry_shapes() {
+        let (model, _, _) = trained_longtail_model(1, 1.0, 5);
+        let g = classifier_geometry(&model);
+        assert_eq!(g.row_norms.len(), 10);
+        assert_eq!(g.cosines.len(), 100);
+        for c in 0..10 {
+            assert!((g.cosine(c, c) - 1.0).abs() < 1e-6);
+            assert!(g.row_norms[c] > 0.0);
+        }
+        // Symmetry.
+        assert!((g.cosine(1, 7) - g.cosine(7, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longtail_training_inflates_head_rows() {
+        let (model, _, counts) = trained_longtail_model(2, 0.02, 120);
+        let g = classifier_geometry(&model);
+        let ratio = g.head_tail_norm_ratio(&counts);
+        assert!(ratio > 1.05, "head/tail norm ratio {ratio}");
+    }
+
+    #[test]
+    fn balanced_training_keeps_rows_even() {
+        let (model, _, counts) = trained_longtail_model(3, 1.0, 120);
+        let g = classifier_geometry(&model);
+        let ratio = g.head_tail_norm_ratio(&counts);
+        assert!(ratio < 1.3, "balanced ratio {ratio}");
+    }
+
+    #[test]
+    fn within_class_variability_decreases_with_training() {
+        let (mut fresh, test, _) = trained_longtail_model(4, 1.0, 0);
+        let (mut trained, _, _) = trained_longtail_model(4, 1.0, 150);
+        let before = within_class_variability(&mut fresh, &test, 300);
+        let after = within_class_variability(&mut trained, &test, 300);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&after) < mean(&before),
+            "variability {} -> {}",
+            mean(&before),
+            mean(&after)
+        );
+    }
+
+    #[test]
+    fn mean_cosine_within_subsets() {
+        let (model, _, _) = trained_longtail_model(5, 0.1, 50);
+        let g = classifier_geometry(&model);
+        let all: Vec<usize> = (0..10).collect();
+        let m = g.mean_cosine_within(&all);
+        assert!((-1.0..=1.0).contains(&m));
+        assert_eq!(g.mean_cosine_within(&[3]), 0.0);
+    }
+}

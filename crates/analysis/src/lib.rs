@@ -1,0 +1,25 @@
+//! Analysis tooling: minority-collapse diagnostics and convergence-rate
+//! fitting.
+//!
+//! * [`concentration`] — the neuron-concentration metric behind Figs. 4
+//!   and 13–17: how much of a neuron's activation mass its dominant class
+//!   captures, per layer and averaged;
+//! * [`spikes`] — abrupt-change detection for concentration/accuracy
+//!   series (the "structured transitions" of §4);
+//! * [`rate`] — power-law fitting of `avg ‖∇f‖²` vs `R` to check the
+//!   Theorem 6.1 rate on the quadratic testbed;
+//! * [`per_class`] — head/tail accuracy summaries for Fig. 8.
+
+#![warn(missing_docs)]
+
+pub mod concentration;
+pub mod geometry;
+pub mod per_class;
+pub mod rate;
+pub mod spikes;
+
+pub use concentration::{layer_concentrations, mean_concentration, ConcentrationReport};
+pub use geometry::{classifier_geometry, within_class_variability, ClassifierGeometry};
+pub use per_class::{head_tail_summary, HeadTailSummary};
+pub use rate::fit_power_law;
+pub use spikes::detect_spikes;

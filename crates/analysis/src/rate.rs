@@ -1,0 +1,83 @@
+//! Power-law fitting for the Theorem 6.1 convergence-rate check.
+//!
+//! The theorem bounds `(1/R) Σ_r E‖∇f(x_r)‖² ≲ √(LΔσ²/NKR) + LΔ/R`: in
+//! the noise-dominated regime the average gradient norm decays like
+//! `R^{−1/2}`. Running the quadratic testbed at several `R` and fitting
+//! `log y = a + b·log x` should recover `b ≈ −0.5` (and `≈ −1` in the
+//! noiseless regime).
+
+/// Least-squares fit of `y = c · x^b` via log-log regression.
+/// Returns `(exponent b, coefficient c)`. Requires positive data.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0 && v.is_finite()),
+        "power-law fit needs positive finite data"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let cov: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(var > 0.0, "xs must not be constant");
+    let b = cov / var;
+    let a = my - b * mx;
+    (b, a.exp())
+}
+
+/// Average the Theorem 6.1 quantity from a per-round gradient-norm series.
+pub fn mean_grad_norm(norms: &[f64]) -> f64 {
+    assert!(!norms.is_empty());
+    norms.iter().sum::<f64>() / norms.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwcm_fl::quadratic::{run_quadratic_fedcm, QuadRunConfig, QuadraticProblem};
+
+    #[test]
+    fn recovers_known_exponent() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(-0.5)).collect();
+        let (b, c) = fit_power_law(&xs, &ys);
+        assert!((b + 0.5).abs() < 1e-9, "b {b}");
+        assert!((c - 3.0).abs() < 1e-9, "c {c}");
+    }
+
+    #[test]
+    fn quadratic_testbed_rate_close_to_theorem() {
+        // Noise-dominated regime: average ‖∇f‖² over rounds should decay
+        // roughly like R^(−1/2) … R^(−1).
+        let p = QuadraticProblem::random(8, 10, 1.5, 0.5, 42);
+        let rs = [20usize, 40, 80, 160, 320];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &r in &rs {
+            let cfg = QuadRunConfig {
+                local_steps: 4,
+                rounds: r,
+                local_lr: 0.03,
+                alpha: 0.2,
+                seed: 7,
+            };
+            let norms = run_quadratic_fedcm(&p, &cfg);
+            xs.push(r as f64);
+            ys.push(mean_grad_norm(&norms));
+        }
+        let (b, _) = fit_power_law(&xs, &ys);
+        assert!(
+            (-1.6..=-0.35).contains(&b),
+            "rate exponent {b} outside the theorem's band"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_data() {
+        let _ = fit_power_law(&[1.0, 2.0], &[0.0, 1.0]);
+    }
+}

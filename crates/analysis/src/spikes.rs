@@ -1,0 +1,79 @@
+//! Abrupt-change detection in time series.
+//!
+//! §4 describes FedCM's concentration series under long tails as showing
+//! "abrupt spikes … at certain critical points", synchronised with
+//! accuracy crashes. This detector flags points whose first difference
+//! exceeds `k` standard deviations of the series' differences.
+
+/// Indices `i` where `|x[i] − x[i−1]|` exceeds `k·σ(diff)` and also a
+/// minimum absolute jump `min_jump` (guards near-constant series).
+pub fn detect_spikes(series: &[f64], k: f64, min_jump: f64) -> Vec<usize> {
+    assert!(k > 0.0 && min_jump >= 0.0);
+    if series.len() < 3 {
+        return Vec::new();
+    }
+    let diffs: Vec<f64> = series.windows(2).map(|w| w[1] - w[0]).collect();
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let sigma = fedwcm_stats::describe::stddev(&abs).max(1e-12);
+    let mean = fedwcm_stats::describe::mean(&abs);
+    diffs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.abs() > mean + k * sigma && d.abs() >= min_jump)
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+/// Count of spikes per unit length — the "frequency and violence" summary
+/// the motivation section compares across IF settings.
+pub fn spike_rate(series: &[f64], k: f64, min_jump: f64) -> f64 {
+    if series.len() < 3 {
+        return 0.0;
+    }
+    detect_spikes(series, k, min_jump).len() as f64 / series.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_series_no_spikes() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64 * 0.01).collect();
+        assert!(detect_spikes(&series, 3.0, 0.05).is_empty());
+    }
+
+    #[test]
+    fn single_jump_detected() {
+        let mut series: Vec<f64> = (0..50).map(|i| 0.3 + (i as f64) * 1e-4).collect();
+        series[25] = 0.9;
+        let spikes = detect_spikes(&series, 3.0, 0.1);
+        assert!(spikes.contains(&25), "spikes {spikes:?}");
+    }
+
+    #[test]
+    fn noisy_but_bounded_series_not_flagged_with_min_jump() {
+        // Small oscillations below min_jump are ignored even if they are
+        // statistically "large" for the series.
+        let series: Vec<f64> = (0..100)
+            .map(|i| 0.5 + if i % 2 == 0 { 0.001 } else { -0.001 })
+            .collect();
+        assert!(detect_spikes(&series, 2.0, 0.05).is_empty());
+    }
+
+    #[test]
+    fn spike_rate_orders_series() {
+        let calm: Vec<f64> = (0..60).map(|i| 0.4 + (i as f64) * 1e-3).collect();
+        let mut violent = calm.clone();
+        for i in (10..60).step_by(10) {
+            violent[i] += 0.3;
+        }
+        assert!(spike_rate(&violent, 2.0, 0.1) > spike_rate(&calm, 2.0, 0.1));
+    }
+
+    #[test]
+    fn short_series_safe() {
+        assert!(detect_spikes(&[1.0, 2.0], 2.0, 0.0).is_empty());
+        assert_eq!(spike_rate(&[], 2.0, 0.0), 0.0);
+    }
+}

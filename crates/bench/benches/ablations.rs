@@ -1,0 +1,51 @@
+//! DESIGN.md §4 ablation benches: measure what each FedWCM mechanism and
+//! each engineering choice costs/buys at smoke scale.
+//!
+//! Accuracy-facing ablations live in the `ablation_fedwcm` experiment
+//! binary; these benches cover the *cost* side (wall-clock of variants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedwcm_core::{FedWcm, FedWcmOptions};
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_experiments::{ExpConfig, Scale};
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, FedWcmOptions)> {
+    vec![
+        ("full", FedWcmOptions::default()),
+        ("fixed_alpha", FedWcmOptions { adaptive_alpha: false, ..FedWcmOptions::default() }),
+        (
+            "uniform_weights",
+            FedWcmOptions { weighted_aggregation: false, ..FedWcmOptions::default() },
+        ),
+        (
+            "fixed_temperature",
+            FedWcmOptions { adaptive_temperature: false, ..FedWcmOptions::default() },
+        ),
+        ("literal_scores", FedWcmOptions { literal_scores: true, ..FedWcmOptions::default() }),
+    ]
+}
+
+fn bench_fedwcm_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedwcm_variant_run");
+    group.sample_size(10);
+    let exp = ExpConfig::new(DatasetPreset::FashionMnist, 0.1, 0.6, Scale::Smoke, 42);
+    for (name, options) in variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &options, |b, opts| {
+            b.iter(|| {
+                let task = exp.prepare();
+                let sim = task.simulation();
+                let mut algo = FedWcm::with_options(opts.clone());
+                black_box(sim.run(&mut algo))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fedwcm_variants
+);
+criterion_main!(ablations);

@@ -1,0 +1,126 @@
+//! One bench target per paper table/figure: each measures regenerating a
+//! smoke-scale *cell* of that artifact (full artifacts come from the
+//! `fedwcm-experiments` binaries; these benches keep every experiment
+//! path exercised and timed under `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_experiments::collapse::run_with_concentration;
+use fedwcm_experiments::report::{run_cell, run_history};
+use fedwcm_experiments::{Cli, ExpConfig, Method, Scale};
+use fedwcm_he::protocol::aggregate_distributions;
+use fedwcm_he::rlwe::RlweParams;
+use fedwcm_stats::rng::{Rng, Xoshiro256pp};
+use std::hint::black_box;
+
+fn smoke_cli() -> Cli {
+    Cli { scale: Scale::Smoke, ..Cli::default() }
+}
+
+fn smoke_exp(imbalance: f64, beta: f64) -> ExpConfig {
+    // Fashion-MNIST preset: the cheapest model, keeps cell benches fast.
+    ExpConfig::new(DatasetPreset::FashionMnist, imbalance, beta, Scale::Smoke, 42)
+}
+
+fn bench_cells(c: &mut Criterion) {
+    let cli = smoke_cli();
+
+    c.bench_function("fig2_partition_cell", |b| {
+        let exp = smoke_exp(0.1, 0.1);
+        b.iter(|| {
+            let task = exp.prepare();
+            black_box(task.partition.counts_matrix(&task.train))
+        });
+    });
+    c.bench_function("fig3_motivation_cell", |b| {
+        let exp = smoke_exp(0.1, 0.1);
+        b.iter(|| black_box(run_history(&exp, Method::FedCm, &cli)));
+    });
+    c.bench_function("fig4_fig17_concentration_cell", |b| {
+        let exp = smoke_exp(0.1, 0.1);
+        b.iter(|| black_box(run_with_concentration(&exp, Method::FedCm, &cli, 2)));
+    });
+    c.bench_function("table1_table7_cell", |b| {
+        let exp = smoke_exp(0.1, 0.6);
+        b.iter(|| black_box(run_cell(&exp, Method::FedWcm, &cli)));
+    });
+    c.bench_function("table2_cell", |b| {
+        let exp = smoke_exp(0.1, 0.6);
+        b.iter(|| black_box(run_cell(&exp, Method::FedGrab, &cli)));
+    });
+    c.bench_function("fig7_convergence_cell", |b| {
+        let exp = smoke_exp(0.1, 0.6);
+        b.iter(|| black_box(run_history(&exp, Method::FedWcm, &cli)));
+    });
+    c.bench_function("fig8_per_label_cell", |b| {
+        let exp = smoke_exp(0.1, 0.6);
+        b.iter(|| {
+            let task = exp.prepare();
+            let sim = task.simulation();
+            let mut algo = fedwcm_experiments::build_method(Method::FedAvg, &task);
+            let (_, mut model) = sim.run_returning_model(algo.as_mut());
+            black_box(fedwcm_analysis::per_class::head_tail_summary(
+                &mut model,
+                &task.test,
+                &task.global_counts(),
+            ))
+        });
+    });
+    c.bench_function("table3_sampling_cell", |b| {
+        let mut exp = smoke_exp(0.1, 0.6);
+        exp.participation = 0.25;
+        b.iter(|| black_box(run_cell(&exp, Method::FedAvg, &cli)));
+    });
+    c.bench_function("fig9_clients_cell", |b| {
+        let mut exp = smoke_exp(0.1, 0.6);
+        exp.clients = 12;
+        b.iter(|| black_box(run_cell(&exp, Method::FedAvg, &cli)));
+    });
+    c.bench_function("fig10_epochs_cell", |b| {
+        let mut exp = smoke_exp(0.1, 0.6);
+        exp.local_epochs = 2;
+        b.iter(|| black_box(run_cell(&exp, Method::FedCm, &cli)));
+    });
+    c.bench_function("table4_beta_if_cell", |b| {
+        let exp = smoke_exp(0.04, 0.1);
+        b.iter(|| black_box(run_cell(&exp, Method::FedWcm, &cli)));
+    });
+    c.bench_function("fig11_fig12_table5_fedgrab_partition_cell", |b| {
+        let mut exp = smoke_exp(0.1, 0.1);
+        exp.fedgrab_partition = true;
+        b.iter(|| black_box(run_cell(&exp, Method::FedWcmX, &cli)));
+    });
+    c.bench_function("fig13_16_layer_concentration_cell", |b| {
+        let exp = smoke_exp(0.1, 0.1);
+        b.iter(|| black_box(run_with_concentration(&exp, Method::FedWcm, &cli, 2)));
+    });
+    c.bench_function("fig18_19_hetero_cell", |b| {
+        let exp = smoke_exp(1.0, 0.1);
+        b.iter(|| black_box(run_history(&exp, Method::Scaffold, &cli)));
+    });
+    c.bench_function("table6_he_cell", |b| {
+        let mut rng = Xoshiro256pp::seed_from(5);
+        let counts: Vec<Vec<usize>> =
+            (0..20).map(|_| (0..10).map(|_| rng.index(50)).collect()).collect();
+        b.iter(|| {
+            black_box(aggregate_distributions(
+                black_box(&counts),
+                RlweParams::test_params(),
+                7,
+            ))
+        });
+    });
+    c.bench_function("thm61_rate_cell", |b| {
+        use fedwcm_fl::quadratic::{run_quadratic_fedcm, QuadRunConfig, QuadraticProblem};
+        let p = QuadraticProblem::random(6, 8, 1.0, 0.3, 9);
+        let cfg = QuadRunConfig { local_steps: 4, rounds: 50, local_lr: 0.03, alpha: 0.2, seed: 3 };
+        b.iter(|| black_box(run_quadratic_fedcm(&p, &cfg)));
+    });
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cells
+);
+criterion_main!(experiments);

@@ -1,0 +1,92 @@
+//! Per-round federated costs: one client's local training, server
+//! aggregation, and FedWCM's parameter computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedwcm_bench::bench_dataset;
+use fedwcm_core::{aggregation_weights, client_scores, global_distribution, temperature};
+use fedwcm_data::partition::paper_partition;
+use fedwcm_fl::algorithm::uniform_average;
+use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
+use fedwcm_fl::FlConfig;
+use fedwcm_nn::loss::CrossEntropy;
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::Xoshiro256pp;
+use std::hint::black_box;
+
+fn factory() -> fedwcm_nn::model::Model {
+    let mut rng = Xoshiro256pp::seed_from(4242);
+    mlp(64, &[64], 10, &mut rng)
+}
+
+fn bench_local_train(c: &mut Criterion) {
+    let (train, _) = bench_dataset(0.1);
+    let views = paper_partition(&train, 8, 0.3, 1).views(&train);
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 8;
+    cfg.batch_size = 20;
+    cfg.local_epochs = 2;
+    let model = factory();
+    let global = model.params().to_vec();
+
+    c.bench_function("client_local_sgd_2epochs", |b| {
+        b.iter(|| {
+            let env = ClientEnv {
+                id: 0,
+                round: 0,
+                dataset: &train,
+                view: &views[0],
+                cfg: &cfg,
+                factory: &factory,
+            };
+            let spec = LocalSgdSpec {
+                loss: &CrossEntropy,
+                balanced_sampler: false,
+                lr: 0.1,
+                epochs: 2,
+            };
+            black_box(run_local_sgd(&env, black_box(&global), &spec, |_, _, _| {}))
+        });
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let dim = 50_000usize;
+    let updates: Vec<ClientUpdate> = (0..10)
+        .map(|k| ClientUpdate {
+            client: k,
+            delta: (0..dim).map(|i| ((i + k) as f32).sin()).collect(),
+            num_samples: 100,
+            num_batches: 10,
+            avg_loss: 1.0,
+            extra: None,
+        })
+        .collect();
+    c.bench_function("uniform_average_10x50k", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0f32; dim];
+            uniform_average(black_box(&updates), &mut out);
+            black_box(out)
+        });
+    });
+}
+
+fn bench_fedwcm_params(c: &mut Criterion) {
+    let (train, _) = bench_dataset(0.1);
+    let views = paper_partition(&train, 50, 0.1, 2).views(&train);
+    c.bench_function("fedwcm_scores_weights_50clients", |b| {
+        b.iter(|| {
+            let dist = global_distribution(black_box(&views), 10);
+            let target = vec![0.1f64; 10];
+            let scores = client_scores(&views, &dist, &target);
+            let t = temperature(&dist, &target);
+            black_box(aggregation_weights(&scores[..10], t))
+        });
+    });
+}
+
+criterion_group!(
+    name = fl_round;
+    config = Criterion::default().sample_size(20);
+    targets = bench_local_train, bench_aggregation, bench_fedwcm_params
+);
+criterion_main!(fl_round);

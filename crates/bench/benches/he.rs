@@ -1,0 +1,59 @@
+//! RLWE homomorphic-encryption costs: encryption, homomorphic addition,
+//! decryption, and the full Table-6 protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedwcm_he::protocol::aggregate_distributions;
+use fedwcm_he::rlwe::{RlweParams, SecretKey};
+use fedwcm_stats::rng::{Rng, Xoshiro256pp};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let params = RlweParams::default_params();
+    let mut rng = Xoshiro256pp::seed_from(1);
+    let key = SecretKey::generate(params, &mut rng);
+    let values: Vec<u64> = (0..100).map(|i| i * 3).collect();
+    let ct1 = key.encrypt(&values, &mut rng);
+    let ct2 = key.encrypt(&values, &mut rng);
+
+    c.bench_function("rlwe_encrypt_n4096", |b| {
+        b.iter(|| black_box(key.encrypt(black_box(&values), &mut rng)));
+    });
+    c.bench_function("rlwe_add_n4096", |b| {
+        b.iter(|| {
+            let mut a = ct1.clone();
+            a.add_assign(black_box(&ct2));
+            black_box(a)
+        });
+    });
+    c.bench_function("rlwe_decrypt_n4096", |b| {
+        b.iter(|| black_box(key.decrypt(black_box(&ct1), 100)));
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("he_protocol_100clients");
+    group.sample_size(10);
+    let mut rng = Xoshiro256pp::seed_from(2);
+    for classes in [10usize, 100] {
+        let counts: Vec<Vec<usize>> = (0..100)
+            .map(|_| (0..classes).map(|_| rng.index(50)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &classes, |b, _| {
+            b.iter(|| {
+                black_box(aggregate_distributions(
+                    black_box(&counts),
+                    RlweParams::test_params(),
+                    7,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = he;
+    config = Criterion::default().sample_size(20);
+    targets = bench_primitives, bench_protocol
+);
+criterion_main!(he);

@@ -1,0 +1,79 @@
+//! Kernel throughput benchmarks: the numeric substrate under every
+//! federated round, plus the blocked-vs-naive matmul ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedwcm_stats::Xoshiro256pp;
+use fedwcm_tensor::matmul::{matmul, matmul_a_bt, matmul_naive};
+use fedwcm_tensor::{ops, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = Xoshiro256pp::seed_from(1);
+    for n in [32usize, 128] {
+        let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_naive(black_box(&a), black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_a_bt(black_box(&a), black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_blas1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blas1");
+    let n = 1 << 16;
+    let x: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+    let mut y: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+    group.bench_function("axpy_64k", |b| {
+        b.iter(|| {
+            ops::axpy(black_box(0.5), black_box(&x), black_box(&mut y));
+        });
+    });
+    group.bench_function("dot_64k", |b| {
+        b.iter(|| black_box(ops::dot(black_box(&x), black_box(&y))));
+    });
+    group.bench_function("axpby_64k_momentum_blend", |b| {
+        b.iter(|| {
+            ops::axpby(black_box(0.1), black_box(&x), black_box(0.9), black_box(&mut y));
+        });
+    });
+    group.finish();
+}
+
+fn bench_weighted_sum(c: &mut Criterion) {
+    // DESIGN.md ablation 4: deterministic parallel reduction vs sequential.
+    let mut group = c.benchmark_group("aggregation");
+    let n = 1 << 17;
+    let parts: Vec<Vec<f32>> = (0..10)
+        .map(|k| (0..n).map(|i| ((i + k) as f32).sin()).collect())
+        .collect();
+    let refs: Vec<(&[f32], f32)> = parts.iter().map(|p| (p.as_slice(), 0.1f32)).collect();
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("weighted_sum_10x128k", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mut acc = vec![0.0f32; n];
+                    fedwcm_parallel::weighted_sum_into(&mut acc, black_box(&refs), t);
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_blas1, bench_weighted_sum
+);
+criterion_main!(kernels);

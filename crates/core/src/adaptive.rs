@@ -1,0 +1,98 @@
+//! Eq. (5): the adaptive momentum value `α_{r+1}`.
+
+/// Bounds on the momentum value from the convergence analysis (§6):
+/// `α ∈ [0.1, 1)`.
+pub const ALPHA_MIN: f64 = 0.1;
+/// Upper clamp (strictly below 1 per Theorem 6.1's constraint).
+pub const ALPHA_MAX: f64 = 0.99;
+
+/// Eq. (5), with the documented interpretation of the imbalance factor:
+///
+/// `α_{r+1} = 0.1 + 0.9 · (1 − e^{−D·C}) · q_r`, clamped to
+/// `[ALPHA_MIN, ALPHA_MAX]`, where
+///
+/// * `D` — total-variation imbalance of the global distribution vs the
+///   target (`imbalance_degree`),
+/// * `C` — number of classes (keeps sensitivity comparable across
+///   datasets, as the temperature paragraph of §5.2 prescribes),
+/// * `q_r = ŝ_r / s̄` — the sampled clients' mean scarcity score relative
+///   to the all-client mean; `q_r > 1` means this round's cohort
+///   over-represents globally scarce classes.
+///
+/// Balanced data (`D = 0`) keeps `α = 0.1`: FedWCM degenerates to FedCM
+/// exactly when momentum is safe. Heavy imbalance pushes `α` up, shrinking
+/// the stale-momentum share `(1 − α)` so the biased direction cannot
+/// compound — the failure mode of Fig. 3/4.
+pub fn adaptive_alpha(imbalance_degree: f64, classes: usize, q_r: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&imbalance_degree), "D must be in [0,1]");
+    assert!(classes >= 1);
+    assert!(q_r >= 0.0 && q_r.is_finite(), "q_r must be finite and ≥ 0");
+    let saturation = 1.0 - (-imbalance_degree * classes as f64).exp();
+    let alpha = ALPHA_MIN + 0.9 * saturation * q_r;
+    alpha.clamp(ALPHA_MIN, ALPHA_MAX)
+}
+
+/// The per-round score ratio `q_r = ŝ_r / s̄`.
+///
+/// `sampled_scores` are the scores of this round's cohort; `mean_score` is
+/// the average over **all** clients. Degenerate cases (no imbalance ⇒ all
+/// scores zero) return 1, keeping `α` at its base through Eq. (5).
+pub fn score_ratio(sampled_scores: &[f64], mean_score: f64) -> f64 {
+    if sampled_scores.is_empty() || mean_score <= 1e-12 {
+        return 1.0;
+    }
+    let sampled_mean: f64 =
+        sampled_scores.iter().sum::<f64>() / sampled_scores.len() as f64;
+    sampled_mean / mean_score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_data_keeps_fedcm_base() {
+        assert_eq!(adaptive_alpha(0.0, 10, 1.0), ALPHA_MIN);
+        assert_eq!(adaptive_alpha(0.0, 10, 5.0), ALPHA_MIN);
+    }
+
+    #[test]
+    fn heavy_imbalance_raises_alpha() {
+        let a = adaptive_alpha(0.5, 10, 1.0);
+        assert!(a > 0.9, "alpha {a}");
+        let b = adaptive_alpha(0.05, 10, 1.0);
+        assert!(b > ALPHA_MIN && b < a, "alpha {b}");
+    }
+
+    #[test]
+    fn informative_rounds_raise_alpha_further() {
+        let lo = adaptive_alpha(0.1, 10, 0.5);
+        let hi = adaptive_alpha(0.1, 10, 1.5);
+        assert!(hi > lo, "q_r ordering: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn alpha_respects_theorem_bounds() {
+        for d in [0.0, 0.1, 0.5, 1.0] {
+            for q in [0.0, 0.5, 1.0, 10.0] {
+                let a = adaptive_alpha(d, 100, q);
+                assert!((ALPHA_MIN..=ALPHA_MAX).contains(&a), "alpha {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_classes_saturate_faster() {
+        let small = adaptive_alpha(0.05, 10, 1.0);
+        let large = adaptive_alpha(0.05, 100, 1.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn score_ratio_cases() {
+        assert_eq!(score_ratio(&[], 1.0), 1.0);
+        assert_eq!(score_ratio(&[0.5], 0.0), 1.0);
+        assert!((score_ratio(&[0.2, 0.4], 0.2) - 1.5).abs() < 1e-12);
+        assert!((score_ratio(&[0.1], 0.2) - 0.5).abs() < 1e-12);
+    }
+}

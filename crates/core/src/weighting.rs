@@ -1,0 +1,71 @@
+//! Eq. (4): temperature-softmax aggregation weights over sampled clients.
+
+use fedwcm_stats::describe::softmax_with_temperature;
+
+/// Compute the aggregation weights `w_k = softmax(s_k / T)` for the
+/// sampled clients' scores. Returns a probability vector (sums to 1).
+pub fn aggregation_weights(sampled_scores: &[f64], temperature: f64) -> Vec<f64> {
+    assert!(!sampled_scores.is_empty(), "no sampled clients");
+    softmax_with_temperature(sampled_scores, temperature)
+}
+
+/// Combine Eq. (4) weights with data-volume weights (FedWCM-X step 1):
+/// `w'_k ∝ w_k · n_k`, renormalised to sum to 1.
+pub fn volume_adjusted_weights(weights: &[f64], sizes: &[usize]) -> Vec<f64> {
+    assert_eq!(weights.len(), sizes.len(), "weights/sizes length mismatch");
+    let raw: Vec<f64> = weights
+        .iter()
+        .zip(sizes)
+        .map(|(&w, &n)| w * n as f64)
+        .collect();
+    let total: f64 = raw.iter().sum();
+    assert!(total > 0.0, "all adjusted weights are zero");
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_probability_vector() {
+        let w = aggregation_weights(&[0.1, 0.5, 0.2], 0.1);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn higher_score_higher_weight() {
+        let w = aggregation_weights(&[0.1, 0.5, 0.2], 0.05);
+        assert!(w[1] > w[2] && w[2] > w[0]);
+    }
+
+    #[test]
+    fn high_temperature_uniformises() {
+        let w = aggregation_weights(&[0.1, 0.9], 1e5);
+        assert!((w[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn low_temperature_sharpens() {
+        let w = aggregation_weights(&[0.1, 0.9], 1e-3);
+        assert!(w[1] > 0.999);
+    }
+
+    #[test]
+    fn volume_adjustment_prefers_bigger_clients() {
+        let w = volume_adjusted_weights(&[0.5, 0.5], &[10, 90]);
+        assert!((w[1] - 0.9).abs() < 1e-12);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_adjustment_composes_with_scores() {
+        // Equal sizes leave the score weighting untouched.
+        let base = aggregation_weights(&[0.2, 0.6], 0.1);
+        let adj = volume_adjusted_weights(&base, &[40, 40]);
+        for (a, b) in adj.iter().zip(&base) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

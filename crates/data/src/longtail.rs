@@ -1,0 +1,131 @@
+//! Long-tail class profiles parameterised by the imbalance factor.
+//!
+//! The paper defines `IF = n_1 / n_C` **with `n_1` the most frequent and
+//! `n_C` the least frequent class** and uses `IF ≤ 1` (smaller IF = longer
+//! tail, e.g. IF = 0.01 means the rarest class has 1% of the head class's
+//! samples). Following the standard exponential profile (Cao et al.), the
+//! count of class `c` (0-indexed) is `n_c = n_head · IF^{c/(C−1)}`.
+
+/// Per-class sample counts for a long-tail profile.
+///
+/// * `classes` — number of classes `C`;
+/// * `head_count` — samples in the most frequent class;
+/// * `imbalance_factor` — the paper's `IF ∈ (0, 1]`; `IF = 1` is balanced.
+///
+/// Every class receives at least one sample.
+pub fn longtail_counts(classes: usize, head_count: usize, imbalance_factor: f64) -> Vec<usize> {
+    assert!(classes >= 1, "need at least one class");
+    assert!(head_count >= 1, "head class needs samples");
+    assert!(
+        imbalance_factor > 0.0 && imbalance_factor <= 1.0,
+        "IF must be in (0, 1], got {imbalance_factor}"
+    );
+    if classes == 1 {
+        return vec![head_count];
+    }
+    (0..classes)
+        .map(|c| {
+            let exp = c as f64 / (classes - 1) as f64;
+            let n = head_count as f64 * imbalance_factor.powf(exp);
+            (n.round() as usize).max(1)
+        })
+        .collect()
+}
+
+/// Scale a long-tail profile so the total approximately equals `total`
+/// (useful to keep dataset sizes comparable across IF settings).
+pub fn longtail_counts_with_total(classes: usize, total: usize, imbalance_factor: f64) -> Vec<usize> {
+    assert!(total >= classes, "need at least one sample per class");
+    // First pass with a nominal head, then rescale.
+    let nominal = longtail_counts(classes, 1_000_000, imbalance_factor);
+    let nominal_total: f64 = nominal.iter().map(|&n| n as f64).sum();
+    let scale = total as f64 / nominal_total;
+    let mut counts: Vec<usize> = nominal
+        .iter()
+        .map(|&n| ((n as f64 * scale).round() as usize).max(1))
+        .collect();
+    // Fix rounding drift on the head class, keeping every class ≥ 1.
+    let current: usize = counts.iter().sum();
+    if current > total {
+        let mut excess = current - total;
+        for c in counts.iter_mut() {
+            let take = excess.min(c.saturating_sub(1));
+            *c -= take;
+            excess -= take;
+            if excess == 0 {
+                break;
+            }
+        }
+    } else {
+        counts[0] += total - current;
+    }
+    counts
+}
+
+/// Empirical imbalance factor of a count vector: `min / max`.
+pub fn measured_if(counts: &[usize]) -> f64 {
+    let max = counts.iter().max().copied().unwrap_or(0);
+    let min = counts.iter().min().copied().unwrap_or(0);
+    if max == 0 {
+        return 1.0;
+    }
+    min as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_when_if_is_one() {
+        let c = longtail_counts(10, 500, 1.0);
+        assert!(c.iter().all(|&n| n == 500));
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let c = longtail_counts(10, 1000, 0.01);
+        assert!(c.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(c[0], 1000);
+        assert_eq!(c[9], 10); // 1000 * 0.01
+    }
+
+    #[test]
+    fn tail_ratio_matches_if() {
+        for target in [0.5, 0.1, 0.05, 0.01] {
+            let c = longtail_counts(10, 10_000, target);
+            let ratio = c[9] as f64 / c[0] as f64;
+            assert!((ratio - target).abs() / target < 0.05, "IF {target}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn all_classes_nonempty_even_extreme() {
+        let c = longtail_counts(100, 50, 0.01);
+        assert!(c.iter().all(|&n| n >= 1));
+    }
+
+    #[test]
+    fn total_scaling_hits_target() {
+        for inf in [1.0, 0.1, 0.01] {
+            let c = longtail_counts_with_total(10, 5_000, inf);
+            let total: usize = c.iter().sum();
+            assert_eq!(total, 5_000, "IF {inf}");
+            assert!(c.iter().all(|&n| n >= 1));
+        }
+    }
+
+    #[test]
+    fn measured_if_roundtrip() {
+        let c = longtail_counts(10, 1000, 0.1);
+        let m = measured_if(&c);
+        assert!((m - 0.1).abs() < 0.01, "measured {m}");
+        assert_eq!(measured_if(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn if_above_one_rejected() {
+        let _ = longtail_counts(10, 100, 2.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Mini-batch samplers.
+//!
+//! [`BatchSampler`] is the standard shuffled-epoch iterator. The
+//! [`BalanceSampler`] implements the "Balance Sampler" baseline from the
+//! paper's tables: classes are drawn uniformly, then a sample uniformly
+//! within the class — class-balanced resampling on the client's local data.
+
+use crate::dataset::Dataset;
+use fedwcm_stats::rng::{Rng, Xoshiro256pp};
+
+/// Shuffled mini-batch iterator over a set of sample indices.
+///
+/// Each epoch reshuffles; the final short batch is kept (standard
+/// drop_last=false behaviour).
+pub struct BatchSampler {
+    indices: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    rng: Xoshiro256pp,
+}
+
+impl BatchSampler {
+    /// Create a sampler over `indices` with the given batch size.
+    pub fn new(indices: &[usize], batch_size: usize, rng: Xoshiro256pp) -> Self {
+        assert!(batch_size >= 1, "batch size must be ≥ 1");
+        assert!(!indices.is_empty(), "cannot sample from empty index set");
+        let mut s = BatchSampler { indices: indices.to_vec(), batch_size, cursor: 0, rng };
+        s.rng.shuffle(&mut s.indices);
+        s
+    }
+
+    /// Number of batches per epoch (`B_k` in the paper: ⌈n_k / batch⌉).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.indices.len().div_ceil(self.batch_size)
+    }
+
+    /// Next mini-batch of indices; reshuffles at epoch boundaries.
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        if self.cursor >= self.indices.len() {
+            self.rng.shuffle(&mut self.indices);
+            self.cursor = 0;
+        }
+        let end = (self.cursor + self.batch_size).min(self.indices.len());
+        let batch = self.indices[self.cursor..end].to_vec();
+        self.cursor = end;
+        batch
+    }
+}
+
+/// Class-balanced resampler over a client's local data: pick a class
+/// uniformly among locally-present classes, then a sample uniformly within
+/// it (with replacement).
+pub struct BalanceSampler {
+    per_class: Vec<Vec<usize>>,
+    batch_size: usize,
+    rng: Xoshiro256pp,
+}
+
+impl BalanceSampler {
+    /// Build from the client's indices and the master dataset's labels.
+    pub fn new(indices: &[usize], dataset: &Dataset, batch_size: usize, rng: Xoshiro256pp) -> Self {
+        assert!(batch_size >= 1, "batch size must be ≥ 1");
+        assert!(!indices.is_empty(), "cannot sample from empty index set");
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.classes()];
+        for &i in indices {
+            per_class[dataset.label(i)].push(i);
+        }
+        per_class.retain(|v| !v.is_empty());
+        BalanceSampler { per_class, batch_size, rng }
+    }
+
+    /// Next balanced mini-batch of indices.
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        let mut batch = Vec::with_capacity(self.batch_size);
+        for _ in 0..self.batch_size {
+            let class = self.rng.index(self.per_class.len());
+            let pool = &self.per_class[class];
+            batch.push(pool[self.rng.index(pool.len())]);
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwcm_tensor::Tensor;
+
+    fn toy_dataset() -> Dataset {
+        // 12 samples: 8 of class 0, 3 of class 1, 1 of class 2.
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 2];
+        let x = Tensor::zeros(&[12, 2]);
+        Dataset::new(x, labels, 3)
+    }
+
+    #[test]
+    fn batch_sampler_covers_epoch() {
+        let indices: Vec<usize> = (0..10).collect();
+        let mut s = BatchSampler::new(&indices, 3, Xoshiro256pp::seed_from(1));
+        assert_eq!(s.batches_per_epoch(), 4);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.extend(s.next_batch());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, indices);
+    }
+
+    #[test]
+    fn batch_sampler_reshuffles_across_epochs() {
+        let indices: Vec<usize> = (0..64).collect();
+        let mut s = BatchSampler::new(&indices, 64, Xoshiro256pp::seed_from(2));
+        let e1 = s.next_batch();
+        let e2 = s.next_batch();
+        assert_ne!(e1, e2);
+        let mut sorted = e2.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, indices);
+    }
+
+    #[test]
+    fn batch_sampler_short_final_batch() {
+        let indices: Vec<usize> = (0..5).collect();
+        let mut s = BatchSampler::new(&indices, 2, Xoshiro256pp::seed_from(3));
+        assert_eq!(s.next_batch().len(), 2);
+        assert_eq!(s.next_batch().len(), 2);
+        assert_eq!(s.next_batch().len(), 1);
+    }
+
+    #[test]
+    fn balance_sampler_equalises_classes() {
+        let ds = toy_dataset();
+        let indices: Vec<usize> = (0..12).collect();
+        let mut s = BalanceSampler::new(&indices, &ds, 30, Xoshiro256pp::seed_from(4));
+        let mut counts = [0usize; 3];
+        for _ in 0..200 {
+            for i in s.next_batch() {
+                counts[ds.label(i)] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        for &c in &counts {
+            let frac = c as f64 / total as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.03, "class frac {frac}");
+        }
+    }
+
+    #[test]
+    fn balance_sampler_skips_absent_classes() {
+        let ds = toy_dataset();
+        // Client only holds classes 0 and 1.
+        let indices = vec![0, 1, 8];
+        let mut s = BalanceSampler::new(&indices, &ds, 10, Xoshiro256pp::seed_from(5));
+        for _ in 0..50 {
+            for i in s.next_batch() {
+                assert!(ds.label(i) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_indices_rejected() {
+        let _ = BatchSampler::new(&[], 4, Xoshiro256pp::seed_from(6));
+    }
+}

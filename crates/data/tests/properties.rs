@@ -1,0 +1,87 @@
+//! Property-based tests for the data pipeline: partition invariants that
+//! must hold for arbitrary client counts, β, and imbalance factors.
+
+use fedwcm_data::longtail::{longtail_counts, longtail_counts_with_total, measured_if};
+use fedwcm_data::partition::{fedgrab_partition, paper_partition};
+use fedwcm_data::synth::DatasetPreset;
+use proptest::prelude::*;
+
+fn dataset(imbalance: f64, seed: u64) -> fedwcm_data::Dataset {
+    let spec = DatasetPreset::FashionMnist.spec();
+    let counts = longtail_counts(10, 120, imbalance);
+    spec.generate_train(&counts, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn longtail_counts_monotone_and_positive(
+        classes in 2usize..60, head in 10usize..2000, imb in 0.01f64..1.0,
+    ) {
+        let c = longtail_counts(classes, head, imb);
+        prop_assert_eq!(c.len(), classes);
+        prop_assert!(c.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(c.iter().all(|&n| n >= 1));
+        prop_assert_eq!(c[0], head);
+    }
+
+    #[test]
+    fn longtail_total_scaling_exact(classes in 2usize..40, total in 200usize..5000, imb in 0.01f64..1.0) {
+        prop_assume!(total >= classes);
+        let c = longtail_counts_with_total(classes, total, imb);
+        prop_assert_eq!(c.iter().sum::<usize>(), total);
+        prop_assert!(c.iter().all(|&n| n >= 1));
+        prop_assert!(measured_if(&c) <= 1.0);
+    }
+
+    #[test]
+    fn paper_partition_invariants(clients in 2usize..25, beta in 0.05f64..5.0, imb in 0.05f64..1.0, seed in any::<u64>()) {
+        let ds = dataset(imb, seed);
+        let p = paper_partition(&ds, clients, beta, seed);
+        // Exhaustive, disjoint cover.
+        let mut seen = vec![false; ds.len()];
+        for k in 0..clients {
+            for &i in p.client(k) {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Near-equal quantities.
+        let sizes = p.client_sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= ds.len() / clients / 3 + 3, "sizes {min}..{max}");
+        // Exact class marginals.
+        let m = p.counts_matrix(&ds);
+        let class_counts = ds.class_counts();
+        for c in 0..ds.classes() {
+            prop_assert_eq!(m.iter().map(|r| r[c]).sum::<usize>(), class_counts[c]);
+        }
+    }
+
+    #[test]
+    fn fedgrab_partition_invariants(clients in 2usize..25, beta in 0.05f64..5.0, seed in any::<u64>()) {
+        let ds = dataset(0.1, seed);
+        let p = fedgrab_partition(&ds, clients, beta, seed);
+        prop_assert!(p.client_sizes().iter().all(|&s| s >= 1));
+        prop_assert_eq!(p.client_sizes().iter().sum::<usize>(), ds.len());
+        let m = p.counts_matrix(&ds);
+        let class_counts = ds.class_counts();
+        for c in 0..ds.classes() {
+            prop_assert_eq!(m.iter().map(|r| r[c]).sum::<usize>(), class_counts[c]);
+        }
+    }
+
+    #[test]
+    fn generated_datasets_respect_class_range(imb in 0.02f64..1.0, seed in any::<u64>()) {
+        let ds = dataset(imb, seed);
+        prop_assert!(ds.labels().iter().all(|&y| y < ds.classes()));
+        prop_assert_eq!(ds.class_counts().iter().sum::<usize>(), ds.len());
+        // Every feature is finite.
+        for i in (0..ds.len()).step_by(97) {
+            prop_assert!(ds.feature_row(i).iter().all(|x| x.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 17: FedCM's mean neuron concentration (top) and test accuracy
+//! (bottom) across five long-tailed IF settings — the synchronised
+//! spike/crash evidence for minority collapse.
+
+use fedwcm_analysis::spikes::detect_spikes;
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_experiments::collapse::{print_trace_csv, run_with_concentration};
+use fedwcm_experiments::{parse_args, ExpConfig, Method};
+
+fn main() {
+    let cli = parse_args(std::env::args());
+    let ifs = [0.5, 0.1, 0.06, 0.04, 0.01];
+    for imbalance in ifs {
+        let exp = ExpConfig::new(DatasetPreset::Cifar10, imbalance, 0.1, cli.scale, cli.seed);
+        let trace = run_with_concentration(&exp, Method::FedCm, &cli, 1);
+        let conc_rows: Vec<(usize, Vec<f64>)> = trace
+            .mean_concentration
+            .iter()
+            .map(|&(r, c)| (r, vec![c]))
+            .collect();
+        print_trace_csv(
+            &format!("Fig.17 FedCM concentration, IF={imbalance}"),
+            &["concentration".into()],
+            &conc_rows,
+        );
+        let acc_rows: Vec<(usize, Vec<f64>)> = trace
+            .history
+            .accuracy_series()
+            .into_iter()
+            .map(|(r, a)| (r, vec![a]))
+            .collect();
+        print_trace_csv(
+            &format!("Fig.17 FedCM accuracy, IF={imbalance}"),
+            &["accuracy".into()],
+            &acc_rows,
+        );
+        let conc: Vec<f64> = trace.mean_concentration.iter().map(|&(_, c)| c).collect();
+        let spikes = detect_spikes(&conc, 2.0, 0.02);
+        println!("# IF={imbalance}: concentration spikes at rounds {spikes:?}");
+        eprintln!("[fig17] IF={imbalance} done");
+    }
+    println!(
+        "\nExpected shape (paper Fig. 17): concentration spikes coincide\n\
+         with precipitous accuracy drops; both intensify as IF shrinks."
+    );
+}

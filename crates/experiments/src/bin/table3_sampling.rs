@@ -1,0 +1,30 @@
+//! Table 3: client-sampling-rate sweep {5, 10, 20, 40, 80}% for
+//! FedAvg / FedCM / FedWCM on CIFAR-10 (β = 0.6, IF = 0.1).
+
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_experiments::report::{print_table, run_cell};
+use fedwcm_experiments::{parse_args, Cli, ExpConfig, Method, Scale};
+
+fn main() {
+    let cli: Cli = parse_args(std::env::args());
+    let methods = [Method::FedAvg, Method::FedCm, Method::FedWcm];
+    let headers: Vec<String> = methods.iter().map(|m| m.label().to_string()).collect();
+    let rates = [0.05f64, 0.1, 0.2, 0.4, 0.8];
+    let mut rows = Vec::new();
+    for rate in rates {
+        let mut exp = ExpConfig::new(DatasetPreset::Cifar10, 0.1, 0.6, cli.scale, cli.seed);
+        // The 5%/10% rows need enough clients for the rate to resolve.
+        if cli.scale != Scale::Paper {
+            exp.clients = 20;
+        }
+        exp.participation = rate;
+        let values: Vec<f64> = methods.iter().map(|&m| run_cell(&exp, m, &cli)).collect();
+        eprintln!("[table3] rate={rate} done");
+        rows.push((format!("{}%", (rate * 100.0) as usize), values));
+    }
+    print_table("Table 3 — client sampling rate sweep", &headers, &rows);
+    println!(
+        "\nExpected shape (paper Table 3): FedWCM highest at every rate and\n\
+         notably robust at low participation; FedCM poor throughout."
+    );
+}

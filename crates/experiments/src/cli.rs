@@ -1,0 +1,120 @@
+//! Minimal CLI parsing shared by the experiment binaries (no external
+//! argument-parsing dependency).
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per run: CI / smoke-testing.
+    Smoke,
+    /// Minutes per experiment: the default used for EXPERIMENTS.md.
+    Quick,
+    /// The paper's sizes (100 clients, 500 rounds, …).
+    Paper,
+}
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Run scale.
+    pub scale: Scale,
+    /// Base seed.
+    pub seed: u64,
+    /// Number of seeds to average (the paper uses 3).
+    pub trials: usize,
+    /// Optional dataset filter (matches preset names, e.g. "cifar-10").
+    pub dataset: Option<String>,
+    /// Optional round-count override.
+    pub rounds: Option<usize>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli { scale: Scale::Quick, seed: 42, trials: 1, dataset: None, rounds: None }
+    }
+}
+
+/// Parse `std::env::args`-style strings. Unknown flags abort with usage.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Cli {
+    let mut cli = Cli::default();
+    let mut it = args.into_iter();
+    let _bin = it.next();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => cli.scale = Scale::Smoke,
+            "--quick" => cli.scale = Scale::Quick,
+            "--paper-scale" => cli.scale = Scale::Paper,
+            "--seed" => {
+                cli.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--trials" => {
+                cli.trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--trials needs an integer"));
+            }
+            "--rounds" => {
+                cli.rounds = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--rounds needs an integer")),
+                );
+            }
+            "--dataset" => {
+                cli.dataset = Some(it.next().unwrap_or_else(|| usage("--dataset needs a name")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    assert!(cli.trials >= 1, "trials must be ≥ 1");
+    cli
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <experiment> [--smoke|--quick|--paper-scale] [--seed N] \
+         [--trials N] [--rounds N] [--dataset NAME]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        let mut v = vec!["bin".to_string()];
+        v.extend(args.iter().map(|s| s.to_string()));
+        parse_args(v)
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse(&[]);
+        assert_eq!(c.scale, Scale::Quick);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.trials, 1);
+        assert!(c.dataset.is_none());
+    }
+
+    #[test]
+    fn all_flags() {
+        let c = parse(&["--smoke", "--seed", "7", "--trials", "3", "--dataset", "cifar-10", "--rounds", "99"]);
+        assert_eq!(c.scale, Scale::Smoke);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.trials, 3);
+        assert_eq!(c.dataset.as_deref(), Some("cifar-10"));
+        assert_eq!(c.rounds, Some(99));
+    }
+
+    #[test]
+    fn paper_scale_flag() {
+        assert_eq!(parse(&["--paper-scale"]).scale, Scale::Paper);
+    }
+}

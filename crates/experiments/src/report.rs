@@ -1,0 +1,130 @@
+//! Table/series formatting and multi-trial aggregation.
+
+use crate::cli::Cli;
+use crate::methods::{build_method, Method};
+use crate::setup::ExpConfig;
+use fedwcm_fl::History;
+
+/// Run one `(condition, method)` cell, averaging final accuracy over
+/// `cli.trials` seeds (the paper reports 3-seed means).
+pub fn run_cell(exp: &ExpConfig, method: Method, cli: &Cli) -> f64 {
+    let mut acc = 0.0;
+    for t in 0..cli.trials {
+        let mut e = exp.clone();
+        e.seed = exp.seed.wrapping_add(1000 * t as u64);
+        if let Some(r) = cli.rounds {
+            e.rounds = r;
+        }
+        let task = e.prepare();
+        let sim = task.simulation();
+        let mut algo = build_method(method, &task);
+        let history = sim.run(algo.as_mut());
+        acc += history.final_accuracy(3);
+    }
+    acc / cli.trials as f64
+}
+
+/// Run one cell and return the full history of the **first** trial
+/// (figures need the trajectory, not just the endpoint).
+pub fn run_history(exp: &ExpConfig, method: Method, cli: &Cli) -> History {
+    let mut e = exp.clone();
+    if let Some(r) = cli.rounds {
+        e.rounds = r;
+    }
+    let task = e.prepare();
+    let sim = task.simulation();
+    let mut algo = build_method(method, &task);
+    sim.run(algo.as_mut())
+}
+
+/// Print a markdown-style table: one row per label, one column per
+/// header, 4-decimal accuracies (the paper's format).
+pub fn print_table(title: &str, headers: &[String], rows: &[(String, Vec<f64>)]) {
+    println!("\n## {title}\n");
+    print!("| {:<22} |", "");
+    for h in headers {
+        print!(" {h:>10} |");
+    }
+    println!();
+    print!("|{}|", "-".repeat(24));
+    for _ in headers {
+        print!("{}|", "-".repeat(12));
+    }
+    println!();
+    for (label, values) in rows {
+        print!("| {label:<22} |");
+        for v in values {
+            print!(" {v:>10.4} |");
+        }
+        println!();
+    }
+}
+
+/// Print an accuracy-vs-round series as CSV (round, then one column per
+/// method) — the figure data.
+pub fn print_series(title: &str, histories: &[History]) {
+    println!("\n## {title} (CSV: round,{})", join_names(histories));
+    // Union of evaluated rounds (all histories share eval cadence).
+    let rounds: Vec<usize> = histories
+        .first()
+        .map(|h| h.accuracy_series().iter().map(|&(r, _)| r).collect())
+        .unwrap_or_default();
+    for (i, r) in rounds.iter().enumerate() {
+        print!("{r}");
+        for h in histories {
+            let series = h.accuracy_series();
+            if let Some(&(_, acc)) = series.get(i) {
+                print!(",{acc:.4}");
+            } else {
+                print!(",");
+            }
+        }
+        println!();
+    }
+}
+
+fn join_names(histories: &[History]) -> String {
+    histories
+        .iter()
+        .map(|h| h.name.clone())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Convenience: format a float table cell vector from (method → accuracy).
+pub fn accuracy_row(label: impl Into<String>, values: Vec<f64>) -> (String, Vec<f64>) {
+    (label.into(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::Scale;
+    use fedwcm_data::synth::DatasetPreset;
+
+    #[test]
+    fn run_cell_smoke() {
+        let exp = ExpConfig::new(DatasetPreset::FashionMnist, 1.0, 0.6, Scale::Smoke, 5);
+        let cli = Cli { scale: Scale::Smoke, ..Cli::default() };
+        let acc = run_cell(&exp, Method::FedAvg, &cli);
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(acc > 0.2, "smoke FedAvg acc {acc}");
+    }
+
+    #[test]
+    fn run_history_has_records() {
+        let exp = ExpConfig::new(DatasetPreset::FashionMnist, 1.0, 0.6, Scale::Smoke, 6);
+        let cli = Cli { scale: Scale::Smoke, ..Cli::default() };
+        let h = run_history(&exp, Method::FedCm, &cli);
+        assert_eq!(h.records.len(), exp.rounds);
+        assert!(!h.accuracy_series().is_empty());
+    }
+
+    #[test]
+    fn rounds_override_applies() {
+        let exp = ExpConfig::new(DatasetPreset::FashionMnist, 1.0, 0.6, Scale::Smoke, 7);
+        let cli = Cli { rounds: Some(3), ..Cli::default() };
+        let h = run_history(&exp, Method::FedAvg, &cli);
+        assert_eq!(h.records.len(), 3);
+    }
+}

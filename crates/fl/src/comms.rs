@@ -1,0 +1,96 @@
+//! Communication-cost accounting.
+//!
+//! Appendix C argues the HE distribution-exchange cost is "negligible
+//! compared to model transmission overhead in a typical federated
+//! learning round"; this module quantifies that model-transmission side
+//! so the comparison (and any bandwidth budgeting) is concrete.
+
+use crate::config::FlConfig;
+
+/// Bytes moved in one direction for one client exchanging a full model
+/// (f32 parameters).
+pub fn model_bytes(param_len: usize) -> usize {
+    param_len * 4
+}
+
+/// Per-round and full-run communication volumes for a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommReport {
+    /// Clients sampled per round.
+    pub sampled_per_round: usize,
+    /// Download bytes per round (server → sampled clients: the global
+    /// model, plus the global momentum for momentum methods).
+    pub down_bytes_per_round: usize,
+    /// Upload bytes per round (clients → server: one delta each).
+    pub up_bytes_per_round: usize,
+    /// Total bytes over the whole run.
+    pub total_bytes: usize,
+}
+
+/// Compute the communication profile of a run.
+///
+/// `momentum_broadcast` adds one extra model-sized download per client
+/// per round (FedCM/FedWCM ship `Δ_r` alongside the parameters).
+pub fn communication_report(
+    cfg: &FlConfig,
+    param_len: usize,
+    momentum_broadcast: bool,
+) -> CommReport {
+    let sampled = cfg.sampled_per_round();
+    let model = model_bytes(param_len);
+    let down_per_client = model * if momentum_broadcast { 2 } else { 1 };
+    let down = down_per_client * sampled;
+    let up = model * sampled;
+    CommReport {
+        sampled_per_round: sampled,
+        down_bytes_per_round: down,
+        up_bytes_per_round: up,
+        total_bytes: (down + up) * cfg.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fedavg_round_volume() {
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 100;
+        cfg.participation = 0.1;
+        cfg.rounds = 500;
+        let r = communication_report(&cfg, 11_000_000, false); // ResNet-18-ish
+        assert_eq!(r.sampled_per_round, 10);
+        assert_eq!(r.up_bytes_per_round, 10 * 44_000_000);
+        assert_eq!(r.down_bytes_per_round, r.up_bytes_per_round);
+        assert_eq!(r.total_bytes, 500 * 2 * 10 * 44_000_000);
+    }
+
+    #[test]
+    fn momentum_broadcast_doubles_downlink_only() {
+        let cfg = FlConfig::default_sim();
+        let plain = communication_report(&cfg, 1000, false);
+        let momentum = communication_report(&cfg, 1000, true);
+        assert_eq!(momentum.down_bytes_per_round, 2 * plain.down_bytes_per_round);
+        assert_eq!(momentum.up_bytes_per_round, plain.up_bytes_per_round);
+    }
+
+    #[test]
+    fn he_overhead_is_negligible_vs_model_traffic() {
+        // The Appendix-C claim, checked quantitatively: 100 clients with a
+        // ResNet-18-sized model move ~880 MB/round; the one-off HE
+        // exchange is ~65 KB per client (6.5 MB total) — well under 1% of
+        // a single round.
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 100;
+        cfg.participation = 1.0;
+        let round = communication_report(&cfg, 11_000_000, false);
+        let he_total = 100 * 65_536usize;
+        assert!(
+            (he_total as f64) < 0.01 * round.up_bytes_per_round as f64,
+            "HE {} vs round {}",
+            he_total,
+            round.up_bytes_per_round
+        );
+    }
+}

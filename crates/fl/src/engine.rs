@@ -1,0 +1,442 @@
+//! The simulation round loop.
+
+use crate::algorithm::{FederatedAlgorithm, RoundInput};
+use crate::client::{ClientEnv, ModelFactory};
+use crate::config::FlConfig;
+use crate::metrics::{History, RoundRecord};
+use fedwcm_data::dataset::{ClientView, Dataset};
+use fedwcm_nn::model::Model;
+use fedwcm_parallel::parallel_map;
+use fedwcm_stats::rng::{Rng, Xoshiro256pp};
+
+/// Stream label for per-round client sampling.
+const STREAM_SAMPLE: u64 = 0x5A3B;
+
+/// Evaluation batch size (memory bound, not a hyper-parameter).
+const EVAL_BATCH: usize = 256;
+
+/// Containment threshold: a (gradient-scale) client delta whose norm
+/// exceeds this is treated as a diverged client and dropped. Healthy
+/// deltas have single-digit norms; 1e6 only triggers on true blow-ups.
+const MAX_UPDATE_NORM: f32 = 1e6;
+
+/// A configured federated simulation: data, partition views, model
+/// factory, and hyper-parameters. Run any [`FederatedAlgorithm`] on it.
+pub struct Simulation<'a> {
+    /// Simulation hyper-parameters.
+    pub cfg: FlConfig,
+    /// Master training dataset.
+    pub train: &'a Dataset,
+    /// Held-out (balanced) test dataset.
+    pub test: &'a Dataset,
+    /// Per-client data views, indexed by client id.
+    pub views: Vec<ClientView>,
+    /// Model constructor (same architecture + init for every use).
+    pub factory: Box<ModelFactory>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Build a simulation; validates configuration against the partition.
+    pub fn new(
+        cfg: FlConfig,
+        train: &'a Dataset,
+        test: &'a Dataset,
+        views: Vec<ClientView>,
+        factory: Box<ModelFactory>,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(views.len(), cfg.clients, "view count must equal cfg.clients");
+        assert!(
+            views.iter().all(|v| !v.is_empty()),
+            "every client needs at least one sample"
+        );
+        Simulation { cfg, train, test, views, factory }
+    }
+
+    /// The client ids sampled in round `r` (deterministic per seed).
+    pub fn sampled_clients(&self, round: usize) -> Vec<usize> {
+        let mut rng = Xoshiro256pp::stream(self.cfg.seed, &[STREAM_SAMPLE, round as u64]);
+        rng.sample_indices(self.cfg.clients, self.cfg.sampled_per_round())
+    }
+
+    /// Run the full federated loop for `cfg.rounds` rounds.
+    pub fn run(&self, algo: &mut dyn FederatedAlgorithm) -> History {
+        self.run_with_observer(algo, |_, _| {})
+    }
+
+    /// Like [`Simulation::run`], but invokes `observer(round, global)` with
+    /// the post-aggregation global parameters after every round — the hook
+    /// the neuron-concentration analysis (Figs. 4, 13–17) uses.
+    pub fn run_with_observer(
+        &self,
+        algo: &mut dyn FederatedAlgorithm,
+        mut observer: impl FnMut(usize, &[f32]),
+    ) -> History {
+        let mut model = (self.factory)();
+        let mut global = model.params().to_vec();
+        let mut history = History::new(algo.name());
+        let threads = self.cfg.resolved_threads();
+
+        for round in 0..self.cfg.rounds {
+            let sampled = self.sampled_clients(round);
+
+            // Parallel local training: results are collected in sampled-id
+            // order, so aggregation is deterministic across thread counts.
+            let algo_ref: &dyn FederatedAlgorithm = algo;
+            let global_ref = &global;
+            let mut updates = parallel_map(sampled.len(), threads, |i| {
+                let id = sampled[i];
+                let env = ClientEnv {
+                    id,
+                    round,
+                    dataset: self.train,
+                    view: &self.views[id],
+                    cfg: &self.cfg,
+                    factory: self.factory.as_ref(),
+                };
+                algo_ref.local_train(&env, global_ref)
+            });
+
+            // Failure containment: a client whose local training diverged
+            // (NaN/∞, or a finite-but-astronomic delta that would poison
+            // the global model on the very next step) is dropped; if the
+            // whole round is poisoned, skip the aggregation entirely.
+            let before_filter = updates.len();
+            updates.retain(|u| {
+                u.avg_loss.is_finite()
+                    && u.delta.iter().all(|d| d.is_finite())
+                    && fedwcm_tensor::ops::norm(&u.delta) < MAX_UPDATE_NORM
+            });
+            let dropped_updates = before_filter - updates.len();
+            if updates.is_empty() {
+                history.records.push(RoundRecord {
+                    round,
+                    train_loss: f64::NAN,
+                    update_norm: 0.0,
+                    test_acc: None,
+                    alpha: None,
+                    dropped_updates,
+                });
+                observer(round, &global);
+                continue;
+            }
+
+            let input = RoundInput { round, cfg: &self.cfg, updates, views: &self.views };
+            let train_loss = input.mean_loss() as f64;
+            let before = global.clone();
+            let log = algo.aggregate(&mut global, &input);
+            let update_norm = before
+                .iter()
+                .zip(&global)
+                .map(|(a, b)| {
+                    let d = (a - b) as f64;
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt();
+
+            let test_acc = if (round + 1) % self.cfg.eval_every == 0 || round + 1 == self.cfg.rounds
+            {
+                model.set_params(&global);
+                Some(evaluate_accuracy(&mut model, self.test))
+            } else {
+                None
+            };
+
+            history.records.push(RoundRecord {
+                round,
+                train_loss,
+                update_norm,
+                test_acc,
+                alpha: log.alpha,
+                dropped_updates,
+            });
+            observer(round, &global);
+        }
+        history
+    }
+
+    /// Run the loop and also return the final global model.
+    pub fn run_returning_model(&self, algo: &mut dyn FederatedAlgorithm) -> (History, Model) {
+        let mut final_params: Vec<f32> = Vec::new();
+        let history = self.run_with_observer(algo, |_, global| {
+            final_params.clear();
+            final_params.extend_from_slice(global);
+        });
+        let mut model = (self.factory)();
+        model.set_params(&final_params);
+        (history, model)
+    }
+}
+
+/// Overall accuracy of `model` on `dataset`, evaluated in batches.
+pub fn evaluate_accuracy(model: &mut Model, dataset: &Dataset) -> f64 {
+    if dataset.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    let n = dataset.len();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + EVAL_BATCH).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let (x, y) = dataset.gather(&idx);
+        let preds = model.predict(&x);
+        correct += preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        start = end;
+    }
+    correct as f64 / n as f64
+}
+
+/// Per-class accuracy of `model` on `dataset` (classes with no test
+/// samples report 0).
+pub fn per_class_accuracy(model: &mut Model, dataset: &Dataset) -> Vec<f64> {
+    let classes = dataset.classes();
+    let mut correct = vec![0usize; classes];
+    let mut total = vec![0usize; classes];
+    let n = dataset.len();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + EVAL_BATCH).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let (x, y) = dataset.gather(&idx);
+        let preds = model.predict(&x);
+        for (p, &t) in preds.iter().zip(&y) {
+            total[t] += 1;
+            if *p == t {
+                correct[t] += 1;
+            }
+        }
+        start = end;
+    }
+    correct
+        .iter()
+        .zip(&total)
+        .map(|(&c, &t)| if t == 0 { 0.0 } else { c as f64 / t as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{uniform_average, server_step, RoundLog};
+    use crate::client::{run_local_sgd, ClientUpdate, LocalSgdSpec};
+    use fedwcm_data::longtail::longtail_counts;
+    use fedwcm_data::partition::paper_partition;
+    use fedwcm_data::synth::DatasetPreset;
+    use fedwcm_nn::loss::CrossEntropy;
+    use fedwcm_nn::models::mlp;
+
+    /// Minimal FedAvg used to exercise the engine (the real one lives in
+    /// fedwcm-algos).
+    struct TestFedAvg;
+
+    impl FederatedAlgorithm for TestFedAvg {
+        fn name(&self) -> String {
+            "test-fedavg".into()
+        }
+
+        fn local_train(&self, env: &ClientEnv<'_>, global: &[f32]) -> ClientUpdate {
+            let spec = LocalSgdSpec {
+                loss: &CrossEntropy,
+                balanced_sampler: false,
+                lr: env.cfg.local_lr,
+                epochs: env.cfg.local_epochs,
+            };
+            run_local_sgd(env, global, &spec, |_, _, _| {})
+        }
+
+        fn aggregate(&mut self, global: &mut [f32], input: &RoundInput<'_>) -> RoundLog {
+            let mut dir = vec![0.0f32; global.len()];
+            uniform_average(&input.updates, &mut dir);
+            server_step(global, &dir, input.cfg, input.mean_batches());
+            RoundLog::default()
+        }
+    }
+
+    fn build_sim<'a>(ds: &'a Dataset, test: &'a Dataset, cfg: FlConfig) -> Simulation<'a> {
+        let part = paper_partition(ds, cfg.clients, 0.5, cfg.seed);
+        let views = part.views(ds);
+        Simulation::new(
+            cfg,
+            ds,
+            test,
+            views,
+            Box::new(|| {
+                let mut rng = Xoshiro256pp::seed_from(1234);
+                mlp(64, &[32], 10, &mut rng)
+            }),
+        )
+    }
+
+    #[test]
+    fn fedavg_learns_on_balanced_data() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 80, 1.0);
+        let ds = spec.generate_train(&counts, 11);
+        let test = spec.generate_test(11);
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 8;
+        cfg.participation = 0.5;
+        cfg.rounds = 15;
+        cfg.local_epochs = 2;
+        cfg.batch_size = 20;
+        cfg.eval_every = 5;
+        let sim = build_sim(&ds, &test, cfg);
+        let mut algo = TestFedAvg;
+        let history = sim.run(&mut algo);
+        let acc = history.final_accuracy(1);
+        assert!(acc > 0.5, "final accuracy {acc}");
+        assert_eq!(history.records.len(), 15);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 40, 0.5);
+        let ds = spec.generate_train(&counts, 12);
+        let test = spec.generate_test(12);
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 5;
+        cfg.participation = 0.4;
+        cfg.rounds = 4;
+        cfg.eval_every = 2;
+        let sim = build_sim(&ds, &test, cfg.clone());
+        let h1 = sim.run(&mut TestFedAvg);
+        let h2 = sim.run(&mut TestFedAvg);
+        for (a, b) in h1.records.iter().zip(&h2.records) {
+            assert_eq!(a.test_acc, b.test_acc);
+            assert_eq!(a.train_loss, b.train_loss);
+        }
+    }
+
+    #[test]
+    fn sampled_clients_deterministic_and_bounded() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 40, 1.0);
+        let ds = spec.generate_train(&counts, 13);
+        let test = spec.generate_test(13);
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 10;
+        cfg.participation = 0.3;
+        let sim = build_sim(&ds, &test, cfg);
+        let s1 = sim.sampled_clients(5);
+        let s2 = sim.sampled_clients(5);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 3);
+        assert!(s1.iter().all(|&c| c < 10));
+        assert_ne!(sim.sampled_clients(0), sim.sampled_clients(1));
+    }
+
+    /// FedAvg variant that poisons a specific client's update with NaN —
+    /// failure injection for the engine's containment path.
+    struct PoisonedFedAvg {
+        poisoned_client: usize,
+    }
+
+    impl FederatedAlgorithm for PoisonedFedAvg {
+        fn name(&self) -> String {
+            "poisoned-fedavg".into()
+        }
+
+        fn local_train(&self, env: &ClientEnv<'_>, global: &[f32]) -> ClientUpdate {
+            let spec = LocalSgdSpec {
+                loss: &CrossEntropy,
+                balanced_sampler: false,
+                lr: env.cfg.local_lr,
+                epochs: env.cfg.local_epochs,
+            };
+            let mut upd = run_local_sgd(env, global, &spec, |_, _, _| {});
+            if env.id == self.poisoned_client {
+                upd.delta[0] = f32::NAN;
+            }
+            upd
+        }
+
+        fn aggregate(&mut self, global: &mut [f32], input: &RoundInput<'_>) -> RoundLog {
+            let mut dir = vec![0.0f32; global.len()];
+            uniform_average(&input.updates, &mut dir);
+            server_step(global, &dir, input.cfg, input.mean_batches());
+            RoundLog::default()
+        }
+    }
+
+    #[test]
+    fn poisoned_updates_are_contained() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 50, 1.0);
+        let ds = spec.generate_train(&counts, 15);
+        let test = spec.generate_test(15);
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 6;
+        cfg.participation = 1.0;
+        cfg.rounds = 6;
+        cfg.eval_every = 3;
+        let sim = build_sim(&ds, &test, cfg);
+        let mut algo = PoisonedFedAvg { poisoned_client: 2 };
+        let h = sim.run(&mut algo);
+        // Every round drops exactly the poisoned client and still trains.
+        for r in &h.records {
+            assert_eq!(r.dropped_updates, 1, "round {}", r.round);
+            assert!(r.train_loss.is_finite());
+            assert!(r.update_norm > 0.0);
+        }
+        // The global model never absorbed a NaN.
+        let acc = h.final_accuracy(1);
+        assert!(acc > 0.1, "model destroyed by poison: {acc}");
+    }
+
+    #[test]
+    fn fully_poisoned_round_is_skipped() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 40, 1.0);
+        let ds = spec.generate_train(&counts, 16);
+        let test = spec.generate_test(16);
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 3;
+        cfg.participation = 0.34; // one client per round
+        cfg.rounds = 3;
+        cfg.eval_every = 10;
+        let sim = build_sim(&ds, &test, cfg);
+        // Poison every client.
+        struct AllPoison;
+        impl FederatedAlgorithm for AllPoison {
+            fn name(&self) -> String {
+                "all-poison".into()
+            }
+            fn local_train(&self, env: &ClientEnv<'_>, global: &[f32]) -> ClientUpdate {
+                ClientUpdate {
+                    client: env.id,
+                    delta: vec![f32::NAN; global.len()],
+                    num_samples: 1,
+                    num_batches: 1,
+                    avg_loss: f32::NAN,
+                    extra: None,
+                }
+            }
+            fn aggregate(&mut self, _g: &mut [f32], _i: &RoundInput<'_>) -> RoundLog {
+                panic!("aggregate must not run on an empty round");
+            }
+        }
+        let h = sim.run(&mut AllPoison);
+        assert_eq!(h.records.len(), 3);
+        for r in &h.records {
+            assert_eq!(r.dropped_updates, 1);
+            assert_eq!(r.update_norm, 0.0);
+        }
+    }
+
+    #[test]
+    fn per_class_accuracy_shapes() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let test = spec.generate_test(14);
+        let mut rng = Xoshiro256pp::seed_from(7);
+        let mut model = mlp(64, &[16], 10, &mut rng);
+        let pc = per_class_accuracy(&mut model, &test);
+        assert_eq!(pc.len(), 10);
+        let overall = evaluate_accuracy(&mut model, &test);
+        let mean_pc: f64 = pc.iter().sum::<f64>() / 10.0;
+        // Balanced test set ⇒ overall equals the mean per-class accuracy.
+        assert!((overall - mean_pc).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! Federated-learning simulation engine.
+//!
+//! This crate is the substrate every algorithm (FedAvg, FedCM, FedWCM, …)
+//! plugs into. It owns the round loop: sample a client subset `P_r`, train
+//! each sampled client **in parallel** (deterministically seeded per
+//! `(seed, round, client)`), hand the collected updates to the algorithm's
+//! aggregation step, apply the server update, and periodically evaluate on
+//! the held-out test set.
+//!
+//! # Delta convention
+//!
+//! The paper's Algorithm 1 writes `Δ_k = x_B − x_r` and then
+//! `x_{r+1} = x_r − η_g Δ_{r+1}`, which taken literally ascends; we adopt
+//! the standard FedCM convention instead. A client update's `delta` is the
+//! **gradient-scale normalised direction**
+//!
+//! ```text
+//! delta_k = (x_r − x_B) / (η_l · B_k)
+//! ```
+//!
+//! so `delta` has the magnitude of a single mini-batch gradient. The global
+//! momentum `Δ` fed back into clients is an aggregation of these, and the
+//! server step is `x ← x − η_g · η_l · B̄ · Δ`, which for `η_g = 1` and
+//! uniform weights recovers exact model averaging (FedAvg).
+//!
+//! Modules: [`config`], [`client`] (local-training helpers),
+//! [`algorithm`] (the [`algorithm::FederatedAlgorithm`] trait),
+//! [`engine`] (the round loop), [`metrics`] (histories), and
+//! [`quadratic`] (a convex testbed for the Theorem 6.1 rate check).
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod client;
+pub mod comms;
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod quadratic;
+
+pub use algorithm::{FederatedAlgorithm, RoundInput, RoundLog};
+pub use client::{ClientEnv, ClientUpdate, LocalSgdSpec};
+pub use config::FlConfig;
+pub use engine::{evaluate_accuracy, per_class_accuracy, Simulation};
+pub use metrics::{History, RoundRecord};

@@ -1,0 +1,141 @@
+//! Round-by-round histories and summary statistics.
+
+/// One round's record.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// Round index.
+    pub round: usize,
+    /// Mean local training loss across sampled clients.
+    pub train_loss: f64,
+    /// L2 norm of the applied server direction.
+    pub update_norm: f64,
+    /// Test accuracy, if this round was evaluated.
+    pub test_acc: Option<f64>,
+    /// Momentum value α used (momentum methods only).
+    pub alpha: Option<f64>,
+    /// Client updates discarded this round for containing non-finite
+    /// values (failure containment; see `engine`).
+    pub dropped_updates: usize,
+}
+
+/// A full training trajectory for one algorithm run.
+#[derive(Clone, Debug)]
+pub struct History {
+    /// Algorithm display name.
+    pub name: String,
+    /// Per-round records.
+    pub records: Vec<RoundRecord>,
+}
+
+impl History {
+    /// New empty history.
+    pub fn new(name: impl Into<String>) -> Self {
+        History { name: name.into(), records: Vec::new() }
+    }
+
+    /// All `(round, accuracy)` evaluation points.
+    pub fn accuracy_series(&self) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.test_acc.map(|a| (r.round, a)))
+            .collect()
+    }
+
+    /// Mean accuracy over the last `window` evaluations (the reported
+    /// "final accuracy"; robust to single-round noise).
+    pub fn final_accuracy(&self, window: usize) -> f64 {
+        let series = self.accuracy_series();
+        if series.is_empty() {
+            return 0.0;
+        }
+        let take = window.max(1).min(series.len());
+        let tail = &series[series.len() - take..];
+        tail.iter().map(|&(_, a)| a).sum::<f64>() / take as f64
+    }
+
+    /// Best accuracy observed at any evaluation.
+    pub fn best_accuracy(&self) -> f64 {
+        self.accuracy_series()
+            .iter()
+            .map(|&(_, a)| a)
+            .fold(0.0, f64::max)
+    }
+
+    /// First round at which accuracy reached `threshold`, if ever.
+    pub fn rounds_to_reach(&self, threshold: f64) -> Option<usize> {
+        self.accuracy_series()
+            .iter()
+            .find(|&&(_, a)| a >= threshold)
+            .map(|&(r, _)| r)
+    }
+
+    /// Standard deviation of accuracy over the last `window` evaluations —
+    /// large values indicate the oscillation/non-convergence signature the
+    /// paper reports for FedCM under long tails.
+    pub fn tail_accuracy_std(&self, window: usize) -> f64 {
+        let series = self.accuracy_series();
+        if series.len() < 2 {
+            return 0.0;
+        }
+        let take = window.max(2).min(series.len());
+        let tail: Vec<f64> = series[series.len() - take..].iter().map(|&(_, a)| a).collect();
+        fedwcm_stats::describe::stddev(&tail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_with(accs: &[(usize, f64)]) -> History {
+        let mut h = History::new("test");
+        for &(round, acc) in accs {
+            h.records.push(RoundRecord {
+                round,
+                train_loss: 1.0,
+                update_norm: 0.5,
+                test_acc: Some(acc),
+                alpha: None,
+                dropped_updates: 0,
+            });
+        }
+        h
+    }
+
+    #[test]
+    fn final_accuracy_averages_tail() {
+        let h = history_with(&[(0, 0.1), (5, 0.5), (10, 0.7), (15, 0.9)]);
+        assert!((h.final_accuracy(2) - 0.8).abs() < 1e-12);
+        assert!((h.final_accuracy(100) - 0.55).abs() < 1e-12);
+        assert_eq!(History::new("x").final_accuracy(3), 0.0);
+    }
+
+    #[test]
+    fn best_and_threshold() {
+        let h = history_with(&[(0, 0.2), (5, 0.8), (10, 0.6)]);
+        assert_eq!(h.best_accuracy(), 0.8);
+        assert_eq!(h.rounds_to_reach(0.7), Some(5));
+        assert_eq!(h.rounds_to_reach(0.9), None);
+    }
+
+    #[test]
+    fn tail_std_detects_oscillation() {
+        let stable = history_with(&[(0, 0.70), (1, 0.71), (2, 0.70), (3, 0.71)]);
+        let unstable = history_with(&[(0, 0.1), (1, 0.6), (2, 0.15), (3, 0.5)]);
+        assert!(unstable.tail_accuracy_std(4) > stable.tail_accuracy_std(4) * 5.0);
+    }
+
+    #[test]
+    fn unevaluated_rounds_skipped() {
+        let mut h = History::new("x");
+        h.records.push(RoundRecord {
+            round: 0,
+            train_loss: 1.0,
+            update_norm: 0.1,
+            test_acc: None,
+            alpha: None,
+            dropped_updates: 0,
+        });
+        assert!(h.accuracy_series().is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the FL engine: aggregation algebra and
+//! convention invariants under arbitrary inputs.
+
+use fedwcm_fl::algorithm::{server_step, uniform_average, weighted_average};
+use fedwcm_fl::client::ClientUpdate;
+use fedwcm_fl::quadratic::{run_quadratic_fedcm, QuadRunConfig, QuadraticProblem};
+use fedwcm_fl::FlConfig;
+use proptest::prelude::*;
+
+fn updates(deltas: Vec<Vec<f32>>) -> Vec<ClientUpdate> {
+    deltas
+        .into_iter()
+        .enumerate()
+        .map(|(k, delta)| ClientUpdate {
+            client: k,
+            delta,
+            num_samples: 10,
+            num_batches: 5,
+            avg_loss: 1.0,
+            extra: None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_average_bounded_by_extremes(
+        n in 1usize..8, dim in 1usize..20, seed in any::<u64>(),
+    ) {
+        let deltas: Vec<Vec<f32>> = (0..n)
+            .map(|k| (0..dim).map(|i| ((seed as usize + k * 31 + i) as f32).sin()).collect())
+            .collect();
+        let ups = updates(deltas.clone());
+        let mut avg = vec![0.0f32; dim];
+        uniform_average(&ups, &mut avg);
+        for i in 0..dim {
+            let min = deltas.iter().map(|d| d[i]).fold(f32::INFINITY, f32::min);
+            let max = deltas.iter().map(|d| d[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg[i] >= min - 1e-5 && avg[i] <= max + 1e-5);
+        }
+    }
+
+    #[test]
+    fn weighted_average_convexity(
+        n in 2usize..6, dim in 1usize..15, seed in any::<u64>(),
+        raw_w in prop::collection::vec(0.01f64..1.0, 2..6),
+    ) {
+        prop_assume!(raw_w.len() >= n);
+        let total: f64 = raw_w[..n].iter().sum();
+        let w: Vec<f64> = raw_w[..n].iter().map(|x| x / total).collect();
+        let deltas: Vec<Vec<f32>> = (0..n)
+            .map(|k| (0..dim).map(|i| ((seed as usize + k * 17 + i * 3) as f32).cos()).collect())
+            .collect();
+        let ups = updates(deltas.clone());
+        let mut out = vec![0.0f32; dim];
+        weighted_average(&ups, &w, &mut out);
+        for i in 0..dim {
+            let min = deltas.iter().map(|d| d[i]).fold(f32::INFINITY, f32::min);
+            let max = deltas.iter().map(|d| d[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out[i] >= min - 1e-4 && out[i] <= max + 1e-4);
+        }
+    }
+
+    #[test]
+    fn server_step_linear_in_lr(dim in 1usize..20, lr in 0.01f32..2.0, seed in any::<u64>()) {
+        let dir: Vec<f32> = (0..dim).map(|i| ((seed as usize + i) as f32).sin()).collect();
+        let base: Vec<f32> = (0..dim).map(|i| (i as f32) * 0.1).collect();
+        let mut cfg = FlConfig::default_sim();
+        cfg.global_lr = lr;
+        cfg.local_lr = 0.1;
+        let mut g1 = base.clone();
+        server_step(&mut g1, &dir, &cfg, 4.0);
+        cfg.global_lr = 2.0 * lr;
+        let mut g2 = base.clone();
+        server_step(&mut g2, &dir, &cfg, 4.0);
+        // Displacement doubles with the global lr.
+        for i in 0..dim {
+            let d1 = g1[i] - base[i];
+            let d2 = g2[i] - base[i];
+            prop_assert!((d2 - 2.0 * d1).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn quadratic_testbed_bounded_iterates(
+        clients in 2usize..6, dim in 2usize..8, alpha in 0.1f64..1.0, seed in any::<u64>(),
+    ) {
+        let p = QuadraticProblem::random(clients, dim, 1.0, 0.2, seed);
+        let cfg = QuadRunConfig { local_steps: 3, rounds: 30, local_lr: 0.05, alpha, seed };
+        let norms = run_quadratic_fedcm(&p, &cfg);
+        prop_assert_eq!(norms.len(), 30);
+        prop_assert!(norms.iter().all(|v| v.is_finite()));
+        // Stable configuration: the trailing average must not exceed the
+        // leading average (no divergence).
+        let head: f64 = norms[..5].iter().sum::<f64>() / 5.0;
+        let tail: f64 = norms[25..].iter().sum::<f64>() / 5.0;
+        prop_assert!(tail <= head * 2.0 + 1.0, "head {head} tail {tail}");
+    }
+}

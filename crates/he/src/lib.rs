@@ -1,0 +1,34 @@
+//! Additively-homomorphic encryption for private global-distribution
+//! aggregation (§5.5 / Appendix C).
+//!
+//! The paper uses the BFV scheme via TenSEAL; this crate implements the
+//! same *protocol role* from scratch: a symmetric RLWE encryption over
+//! `Z_q[x]/(x^N + 1)` that is additively homomorphic with
+//! coefficient-packed integer vectors (class counts in coefficients), so
+//! the server can sum encrypted per-client class distributions without
+//! seeing any individual one.
+//!
+//! Parameters follow BFV shape: power-of-two ring degree `N`, modulus
+//! `q = 2^62` (power of two — exact wrapping arithmetic, no NTT needed
+//! since additive aggregation requires only one negacyclic product per
+//! encryption, against a sparse ternary secret), plaintext modulus `t`.
+//! Ciphertexts are `(c0, c1)` with `c0 = c1·s + e + Δ·m`, `Δ = q/t`.
+//!
+//! **Security note.** This is a faithful *functional* reproduction for
+//! measuring protocol overheads (Table 6) and exercising the aggregation
+//! flow; it deliberately reuses the workspace's deterministic RNG for
+//! reproducibility, so it must not be used as a production cryptosystem.
+//!
+//! Modules: [`ring`] (negacyclic polynomial arithmetic), [`rlwe`]
+//! (keygen/encrypt/add/decrypt), [`protocol`] (the BatchCrypt-style
+//! aggregation protocol with size/time accounting).
+
+#![warn(missing_docs)]
+
+pub mod ntt;
+pub mod protocol;
+pub mod ring;
+pub mod rlwe;
+
+pub use protocol::{aggregate_distributions, ProtocolReport};
+pub use rlwe::{Ciphertext, RlweParams, SecretKey};

@@ -1,0 +1,280 @@
+//! Number-theoretic transform over the Goldilocks prime
+//! `p = 2^64 − 2^32 + 1`, with negacyclic convolution support.
+//!
+//! The main scheme ([`crate::rlwe`]) gets away with `O(N·wt(s))` sparse
+//! products because the secret is sparse ternary. Dense-secret variants —
+//! and any future multiplicative extension — need fast full polynomial
+//! products: that is what this module provides, at `O(N log N)`.
+//!
+//! `p` has 2^32 | p − 1, so primitive `2N`-th roots of unity exist for all
+//! `N ≤ 2^31`; multiplying inputs by powers of a `2N`-th root before an
+//! `N`-point NTT ("twisting") turns cyclic convolution into **negacyclic**
+//! convolution mod `x^N + 1` — exactly the RLWE ring.
+
+/// The Goldilocks prime `2^64 − 2^32 + 1`.
+pub const P: u64 = 0xFFFF_FFFF_0000_0001;
+
+/// `7` generates the multiplicative group of `Z_p`.
+const GENERATOR: u64 = 7;
+
+/// Addition mod p.
+#[inline]
+pub fn addp(a: u64, b: u64) -> u64 {
+    let (s, c) = a.overflowing_add(b);
+    let mut s = s;
+    if c || s >= P {
+        s = s.wrapping_sub(P);
+    }
+    s
+}
+
+/// Subtraction mod p.
+#[inline]
+pub fn subp(a: u64, b: u64) -> u64 {
+    let (d, borrow) = a.overflowing_sub(b);
+    if borrow {
+        d.wrapping_add(P)
+    } else {
+        d
+    }
+}
+
+/// Multiplication mod p via u128.
+#[inline]
+pub fn mulp(a: u64, b: u64) -> u64 {
+    reduce128((a as u128) * (b as u128))
+}
+
+/// Reduce a 128-bit value mod the Goldilocks prime using its special
+/// form: `2^64 ≡ 2^32 − 1 (mod p)`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    let lo = x as u64;
+    let hi = (x >> 64) as u64;
+    let hi_lo = hi & 0xFFFF_FFFF; // hi low 32 bits
+    let hi_hi = hi >> 32; // hi high 32 bits
+    // x = lo + hi_lo·2^64 + hi_hi·2^96
+    //   ≡ lo + hi_lo·(2^32 − 1) − hi_hi  (mod p), since 2^96 ≡ −1.
+    let mut r = subp(lo, hi_hi);
+    let t = (hi_lo << 32).wrapping_sub(hi_lo); // hi_lo·(2^32−1) < p
+    r = addp(r, t);
+    r
+}
+
+/// Modular exponentiation.
+pub fn powp(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= P;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulp(acc, base);
+        }
+        base = mulp(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse via Fermat.
+pub fn invp(a: u64) -> u64 {
+    assert!(!a.is_multiple_of(P), "zero has no inverse");
+    powp(a, P - 2)
+}
+
+/// A primitive `n`-th root of unity (n must divide p − 1 and be a power
+/// of two here).
+pub fn root_of_unity(n: u64) -> u64 {
+    assert!(n.is_power_of_two() && n <= 1 << 32, "unsupported NTT size");
+    powp(GENERATOR, (P - 1) / n)
+}
+
+/// In-place iterative radix-2 DIT NTT. `data.len()` must be a power of
+/// two; `root` must be a primitive `data.len()`-th root of unity.
+pub fn ntt_in_place(data: &mut [u64], root: u64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "NTT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2usize;
+    while len <= n {
+        let w_len = powp(root, (n / len) as u64);
+        for start in (0..n).step_by(len) {
+            let mut w = 1u64;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = mulp(data[start + k + len / 2], w);
+                data[start + k] = addp(u, v);
+                data[start + k + len / 2] = subp(u, v);
+                w = mulp(w, w_len);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse NTT (scales by 1/n).
+pub fn intt_in_place(data: &mut [u64], root: u64) {
+    let n = data.len() as u64;
+    ntt_in_place(data, invp(root));
+    let n_inv = invp(n % P);
+    for x in data.iter_mut() {
+        *x = mulp(*x, n_inv);
+    }
+}
+
+/// Negacyclic convolution mod `x^N + 1` over `Z_p`: returns `a ⊛ b`.
+///
+/// Implemented via the twist: `c(x) = ψ^{-i}·NTT⁻¹(NTT(ψ^i a_i)·NTT(ψ^i b_i))`
+/// with `ψ` a primitive `2N`-th root of unity.
+pub fn negacyclic_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(n, b.len(), "operand length mismatch");
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let psi = root_of_unity(2 * n as u64);
+    let root = mulp(psi, psi); // primitive N-th root
+
+    let mut at: Vec<u64> = Vec::with_capacity(n);
+    let mut bt: Vec<u64> = Vec::with_capacity(n);
+    let mut w = 1u64;
+    for i in 0..n {
+        at.push(mulp(a[i] % P, w));
+        bt.push(mulp(b[i] % P, w));
+        w = mulp(w, psi);
+    }
+    ntt_in_place(&mut at, root);
+    ntt_in_place(&mut bt, root);
+    for (x, y) in at.iter_mut().zip(&bt) {
+        *x = mulp(*x, *y);
+    }
+    intt_in_place(&mut at, root);
+    // Untwist.
+    let psi_inv = invp(psi);
+    let mut w = 1u64;
+    for x in at.iter_mut() {
+        *x = mulp(*x, w);
+        w = mulp(w, psi_inv);
+    }
+    at
+}
+
+/// Reference O(N²) negacyclic product for differential testing.
+pub fn negacyclic_mul_naive(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(n, b.len());
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = mulp(ai % P, bj % P);
+            let k = i + j;
+            if k < n {
+                out[k] = addp(out[k], prod);
+            } else {
+                out[k - n] = subp(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwcm_stats::rng::{Rng, Xoshiro256pp};
+
+    #[test]
+    fn field_arithmetic_basics() {
+        assert_eq!(addp(P - 1, 1), 0);
+        assert_eq!(subp(0, 1), P - 1);
+        assert_eq!(mulp(P - 1, P - 1), 1); // (−1)² = 1
+        assert_eq!(mulp(invp(12345), 12345), 1);
+        assert_eq!(powp(5, 0), 1);
+    }
+
+    #[test]
+    fn reduce128_matches_modulo() {
+        let mut rng = Xoshiro256pp::seed_from(1);
+        for _ in 0..10_000 {
+            let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            assert_eq!(reduce128(x) as u128, x % P as u128);
+        }
+    }
+
+    #[test]
+    fn roots_have_exact_order() {
+        for logn in [1u32, 4, 12] {
+            let n = 1u64 << logn;
+            let w = root_of_unity(n);
+            assert_eq!(powp(w, n), 1);
+            assert_ne!(powp(w, n / 2), 1, "root order too small for n={n}");
+        }
+    }
+
+    #[test]
+    fn ntt_roundtrip() {
+        let mut rng = Xoshiro256pp::seed_from(2);
+        for n in [8usize, 64, 1024] {
+            let original: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
+            let root = root_of_unity(n as u64);
+            let mut data = original.clone();
+            ntt_in_place(&mut data, root);
+            assert_ne!(data, original);
+            intt_in_place(&mut data, root);
+            assert_eq!(data, original, "n={n}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_matches_naive() {
+        let mut rng = Xoshiro256pp::seed_from(3);
+        for n in [8usize, 32, 256] {
+            let a: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
+            assert_eq!(negacyclic_mul(&a, &b), negacyclic_mul_naive(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // x^{N-1} · x = x^N = −1.
+        let n = 16usize;
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        let c = negacyclic_mul(&a, &b);
+        let mut expect = vec![0u64; n];
+        expect[0] = P - 1; // −1
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn convolution_is_commutative_and_linear() {
+        let mut rng = Xoshiro256pp::seed_from(4);
+        let n = 64usize;
+        let a: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
+        let c: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
+        assert_eq!(negacyclic_mul(&a, &b), negacyclic_mul(&b, &a));
+        // a ⊛ (b + c) = a ⊛ b + a ⊛ c
+        let bc: Vec<u64> = b.iter().zip(&c).map(|(&x, &y)| addp(x, y)).collect();
+        let lhs = negacyclic_mul(&a, &bc);
+        let rhs: Vec<u64> = negacyclic_mul(&a, &b)
+            .iter()
+            .zip(&negacyclic_mul(&a, &c))
+            .map(|(&x, &y)| addp(x, y))
+            .collect();
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the HE substrate: correctness of the scheme
+//! and the field/NTT layer under arbitrary inputs.
+
+use fedwcm_he::ntt::{addp, invp, mulp, negacyclic_mul, negacyclic_mul_naive, powp, P};
+use fedwcm_he::rlwe::{Ciphertext, RlweParams, SecretKey};
+use fedwcm_stats::rng::Xoshiro256pp;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn encrypt_decrypt_arbitrary_vectors(
+        seed in any::<u64>(),
+        values in prop::collection::vec(0u64..60_000, 1..100),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let key = SecretKey::generate(RlweParams::test_params(), &mut rng);
+        let ct = key.encrypt(&values, &mut rng);
+        prop_assert_eq!(key.decrypt(&ct, values.len()), values);
+    }
+
+    #[test]
+    fn additive_homomorphism_chain(seed in any::<u64>(), parties in 2usize..30) {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let key = SecretKey::generate(RlweParams::test_params(), &mut rng);
+        let classes = 8usize;
+        let mut expected = vec![0u64; classes];
+        let mut acc: Option<Ciphertext> = None;
+        for p in 0..parties {
+            let vals: Vec<u64> = (0..classes).map(|c| ((p * 13 + c * 7) % 100) as u64).collect();
+            for (e, &v) in expected.iter_mut().zip(&vals) {
+                *e += v;
+            }
+            let ct = key.encrypt(&vals, &mut rng);
+            match acc.as_mut() {
+                None => acc = Some(ct),
+                Some(a) => a.add_assign(&ct),
+            }
+        }
+        prop_assert_eq!(key.decrypt(&acc.unwrap(), classes), expected);
+    }
+
+    #[test]
+    fn serialization_total(seed in any::<u64>(), values in prop::collection::vec(0u64..1000, 1..50)) {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let key = SecretKey::generate(RlweParams::test_params(), &mut rng);
+        let ct = key.encrypt(&values, &mut rng);
+        let bytes = ct.to_bytes();
+        let back = Ciphertext::from_bytes(&bytes).expect("roundtrip");
+        prop_assert_eq!(key.decrypt(&back, values.len()), values);
+        // Mutating the header or truncating must not panic.
+        let mut broken = bytes.clone();
+        broken.truncate(bytes.len() / 2);
+        let _ = Ciphertext::from_bytes(&broken);
+    }
+
+    #[test]
+    fn field_inverse_and_power_laws(a in 1u64..u64::MAX) {
+        let a = a % (P - 1) + 1; // nonzero mod p
+        prop_assert_eq!(mulp(a, invp(a)), 1);
+        prop_assert_eq!(powp(a, 2), mulp(a, a));
+        prop_assert_eq!(addp(a, P - a), 0);
+    }
+
+    #[test]
+    fn ntt_negacyclic_matches_naive(seed in any::<u64>(), logn in 3u32..7) {
+        let n = 1usize << logn;
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        use fedwcm_stats::rng::Rng;
+        let a: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
+        prop_assert_eq!(negacyclic_mul(&a, &b), negacyclic_mul_naive(&a, &b));
+    }
+}

@@ -1,0 +1,43 @@
+//! FedCM + imbalance-handling variants from Tables 1/7.
+//!
+//! These are the paper's "naive integration" baselines: FedCM's chassis
+//! with a long-tail loss or sampler bolted on. The paper shows they do
+//! *not* fix the momentum-bias non-convergence — reproduced in the
+//! experiment harness.
+
+use fedwcm_algos::FedCm;
+use fedwcm_nn::loss::{BalancedSoftmax, FocalLoss};
+use std::sync::Arc;
+
+/// FedCM + Focal Loss (γ = 2).
+pub fn fedcm_focal(alpha: f32) -> FedCm {
+    FedCm::with_loss(alpha, Arc::new(FocalLoss { gamma: 2.0 }), "FedCM+FocalLoss")
+}
+
+/// FedCM + Balance Loss (Balanced-Softmax / PriorCE with the global
+/// long-tail prior).
+pub fn fedcm_balance_loss(alpha: f32, global_class_counts: &[usize]) -> FedCm {
+    FedCm::with_loss(
+        alpha,
+        Arc::new(BalancedSoftmax::from_counts(global_class_counts)),
+        "FedCM+BalanceLoss",
+    )
+}
+
+/// FedCM + Balance Sampler (class-balanced local resampling).
+pub fn fedcm_balance_sampler(alpha: f32) -> FedCm {
+    FedCm::with_balanced_sampler(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwcm_fl::FederatedAlgorithm;
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(fedcm_focal(0.1).name(), "FedCM+FocalLoss");
+        assert_eq!(fedcm_balance_loss(0.1, &[100, 10]).name(), "FedCM+BalanceLoss");
+        assert_eq!(fedcm_balance_sampler(0.1).name(), "FedCM+BalanceSampler");
+    }
+}

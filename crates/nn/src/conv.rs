@@ -1,0 +1,383 @@
+//! Convolution and pooling layers (im2col-lowered).
+//!
+//! Inputs stay rank-2 `[batch, c*h*w]`; each layer knows its spatial
+//! geometry. This keeps the model plumbing uniform with the dense path.
+
+use crate::layer::{he_std, init_weights_biases, Layer};
+use fedwcm_stats::Xoshiro256pp;
+use fedwcm_tensor::im2col::{col2im, im2col, ConvGeom};
+use fedwcm_tensor::matmul::{matmul_at_b_into, matmul_into};
+use fedwcm_tensor::Tensor;
+
+/// 2-D convolution with square kernels, zero padding, shared stride.
+///
+/// Weights are `[c_out, c_in*kh*kw]` row-major plus `c_out` biases, so the
+/// per-sample forward is one GEMM against the im2col patch matrix.
+pub struct Conv2d {
+    geom: ConvGeom,
+    c_out: usize,
+    cached_cols: Vec<f32>, // [batch][patch_rows * patch_cols]
+    cached_batch: usize,
+}
+
+impl Conv2d {
+    /// New conv layer over input `[c_in, h, w]`.
+    pub fn new(c_in: usize, h: usize, w: usize, c_out: usize, k: usize, stride: usize, pad: usize) -> Self {
+        let geom = ConvGeom { c_in, h, w, kh: k, kw: k, stride, pad };
+        // Validate geometry eagerly.
+        let _ = (geom.oh(), geom.ow());
+        Conv2d { geom, c_out, cached_cols: Vec::new(), cached_batch: 0 }
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Output spatial dims `(oh, ow)`.
+    pub fn out_dims(&self) -> (usize, usize) {
+        (self.geom.oh(), self.geom.ow())
+    }
+
+    fn weight_len(&self) -> usize {
+        self.c_out * self.geom.patch_rows()
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.geom.input_len(), "conv input width mismatch");
+        self.c_out * self.geom.patch_cols()
+    }
+
+    fn param_len(&self) -> usize {
+        self.weight_len() + self.c_out
+    }
+
+    fn init_params(&self, params: &mut [f32], rng: &mut Xoshiro256pp) {
+        init_weights_biases(params, self.weight_len(), he_std(self.geom.patch_rows()), rng);
+    }
+
+    fn forward(&mut self, params: &[f32], input: &Tensor, train: bool) -> Tensor {
+        let batch = input.rows();
+        assert_eq!(input.cols(), self.geom.input_len(), "conv forward width mismatch");
+        let (w, b) = params.split_at(self.weight_len());
+        let pr = self.geom.patch_rows();
+        let pc = self.geom.patch_cols();
+        let mut out = Tensor::zeros(&[batch, self.c_out * pc]);
+        let mut cols = vec![0.0f32; pr * pc];
+        if train {
+            self.cached_cols.clear();
+            self.cached_cols.resize(batch * pr * pc, 0.0);
+            self.cached_batch = batch;
+        }
+        for s in 0..batch {
+            im2col(&self.geom, input.row(s), &mut cols);
+            if train {
+                self.cached_cols[s * pr * pc..(s + 1) * pr * pc].copy_from_slice(&cols);
+            }
+            let orow = out.row_mut(s);
+            // [c_out, pr] · [pr, pc] -> [c_out, pc]
+            matmul_into(w, &cols, orow, self.c_out, pr, pc);
+            for (c, &bias) in b.iter().enumerate() {
+                for y in &mut orow[c * pc..(c + 1) * pc] {
+                    *y += bias;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, params: &[f32], grad_params: &mut [f32], grad_out: &Tensor) -> Tensor {
+        let batch = self.cached_batch;
+        assert!(batch > 0, "conv backward without forward(train=true)");
+        assert_eq!(grad_out.rows(), batch);
+        let pr = self.geom.patch_rows();
+        let pc = self.geom.patch_cols();
+        assert_eq!(grad_out.cols(), self.c_out * pc);
+        let (w, _) = params.split_at(self.weight_len());
+        let (gw, gb) = grad_params.split_at_mut(self.weight_len());
+
+        let mut grad_in = Tensor::zeros(&[batch, self.geom.input_len()]);
+        let mut gcols = vec![0.0f32; pr * pc];
+        for s in 0..batch {
+            let go = grad_out.row(s); // [c_out, pc]
+            let cols = &self.cached_cols[s * pr * pc..(s + 1) * pr * pc];
+            // gW[c_out, pr] += go · colsᵀ  (via A·Bᵀ on [c_out,pc]·[pr,pc]ᵀ)
+            fedwcm_tensor::matmul::matmul_a_bt_into(go, cols, gw, self.c_out, pc, pr);
+            // gb[c] += Σ spatial go
+            for (c, g) in gb.iter_mut().enumerate() {
+                *g += go[c * pc..(c + 1) * pc].iter().sum::<f32>();
+            }
+            // gcols = Wᵀ · go  ([pr, c_out]·[c_out, pc])
+            gcols.fill(0.0);
+            matmul_at_b_into(w, go, &mut gcols, self.c_out, pr, pc);
+            col2im(&self.geom, &gcols, grad_in.row_mut(s));
+        }
+        grad_in
+    }
+}
+
+/// Non-overlapping `f×f` average pooling over `[c, h, w]`.
+pub struct AvgPool2d {
+    c: usize,
+    h: usize,
+    w: usize,
+    f: usize,
+}
+
+impl AvgPool2d {
+    /// New pooling layer; `h` and `w` must be divisible by `f`.
+    pub fn new(c: usize, h: usize, w: usize, f: usize) -> Self {
+        assert!(f > 0 && h.is_multiple_of(f) && w.is_multiple_of(f), "pool factor must divide dims");
+        AvgPool2d { c, h, w, f }
+    }
+
+    /// Output dims `(c, h/f, w/f)`.
+    pub fn out_dims(&self) -> (usize, usize, usize) {
+        (self.c, self.h / self.f, self.w / self.f)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.c * self.h * self.w, "pool input width mismatch");
+        self.c * (self.h / self.f) * (self.w / self.f)
+    }
+
+    fn forward(&mut self, _params: &[f32], input: &Tensor, _train: bool) -> Tensor {
+        let batch = input.rows();
+        let (oh, ow) = (self.h / self.f, self.w / self.f);
+        let mut out = Tensor::zeros(&[batch, self.c * oh * ow]);
+        let inv = 1.0 / (self.f * self.f) as f32;
+        for s in 0..batch {
+            let x = input.row(s);
+            let o = out.row_mut(s);
+            for c in 0..self.c {
+                let xc = &x[c * self.h * self.w..];
+                let oc = &mut o[c * oh * ow..(c + 1) * oh * ow];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for dy in 0..self.f {
+                            let iy = oy * self.f + dy;
+                            for dx in 0..self.f {
+                                acc += xc[iy * self.w + ox * self.f + dx];
+                            }
+                        }
+                        oc[oy * ow + ox] = acc * inv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad_params: &mut [f32], grad_out: &Tensor) -> Tensor {
+        let batch = grad_out.rows();
+        let (oh, ow) = (self.h / self.f, self.w / self.f);
+        assert_eq!(grad_out.cols(), self.c * oh * ow);
+        let mut grad_in = Tensor::zeros(&[batch, self.c * self.h * self.w]);
+        let inv = 1.0 / (self.f * self.f) as f32;
+        for s in 0..batch {
+            let go = grad_out.row(s);
+            let gi = grad_in.row_mut(s);
+            for c in 0..self.c {
+                let goc = &go[c * oh * ow..(c + 1) * oh * ow];
+                let gic = &mut gi[c * self.h * self.w..(c + 1) * self.h * self.w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = goc[oy * ow + ox] * inv;
+                        for dy in 0..self.f {
+                            let iy = oy * self.f + dy;
+                            for dx in 0..self.f {
+                                gic[iy * self.w + ox * self.f + dx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Global average pooling `[c, h, w] → [c]`.
+pub struct GlobalAvgPool {
+    c: usize,
+    spatial: usize,
+}
+
+impl GlobalAvgPool {
+    /// New global pooling over `[c, h, w]`.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        GlobalAvgPool { c, spatial: h * w }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "gap"
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.c * self.spatial, "gap input width mismatch");
+        self.c
+    }
+
+    fn forward(&mut self, _params: &[f32], input: &Tensor, _train: bool) -> Tensor {
+        let batch = input.rows();
+        let mut out = Tensor::zeros(&[batch, self.c]);
+        let inv = 1.0 / self.spatial as f32;
+        for s in 0..batch {
+            let x = input.row(s);
+            let o = out.row_mut(s);
+            for c in 0..self.c {
+                o[c] = x[c * self.spatial..(c + 1) * self.spatial].iter().sum::<f32>() * inv;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad_params: &mut [f32], grad_out: &Tensor) -> Tensor {
+        let batch = grad_out.rows();
+        assert_eq!(grad_out.cols(), self.c);
+        let mut grad_in = Tensor::zeros(&[batch, self.c * self.spatial]);
+        let inv = 1.0 / self.spatial as f32;
+        for s in 0..batch {
+            let go = grad_out.row(s);
+            let gi = grad_in.row_mut(s);
+            for c in 0..self.c {
+                let g = go[c] * inv;
+                gi[c * self.spatial..(c + 1) * self.spatial].fill(g);
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwcm_stats::rng::Rng;
+
+    #[test]
+    fn conv_identity_kernel_passthrough() {
+        // 1×1 kernel with weight 1 reproduces the input channel.
+        let mut conv = Conv2d::new(1, 3, 3, 1, 1, 1, 0);
+        let params = vec![1.0, 0.0]; // w=1, b=0
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 9]);
+        let y = conv.forward(&params, &x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_known_sum_kernel() {
+        // 2×2 all-ones kernel on a 2×2 input, no pad → single output = sum.
+        let mut conv = Conv2d::new(1, 2, 2, 1, 2, 1, 0);
+        let params = vec![1.0, 1.0, 1.0, 1.0, 0.5]; // bias 0.5
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let y = conv.forward(&params, &x, false);
+        assert_eq!(y.as_slice(), &[10.5]);
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        let mut rng = Xoshiro256pp::seed_from(5);
+        let mut conv = Conv2d::new(2, 5, 5, 3, 3, 1, 1);
+        let mut params = vec![0.0; conv.param_len()];
+        conv.init_params(&mut params, &mut rng);
+        let x = Tensor::randn(&[2, 2 * 5 * 5], 1.0, &mut rng);
+        let out_len = conv.out_features(2 * 5 * 5);
+        let proj = Tensor::randn(&[2, out_len], 1.0, &mut rng);
+        let objective = |p: &[f32], c: &mut Conv2d| -> f32 {
+            let y = c.forward(p, &x, false);
+            y.as_slice().iter().zip(proj.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let _ = conv.forward(&params, &x, true);
+        let mut grads = vec![0.0; params.len()];
+        let gx = conv.backward(&params, &mut grads, &proj);
+        let eps = 1e-2;
+        for i in (0..params.len()).step_by(17) {
+            let mut p = params.clone();
+            p[i] += eps;
+            let up = objective(&p, &mut conv);
+            p[i] -= 2.0 * eps;
+            let down = objective(&p, &mut conv);
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - grads[i]).abs() < 0.1, "param {i}: fd {fd} vs {}", grads[i]);
+        }
+        // Spot-check input gradient.
+        let xs = x.as_slice().to_vec();
+        for i in (0..xs.len()).step_by(13) {
+            let mut xp = xs.clone();
+            xp[i] += eps;
+            let t = Tensor::from_vec(xp.clone(), &[2, 50]);
+            let up: f32 = {
+                let y = conv.forward(&params, &t, false);
+                y.as_slice().iter().zip(proj.as_slice()).map(|(a, b)| a * b).sum()
+            };
+            xp[i] -= 2.0 * eps;
+            let t = Tensor::from_vec(xp, &[2, 50]);
+            let down: f32 = {
+                let y = conv.forward(&params, &t, false);
+                y.as_slice().iter().zip(proj.as_slice()).map(|(a, b)| a * b).sum()
+            };
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - gx.as_slice()[i]).abs() < 0.1, "input {i}");
+        }
+    }
+
+    #[test]
+    fn avgpool_forward_means() {
+        let mut pool = AvgPool2d::new(1, 2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let y = pool.forward(&[], &x, false);
+        assert_eq!(y.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn avgpool_backward_distributes() {
+        let mut pool = AvgPool2d::new(1, 2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let _ = pool.forward(&[], &x, true);
+        let go = Tensor::from_vec(vec![8.0], &[1, 1]);
+        let gi = pool.backward(&[], &mut [], &go);
+        assert_eq!(gi.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_forward_backward() {
+        let mut gap = GlobalAvgPool::new(2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 8]);
+        let y = gap.forward(&[], &x, true);
+        assert_eq!(y.as_slice(), &[2.5, 10.0]);
+        let go = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]);
+        let gi = gap.backward(&[], &mut [], &go);
+        assert_eq!(&gi.as_slice()[..4], &[1.0; 4]);
+        assert_eq!(&gi.as_slice()[4..], &[2.0; 4]);
+    }
+
+    #[test]
+    fn avgpool_adjoint_property() {
+        // <pool(x), y> == <x, pool_backward(y)>
+        let mut rng = Xoshiro256pp::seed_from(6);
+        let mut pool = AvgPool2d::new(3, 4, 4, 2);
+        let x = Tensor::randn(&[2, 48], 1.0, &mut rng);
+        let y = pool.forward(&[], &x, true);
+        let g = Tensor::randn(&[2, 12], 1.0, &mut rng);
+        let gi = pool.backward(&[], &mut [], &g);
+        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(gi.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+        let _ = rng.next_u64();
+    }
+}

@@ -1,0 +1,110 @@
+//! Finite-difference gradient validation.
+//!
+//! The reproduction has no autograd framework to trust, so this module is
+//! the safety net: it compares a model's analytic gradients against central
+//! finite differences on a strided subset of parameters. Used both in unit
+//! tests and as a standalone check from integration tests.
+
+use crate::loss::Loss;
+use crate::model::Model;
+use fedwcm_tensor::Tensor;
+
+/// Result of a gradient check.
+#[derive(Clone, Copy, Debug)]
+pub struct GradCheckReport {
+    /// Parameters actually compared.
+    pub checked: usize,
+    /// Largest absolute deviation |fd − analytic|.
+    pub max_abs_err: f32,
+    /// Largest relative deviation (denominator floored at 1e-3).
+    pub max_rel_err: f32,
+}
+
+impl GradCheckReport {
+    /// True if both error measures are below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Compare analytic vs finite-difference gradients on every `stride`-th
+/// parameter, for the given batch and loss.
+pub fn check_model_gradients(
+    model: &mut Model,
+    x: &Tensor,
+    y: &[usize],
+    loss: &dyn Loss,
+    stride: usize,
+    eps: f32,
+) -> GradCheckReport {
+    assert!(stride >= 1 && eps > 0.0);
+    let mut grads = vec![0.0f32; model.param_len()];
+    let _ = model.loss_grad(x, y, loss, &mut grads);
+    let base = model.params().to_vec();
+
+    let mut report = GradCheckReport { checked: 0, max_abs_err: 0.0, max_rel_err: 0.0 };
+    for i in (0..base.len()).step_by(stride) {
+        let mut p = base.clone();
+        p[i] += eps;
+        model.set_params(&p);
+        let up = loss.loss_and_grad(&model.forward(x, false), y).0;
+        p[i] -= 2.0 * eps;
+        model.set_params(&p);
+        let down = loss.loss_and_grad(&model.forward(x, false), y).0;
+        let fd = (up - down) / (2.0 * eps);
+        let abs = (fd - grads[i]).abs();
+        let rel = abs / fd.abs().max(grads[i].abs()).max(1e-3);
+        report.checked += 1;
+        report.max_abs_err = report.max_abs_err.max(abs);
+        report.max_rel_err = report.max_rel_err.max(rel);
+    }
+    model.set_params(&base);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{BalancedSoftmax, CrossEntropy, FocalLoss};
+    use crate::models::mlp;
+    use fedwcm_stats::Xoshiro256pp;
+
+    #[test]
+    fn mlp_passes_gradcheck_for_all_losses() {
+        let mut rng = Xoshiro256pp::seed_from(21);
+        let mut model = mlp(6, &[10], 4, &mut rng);
+        let x = Tensor::randn(&[3, 6], 1.0, &mut rng);
+        let y = [0usize, 3, 1];
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(CrossEntropy),
+            Box::new(FocalLoss { gamma: 2.0 }),
+            Box::new(BalancedSoftmax::from_counts(&[40, 30, 20, 10])),
+        ];
+        for loss in &losses {
+            let report = check_model_gradients(&mut model, &x, &y, loss.as_ref(), 3, 1e-3);
+            assert!(report.checked > 10);
+            assert!(report.passes(0.05), "report {report:?}");
+        }
+    }
+
+    #[test]
+    fn gradcheck_detects_broken_gradients() {
+        // Sanity: a deliberately wrong "loss gradient" must fail.
+        struct BrokenLoss;
+        impl Loss for BrokenLoss {
+            fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+                let (l, mut g) = CrossEntropy.loss_and_grad(logits, labels);
+                for x in g.as_mut_slice() {
+                    *x *= 3.0; // wrong scale
+                }
+                (l, g)
+            }
+        }
+        let mut rng = Xoshiro256pp::seed_from(22);
+        let mut model = mlp(4, &[8], 3, &mut rng);
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let y = [0usize, 2];
+        let report = check_model_gradients(&mut model, &x, &y, &BrokenLoss, 2, 1e-3);
+        assert!(!report.passes(0.05), "broken gradient slipped through: {report:?}");
+    }
+}

@@ -1,0 +1,289 @@
+//! The [`Layer`] trait and parameter-free activation layers.
+
+use fedwcm_stats::rng::Rng;
+use fedwcm_stats::Xoshiro256pp;
+use fedwcm_tensor::Tensor;
+
+/// A differentiable layer operating on rank-2 batches `[batch, features]`.
+///
+/// Parameters live in the model's flat arena; each layer receives its own
+/// slice (`params`) plus a matching gradient slice on the backward pass.
+/// Layers may cache activations from the most recent `forward` call — the
+/// model guarantees `backward` follows the corresponding `forward`.
+pub trait Layer: Send {
+    /// Human-readable layer name (used by the concentration analysis).
+    fn name(&self) -> &'static str;
+
+    /// Output feature count given the input feature count.
+    fn out_features(&self, in_features: usize) -> usize;
+
+    /// Number of parameters this layer owns in the arena.
+    fn param_len(&self) -> usize {
+        0
+    }
+
+    /// Initialise this layer's parameter slice.
+    fn init_params(&self, _params: &mut [f32], _rng: &mut Xoshiro256pp) {}
+
+    /// Forward pass. `train` toggles caching for backward.
+    fn forward(&mut self, params: &[f32], input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: accumulate parameter gradients into `grad_params`
+    /// (same length as `params`) and return the input gradient.
+    fn backward(&mut self, params: &[f32], grad_params: &mut [f32], grad_out: &Tensor) -> Tensor;
+}
+
+/// Rectified linear unit. Caches the activation mask.
+#[derive(Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        in_features
+    }
+
+    fn forward(&mut self, _params: &[f32], input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.clone();
+        if train {
+            self.mask.clear();
+            self.mask.reserve(out.len());
+            for x in out.as_mut_slice() {
+                let pos = *x > 0.0;
+                self.mask.push(pos);
+                if !pos {
+                    *x = 0.0;
+                }
+            }
+        } else {
+            for x in out.as_mut_slice() {
+                if *x < 0.0 {
+                    *x = 0.0;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad_params: &mut [f32], grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "ReLU backward without matching forward");
+        let mut g = grad_out.clone();
+        for (x, &keep) in g.as_mut_slice().iter_mut().zip(&self.mask) {
+            if !keep {
+                *x = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// Leaky rectified linear unit: `max(x, slope·x)` with `slope < 1`.
+pub struct LeakyRelu {
+    slope: f32,
+    cached_input: Vec<f32>,
+}
+
+impl LeakyRelu {
+    /// New leaky ReLU with the given negative-side slope (e.g. 0.01).
+    pub fn new(slope: f32) -> Self {
+        assert!((0.0..1.0).contains(&slope), "slope must be in [0,1)");
+        LeakyRelu { slope, cached_input: Vec::new() }
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        in_features
+    }
+
+    fn forward(&mut self, _params: &[f32], input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input.clear();
+            self.cached_input.extend_from_slice(input.as_slice());
+        }
+        let mut out = input.clone();
+        for x in out.as_mut_slice() {
+            if *x < 0.0 {
+                *x *= self.slope;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad_params: &mut [f32], grad_out: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_out.len(),
+            self.cached_input.len(),
+            "leaky-relu backward without matching forward"
+        );
+        let mut g = grad_out.clone();
+        for (x, &inp) in g.as_mut_slice().iter_mut().zip(&self.cached_input) {
+            if inp < 0.0 {
+                *x *= self.slope;
+            }
+        }
+        g
+    }
+}
+
+/// Hyperbolic-tangent activation.
+#[derive(Default)]
+pub struct Tanh {
+    cached_output: Vec<f32>,
+}
+
+impl Tanh {
+    /// New tanh layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        in_features
+    }
+
+    fn forward(&mut self, _params: &[f32], input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.clone();
+        for x in out.as_mut_slice() {
+            *x = x.tanh();
+        }
+        if train {
+            self.cached_output.clear();
+            self.cached_output.extend_from_slice(out.as_slice());
+        }
+        out
+    }
+
+    fn backward(&mut self, _params: &[f32], _grad_params: &mut [f32], grad_out: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_out.len(),
+            self.cached_output.len(),
+            "tanh backward without matching forward"
+        );
+        let mut g = grad_out.clone();
+        for (x, &y) in g.as_mut_slice().iter_mut().zip(&self.cached_output) {
+            *x *= 1.0 - y * y;
+        }
+        g
+    }
+}
+
+/// He-normal weight initialisation std for a given fan-in.
+pub fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in.max(1) as f32).sqrt()
+}
+
+/// Fill a weight slice with `N(0, std²)` and a trailing bias with zeros.
+pub fn init_weights_biases(
+    params: &mut [f32],
+    weight_len: usize,
+    std: f32,
+    rng: &mut Xoshiro256pp,
+) {
+    let (w, b) = params.split_at_mut(weight_len);
+    let mut normal = fedwcm_stats::dist::Normal::new(0.0, std as f64);
+    for x in w {
+        *x = normal.sample(rng) as f32;
+    }
+    b.fill(0.0);
+    let _ = rng.next_u64(); // decouple successive layer streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_clamps() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -3.0], &[1, 4]);
+        let y = relu.forward(&[], &x, true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 1.0, 2.0, -0.5], &[1, 4]);
+        let _ = relu.forward(&[], &x, true);
+        let g = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], &[1, 4]);
+        let gx = relu.backward(&[], &mut [], &g);
+        assert_eq!(gx.as_slice(), &[0.0, 20.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_eval_mode_no_cache() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 1.0], &[1, 2]);
+        let y = relu.forward(&[], &x, false);
+        assert_eq!(y.as_slice(), &[0.0, 1.0]);
+        assert!(relu.mask.is_empty());
+    }
+
+    #[test]
+    fn he_std_decreases_with_fan_in() {
+        assert!(he_std(10) > he_std(1000));
+        assert!((he_std(2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leaky_relu_forward_backward() {
+        let mut l = LeakyRelu::new(0.1);
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[1, 3]);
+        let y = l.forward(&[], &x, true);
+        assert_eq!(y.as_slice(), &[-0.2, 0.0, 3.0]);
+        let g = Tensor::from_vec(vec![10.0, 10.0, 10.0], &[1, 3]);
+        let gx = l.backward(&[], &mut [], &g);
+        assert_eq!(gx.as_slice(), &[1.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn leaky_relu_zero_slope_equals_relu() {
+        let mut leaky = LeakyRelu::new(0.0);
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.5, 0.5, -0.1, 2.0], &[1, 4]);
+        assert_eq!(
+            leaky.forward(&[], &x, false).as_slice(),
+            relu.forward(&[], &x, false).as_slice()
+        );
+    }
+
+    #[test]
+    fn tanh_forward_bounded_backward_fd() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![-3.0, -0.5, 0.0, 0.5, 3.0], &[1, 5]);
+        let y = t.forward(&[], &x, true);
+        assert!(y.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert_eq!(y.as_slice()[2], 0.0);
+        // Finite-difference check of the tanh derivative.
+        let g = Tensor::from_vec(vec![1.0; 5], &[1, 5]);
+        let gx = t.backward(&[], &mut [], &g);
+        let eps = 1e-3f32;
+        for i in 0..5 {
+            let fd = ((x.as_slice()[i] + eps).tanh() - (x.as_slice()[i] - eps).tanh()) / (2.0 * eps);
+            assert!((gx.as_slice()[i] - fd).abs() < 1e-3, "unit {i}");
+        }
+    }
+}

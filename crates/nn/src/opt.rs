@@ -1,0 +1,98 @@
+//! Parameter-update primitives shared by every FL algorithm.
+//!
+//! FL methods differ in *what direction* they step along, not in the
+//! stepping mechanics, so this module exposes small composable pieces: a
+//! plain SGD step, weight decay, and the client-momentum blend of
+//! Eq. (2)/(6).
+
+use fedwcm_tensor::ops;
+
+/// `params -= lr * direction`.
+#[inline]
+pub fn sgd_step(params: &mut [f32], direction: &[f32], lr: f32) {
+    ops::axpy(-lr, direction, params);
+}
+
+/// In-place decoupled weight decay: `params *= (1 - lr*wd)`.
+#[inline]
+pub fn weight_decay(params: &mut [f32], lr: f32, wd: f32) {
+    if wd != 0.0 {
+        ops::scal(1.0 - lr * wd, params);
+    }
+}
+
+/// Client-momentum direction of FedCM/FedWCM:
+/// `v = alpha * grad + (1 - alpha) * global_momentum` written into `v`.
+#[inline]
+pub fn momentum_blend(v: &mut [f32], grad: &[f32], global_momentum: &[f32], alpha: f32) {
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "momentum value must be in [0,1], got {alpha}"
+    );
+    assert_eq!(v.len(), grad.len());
+    assert_eq!(v.len(), global_momentum.len());
+    for ((vi, gi), mi) in v.iter_mut().zip(grad).zip(global_momentum) {
+        *vi = alpha * gi + (1.0 - alpha) * mi;
+    }
+}
+
+/// Classic heavy-ball server momentum: `buf = beta*buf + delta`, returning
+/// a reference to the updated buffer (FedAvgM / SlowMo-style).
+#[inline]
+pub fn server_momentum(buf: &mut [f32], delta: &[f32], beta: f32) {
+    assert_eq!(buf.len(), delta.len());
+    for (b, d) in buf.iter_mut().zip(delta) {
+        *b = beta * *b + d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let mut p = vec![1.0, 2.0];
+        sgd_step(&mut p, &[0.5, -0.5], 0.1);
+        assert!((p[0] - 0.95).abs() < 1e-6);
+        assert!((p[1] - 2.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks() {
+        let mut p = vec![2.0];
+        weight_decay(&mut p, 0.1, 0.5);
+        assert!((p[0] - 2.0 * 0.95).abs() < 1e-6);
+        weight_decay(&mut p, 0.1, 0.0); // no-op
+        assert!((p[0] - 2.0 * 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_blend_endpoints() {
+        let g = [1.0, 2.0];
+        let m = [10.0, 20.0];
+        let mut v = [0.0; 2];
+        momentum_blend(&mut v, &g, &m, 1.0);
+        assert_eq!(v, g);
+        momentum_blend(&mut v, &g, &m, 0.0);
+        assert_eq!(v, m);
+        momentum_blend(&mut v, &g, &m, 0.25);
+        assert!((v[0] - (0.25 + 7.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn server_momentum_accumulates() {
+        let mut buf = vec![0.0, 0.0];
+        server_momentum(&mut buf, &[1.0, 2.0], 0.9);
+        server_momentum(&mut buf, &[1.0, 2.0], 0.9);
+        assert!((buf[0] - 1.9).abs() < 1e-6);
+        assert!((buf[1] - 3.8).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn momentum_blend_rejects_bad_alpha() {
+        let mut v = [0.0];
+        momentum_blend(&mut v, &[1.0], &[1.0], 1.5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Flat parameter (de)serialization — checkpointing for trained global
+//! models without external dependencies.
+//!
+//! Wire format: magic `b"FWCM"`, format version (u32 LE), parameter count
+//! (u64 LE), then raw little-endian f32 parameters.
+
+use crate::model::Model;
+
+const MAGIC: &[u8; 4] = b"FWCM";
+const VERSION: u32 = 1;
+
+/// Serialize a model's parameters to the checkpoint format.
+pub fn save_params(model: &Model) -> Vec<u8> {
+    let params = model.params();
+    let mut out = Vec::with_capacity(16 + params.len() * 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for &p in params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out
+}
+
+/// Errors from [`load_params`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// Missing/incorrect magic bytes or truncated header.
+    BadHeader,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Parameter count does not match the model architecture.
+    WrongArity {
+        /// Parameters in the checkpoint.
+        found: usize,
+        /// Parameters the model expects.
+        expected: usize,
+    },
+    /// Body shorter/longer than the declared count.
+    Truncated,
+    /// Non-finite parameter encountered.
+    NonFinite,
+}
+
+/// Load a checkpoint produced by [`save_params`] into a model with a
+/// matching architecture.
+pub fn load_params(model: &mut Model, bytes: &[u8]) -> Result<(), LoadError> {
+    if bytes.len() < 16 || &bytes[..4] != MAGIC {
+        return Err(LoadError::BadHeader);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
+    if version != VERSION {
+        return Err(LoadError::BadVersion(version));
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
+    if count != model.param_len() {
+        return Err(LoadError::WrongArity { found: count, expected: model.param_len() });
+    }
+    let body = &bytes[16..];
+    if body.len() != count * 4 {
+        return Err(LoadError::Truncated);
+    }
+    let mut params = Vec::with_capacity(count);
+    for chunk in body.chunks_exact(4) {
+        let v = f32::from_le_bytes(chunk.try_into().expect("sized"));
+        if !v.is_finite() {
+            return Err(LoadError::NonFinite);
+        }
+        params.push(v);
+    }
+    model.set_params(&params);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mlp;
+    use fedwcm_stats::Xoshiro256pp;
+
+    fn model(seed: u64) -> Model {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        mlp(8, &[6], 3, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_params() {
+        let m1 = model(1);
+        let bytes = save_params(&m1);
+        let mut m2 = model(2);
+        assert_ne!(m1.params(), m2.params());
+        load_params(&mut m2, &bytes).unwrap();
+        assert_eq!(m1.params(), m2.params());
+    }
+
+    #[test]
+    fn header_validation() {
+        let mut m = model(3);
+        assert_eq!(load_params(&mut m, b"xxxx"), Err(LoadError::BadHeader));
+        let mut bad = save_params(&m);
+        bad[0] = b'X';
+        assert_eq!(load_params(&mut m, &bad), Err(LoadError::BadHeader));
+        let mut badver = save_params(&m);
+        badver[4] = 99;
+        assert_eq!(load_params(&mut m, &badver), Err(LoadError::BadVersion(99)));
+    }
+
+    #[test]
+    fn arity_and_truncation_checks() {
+        let big = model(4);
+        let mut small_rng = Xoshiro256pp::seed_from(5);
+        let mut small = mlp(4, &[3], 2, &mut small_rng);
+        let bytes = save_params(&big);
+        assert!(matches!(
+            load_params(&mut small, &bytes),
+            Err(LoadError::WrongArity { .. })
+        ));
+        let mut m = model(6);
+        let mut truncated = save_params(&m);
+        truncated.pop();
+        assert_eq!(load_params(&mut m, &truncated), Err(LoadError::Truncated));
+    }
+
+    #[test]
+    fn nonfinite_rejected() {
+        let mut m = model(7);
+        let mut bytes = save_params(&m);
+        bytes[16..20].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert_eq!(load_params(&mut m, &bytes), Err(LoadError::NonFinite));
+    }
+}

@@ -1,0 +1,256 @@
+//! Deterministic data-parallel utilities on scoped threads.
+//!
+//! The FL engine trains the clients sampled in a round concurrently; each
+//! client's work is independent (own RNG stream, own model copy), so the
+//! natural shape is an indexed parallel map whose results are collected
+//! **in index order** — making the subsequent server aggregation bitwise
+//! deterministic regardless of thread count or scheduling.
+//!
+//! Built on `std::thread::scope` (no unsafe, no external runtime). When the
+//! machine exposes a single core — or `FEDWCM_THREADS=1` — everything runs
+//! inline on the caller thread, which also keeps stack traces simple.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve the worker count: the `FEDWCM_THREADS` env var if set (≥1),
+/// otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("FEDWCM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Apply `f` to every index in `0..n`, producing a `Vec` ordered by index.
+///
+/// Work is distributed dynamically (atomic work-stealing counter), so
+/// heterogeneous per-item costs — e.g. clients with different data volumes
+/// in FedWCM-X — balance automatically. `f` must be `Sync` because multiple
+/// worker threads share it.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    // Hand each worker a disjoint set of result slots through a mutex-free
+    // scheme: workers claim indices from the shared counter and write into
+    // a locked vector of options. The lock is held only for the write.
+    let results = Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                let mut guard = results.lock().expect("worker panicked while writing results");
+                guard[i] = Some(value);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel_map slot left empty"))
+        .collect()
+}
+
+/// Map then fold in **index order**: `fold(init, map(0), map(1), …)`.
+///
+/// The maps run in parallel; the fold runs on the caller thread over the
+/// index-ordered results, so floating-point reductions are reproducible.
+pub fn parallel_map_reduce<T, A, F, G>(n: usize, threads: usize, map: F, init: A, fold: G) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: FnMut(A, T) -> A,
+{
+    parallel_map(n, threads, map).into_iter().fold(init, fold)
+}
+
+/// Split `0..n` into at most `parts` contiguous chunks of near-equal size.
+/// Returns `(start, end)` pairs; never returns empty chunks.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Parallel elementwise accumulation: `acc[i] += weight * parts[k][i]`
+/// summed over `k` in index order within each disjoint range.
+///
+/// The output vector is chunked across threads; every thread owns a
+/// disjoint slice, so there is no contention, and within a chunk the
+/// addition order over `k` is fixed — deterministic result.
+pub fn weighted_sum_into(acc: &mut [f32], parts: &[(&[f32], f32)], threads: usize) {
+    for (p, _) in parts {
+        assert_eq!(p.len(), acc.len(), "weighted_sum_into length mismatch");
+    }
+    let n = acc.len();
+    let threads = threads.max(1);
+    if threads == 1 || n < 1 << 14 || parts.is_empty() {
+        for &(p, w) in parts {
+            for (a, x) in acc.iter_mut().zip(p) {
+                *a += w * x;
+            }
+        }
+        return;
+    }
+    let ranges = chunk_ranges(n, threads);
+    // Split `acc` into disjoint mutable chunks matching `ranges`.
+    let mut chunks: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
+    let mut rest = acc;
+    let mut offset = 0;
+    for &(start, end) in &ranges {
+        let (head, tail) = rest.split_at_mut(end - start);
+        debug_assert_eq!(offset, start);
+        offset = end;
+        chunks.push(head);
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        for (chunk, &(start, end)) in chunks.into_iter().zip(&ranges) {
+            scope.spawn(move || {
+                for &(p, w) in parts {
+                    let src = &p[start..end];
+                    for (a, x) in chunk.iter_mut().zip(src) {
+                        *a += w * x;
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_map(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn map_reduce_deterministic_fp() {
+        // Floating-point fold must be identical across thread counts.
+        let gold = parallel_map_reduce(1000, 1, |i| (i as f32).sqrt() * 0.1, 0.0f32, |a, x| a + x);
+        for threads in [2, 3, 8] {
+            let v =
+                parallel_map_reduce(1000, threads, |i| (i as f32).sqrt() * 0.1, 0.0f32, |a, x| a + x);
+            assert_eq!(v.to_bits(), gold.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 17, 100] {
+            for parts in [1usize, 2, 3, 7, 200] {
+                let ranges = chunk_ranges(n, parts);
+                let total: usize = ranges.iter().map(|(s, e)| e - s).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                // Contiguous and non-empty.
+                let mut prev = 0;
+                for &(s, e) in &ranges {
+                    assert_eq!(s, prev);
+                    assert!(e > s);
+                    prev = e;
+                }
+                // Balanced within 1.
+                if !ranges.is_empty() {
+                    let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+                    let min = sizes.iter().min().unwrap();
+                    let max = sizes.iter().max().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sum_matches_sequential() {
+        let n = 40_000;
+        let p1: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let p2: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+        // Reference: same part-by-part accumulation order the kernel defines.
+        let mut gold = vec![0.5f32; n];
+        for (a, x) in gold.iter_mut().zip(&p1) {
+            *a += 0.3 * x;
+        }
+        for (a, y) in gold.iter_mut().zip(&p2) {
+            *a += 0.7 * y;
+        }
+        for threads in [1, 2, 4] {
+            let mut acc = vec![0.5f32; n];
+            weighted_sum_into(&mut acc, &[(&p1, 0.3), (&p2, 0.7)], threads);
+            for (a, g) in acc.iter().zip(&gold) {
+                assert_eq!(a.to_bits(), g.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sum_empty_parts_is_noop() {
+        let mut acc = vec![1.0f32; 10];
+        weighted_sum_into(&mut acc, &[], 4);
+        assert!(acc.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn dynamic_scheduling_handles_skewed_costs() {
+        // Items with wildly different costs still produce ordered output.
+        let out = parallel_map(50, 4, |i| {
+            if i % 10 == 0 {
+                // Simulate a heavy client.
+                let mut acc = 0u64;
+                for k in 0..200_000u64 {
+                    acc = acc.wrapping_add(k.wrapping_mul(k));
+                }
+                (i, acc & 1)
+            } else {
+                (i, 0)
+            }
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn default_threads_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Descriptive statistics used by the analysis and experiment crates.
+//!
+//! These back the paper's summary quantities: mean accuracies over seeds,
+//! quantity-skew summaries for the FedGrab partition (Fig. 11), the
+//! imbalance-driven temperature in Eq. (4) (total-variation distance to the
+//! target distribution), and Gini/concentration indices.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices with < 2 elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation quantile, `q ∈ [0, 1]`. Panics on empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Median (0.5 quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Gini coefficient of a non-negative vector (0 = perfectly equal,
+/// → 1 = maximally concentrated). Used to summarise client quantity skew.
+pub fn gini(xs: &[f64]) -> f64 {
+    assert!(xs.iter().all(|&x| x >= 0.0), "gini needs non-negative values");
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = xs.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in gini input"));
+    // Gini = (2 Σ i·x_(i) / (n Σ x)) − (n+1)/n, with 1-based ranks.
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Total-variation distance between two distributions over the same
+/// support: `½ Σ |p_c − q_c|`. This is the imbalance measure that drives
+/// the adaptive temperature in Eq. (4).
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution supports differ");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Normalise a non-negative weight vector into a probability vector.
+/// Returns the uniform distribution if the total is zero.
+pub fn normalize(xs: &[f64]) -> Vec<f64> {
+    let total: f64 = xs.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / xs.len().max(1) as f64; xs.len()];
+    }
+    xs.iter().map(|&x| x / total).collect()
+}
+
+/// Numerically-stable softmax with temperature `t > 0`:
+/// `softmax(x/t)`. This is Eq. (4)'s weighting kernel.
+pub fn softmax_with_temperature(xs: &[f64], t: f64) -> Vec<f64> {
+    assert!(t > 0.0, "temperature must be positive");
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|&x| ((x - max) / t).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+/// Argmax index; ties resolve to the first maximum. Panics on empty input.
+pub fn argmax(xs: &[f64]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!((gini(&[1.0, 1.0, 1.0, 1.0])).abs() < 1e-12);
+        // One holder of everything among n=4 → Gini = (n-1)/n = 0.75.
+        assert!((gini(&[0.0, 0.0, 0.0, 8.0]) - 0.75).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn tv_distance_properties() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!((total_variation(&p, &q) - 0.5).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn softmax_temperature_sharpens_and_flattens() {
+        let s = [1.0, 2.0, 3.0];
+        let sharp = softmax_with_temperature(&s, 0.1);
+        let flat = softmax_with_temperature(&s, 100.0);
+        assert!(sharp[2] > 0.99);
+        assert!((flat[0] - 1.0 / 3.0).abs() < 0.01);
+        for w in [&sharp, &flat] {
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax_with_temperature(&[1000.0, 1001.0], 1.0);
+        let b = softmax_with_temperature(&[0.0, 1.0], 1.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn normalize_handles_zero_total() {
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.5, 0.5]);
+        assert_eq!(normalize(&[2.0, 6.0]), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[7.0]), 0);
+    }
+}

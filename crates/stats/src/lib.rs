@@ -1,0 +1,26 @@
+//! Deterministic random-number generation and probability distributions.
+//!
+//! Everything stochastic in the FedWCM reproduction flows through this
+//! crate. We implement the generators from scratch (xoshiro256++ seeded via
+//! splitmix64) instead of depending on an external RNG so that every
+//! experiment is bit-reproducible across library versions, platforms, and
+//! thread counts.
+//!
+//! The crate provides:
+//!
+//! * [`rng::Xoshiro256pp`] — the core generator, plus [`rng::split_seed`]
+//!   for deriving independent per-(round, client, purpose) streams;
+//! * [`dist`] — Normal (Box–Muller), Gamma (Marsaglia–Tsang), Dirichlet,
+//!   Beta, and Categorical (alias-method) samplers, which back the paper's
+//!   Dirichlet data partitions and synthetic datasets;
+//! * [`describe`] — descriptive statistics (mean/variance/quantiles/Gini)
+//!   used by the analysis and experiment crates.
+
+#![warn(missing_docs)]
+
+pub mod describe;
+pub mod dist;
+pub mod rng;
+
+pub use dist::{Categorical, Dirichlet, Gamma, Normal};
+pub use rng::{split_seed, Rng, Xoshiro256pp};

@@ -1,0 +1,215 @@
+//! im2col / col2im lowering for convolutions.
+//!
+//! A convolution over an input `[c_in, h, w]` with `kh×kw` kernels, stride
+//! `s` and zero padding `p` is lowered to a matrix multiply:
+//! the patch matrix has shape `[c_in*kh*kw, oh*ow]`; multiplying the weight
+//! matrix `[c_out, c_in*kh*kw]` by it yields the output `[c_out, oh*ow]`.
+//! `col2im` scatters gradients back — the exact adjoint of `im2col`.
+
+/// Static description of a 2-D convolution geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub c_in: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dims).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height.
+    pub fn oh(&self) -> usize {
+        assert!(self.h + 2 * self.pad >= self.kh, "kernel taller than padded input");
+        (self.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn ow(&self) -> usize {
+        assert!(self.w + 2 * self.pad >= self.kw, "kernel wider than padded input");
+        (self.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Rows of the patch matrix: `c_in * kh * kw`.
+    pub fn patch_rows(&self) -> usize {
+        self.c_in * self.kh * self.kw
+    }
+
+    /// Columns of the patch matrix: `oh * ow`.
+    pub fn patch_cols(&self) -> usize {
+        self.oh() * self.ow()
+    }
+
+    /// Input buffer length `c_in*h*w`.
+    pub fn input_len(&self) -> usize {
+        self.c_in * self.h * self.w
+    }
+}
+
+/// Lower one image `[c_in, h, w]` into the patch matrix
+/// `[patch_rows, patch_cols]` (row-major into `cols`).
+pub fn im2col(geom: &ConvGeom, input: &[f32], cols: &mut [f32]) {
+    assert_eq!(input.len(), geom.input_len(), "input buffer size");
+    assert_eq!(cols.len(), geom.patch_rows() * geom.patch_cols(), "cols buffer size");
+    let (oh, ow) = (geom.oh(), geom.ow());
+    let ncols = oh * ow;
+    let mut row = 0usize;
+    for c in 0..geom.c_in {
+        let chan = &input[c * geom.h * geom.w..(c + 1) * geom.h * geom.w];
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let out_row = &mut cols[row * ncols..(row + 1) * ncols];
+                let mut col = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= geom.h as isize {
+                        out_row[col..col + ow].fill(0.0);
+                        col += ow;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        out_row[col] = if ix < 0 || ix >= geom.w as isize {
+                            0.0
+                        } else {
+                            chan[iy * geom.w + ix as usize]
+                        };
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-add the patch-matrix gradient back into
+/// the input gradient buffer (which must be pre-zeroed by the caller if a
+/// fresh gradient is wanted — the kernel accumulates).
+pub fn col2im(geom: &ConvGeom, cols: &[f32], grad_input: &mut [f32]) {
+    assert_eq!(grad_input.len(), geom.input_len(), "grad buffer size");
+    assert_eq!(cols.len(), geom.patch_rows() * geom.patch_cols(), "cols buffer size");
+    let (oh, ow) = (geom.oh(), geom.ow());
+    let ncols = oh * ow;
+    let mut row = 0usize;
+    for c in 0..geom.c_in {
+        let base = c * geom.h * geom.w;
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let col_row = &cols[row * ncols..(row + 1) * ncols];
+                let mut col = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= geom.h as isize {
+                        col += ow;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix >= 0 && ix < geom.w as isize {
+                            grad_input[base + iy * geom.w + ix as usize] += col_row[col];
+                        }
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwcm_stats::rng::{Rng, Xoshiro256pp};
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> ConvGeom {
+        ConvGeom { c_in: c, h, w, kh: k, kw: k, stride: s, pad: p }
+    }
+
+    #[test]
+    fn output_dims() {
+        let g = geom(3, 8, 8, 3, 1, 1);
+        assert_eq!((g.oh(), g.ow()), (8, 8));
+        let g = geom(1, 8, 8, 2, 2, 0);
+        assert_eq!((g.oh(), g.ow()), (4, 4));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1×1 kernel, stride 1, no pad: patch matrix equals the input.
+        let g = geom(2, 3, 3, 1, 1, 0);
+        let input: Vec<f32> = (0..g.input_len()).map(|x| x as f32).collect();
+        let mut cols = vec![0.0; g.patch_rows() * g.patch_cols()];
+        im2col(&g, &input, &mut cols);
+        assert_eq!(cols, input);
+    }
+
+    #[test]
+    fn im2col_known_patches() {
+        // 1 channel, 3×3 input, 2×2 kernel, stride 1, no pad → 2×2 output.
+        let g = geom(1, 3, 3, 2, 1, 0);
+        let input = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let mut cols = vec![0.0; g.patch_rows() * g.patch_cols()];
+        im2col(&g, &input, &mut cols);
+        // Rows are kernel positions (ky,kx), cols are output positions.
+        let expect = [
+            0.0, 1.0, 3.0, 4.0, // (0,0)
+            1.0, 2.0, 4.0, 5.0, // (0,1)
+            3.0, 4.0, 6.0, 7.0, // (1,0)
+            4.0, 5.0, 7.0, 8.0, // (1,1)
+        ];
+        assert_eq!(cols, expect);
+    }
+
+    #[test]
+    fn padding_zeroes_border() {
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let input = [1.0, 2.0, 3.0, 4.0];
+        let mut cols = vec![0.0; g.patch_rows() * g.patch_cols()];
+        im2col(&g, &input, &mut cols);
+        // Top-left kernel tap at output (0,0) reads the padded corner.
+        assert_eq!(cols[0], 0.0);
+        // Center tap (ky=1,kx=1) at output (0,0) reads input (0,0).
+        let ncols = g.patch_cols();
+        assert_eq!(cols[(3 + 1) * ncols], 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // Adjoint test: <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let g = geom(3, 7, 6, 3, 2, 1);
+        let mut rng = Xoshiro256pp::seed_from(7);
+        let x: Vec<f32> = (0..g.input_len()).map(|_| rng.next_f32() - 0.5).collect();
+        let y: Vec<f32> =
+            (0..g.patch_rows() * g.patch_cols()).map(|_| rng.next_f32() - 0.5).collect();
+        let mut ax = vec![0.0; y.len()];
+        im2col(&g, &x, &mut ax);
+        let mut aty = vec![0.0; x.len()];
+        col2im(&g, &y, &mut aty);
+        let lhs: f32 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_counts_patch_coverage() {
+        // All-ones patch gradient: each input pixel accumulates once per
+        // patch containing it. With 1×1 kernels that is exactly once.
+        let g = geom(1, 4, 4, 1, 1, 0);
+        let cols = vec![1.0; g.patch_rows() * g.patch_cols()];
+        let mut grad = vec![0.0; g.input_len()];
+        col2im(&g, &cols, &mut grad);
+        assert!(grad.iter().all(|&x| x == 1.0));
+    }
+}

@@ -1,0 +1,24 @@
+//! Dense f32 tensor primitives for the FedWCM reproduction.
+//!
+//! This crate is the numeric substrate under [`fedwcm-nn`]: a row-major
+//! dense [`Tensor`], BLAS-1 style vector kernels ([`ops`]), a cache-blocked
+//! matrix multiply ([`matmul`]), and im2col lowering for convolutions
+//! ([`im2col`]).
+//!
+//! Design notes (per the HPC guides):
+//! * storage is a single flat `Vec<f32>` — no per-element boxing, no
+//!   strides beyond row-major, so the hot kernels vectorise;
+//! * kernels take `&[f32]`/`&mut [f32]` slices so the NN parameter arena
+//!   can reuse them without copies;
+//! * all shape errors are programmer errors and panic with context rather
+//!   than returning `Result`, matching ndarray-style numerical libraries.
+
+#![warn(missing_docs)]
+
+pub mod im2col;
+pub mod matmul;
+pub mod ops;
+pub mod tensor;
+
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use tensor::Tensor;

@@ -1,0 +1,207 @@
+//! Cache-blocked matrix multiplication kernels.
+//!
+//! Three variants cover every GEMM the NN library needs without
+//! materialising transposes:
+//!
+//! * [`matmul`]        — `C = A·B`        (forward pass),
+//! * [`matmul_a_bt`]   — `C = A·Bᵀ`       (forward with row-major weights,
+//!   and backward data-gradient),
+//! * [`matmul_at_b`]   — `C = Aᵀ·B`       (backward weight-gradient).
+//!
+//! The kernels use i-k-j loop order (unit-stride inner loop over the
+//! output row) with an L1-sized k-blocking. This is not a hand-tuned BLAS,
+//! but it is within a small factor of one and — critically for the
+//! reproduction — fully deterministic.
+
+use crate::tensor::Tensor;
+
+/// Block size along k chosen so a block of B rows fits in L1.
+const KB: usize = 256;
+
+/// `C = A·B` for rank-2 tensors. Shapes: `[m,k]·[k,n] -> [m,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+    let mut c = Tensor::zeros(&[m, n]);
+    matmul_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    c
+}
+
+/// `C += A·B` on raw slices. `a` is `[m,k]`, `b` is `[k,n]`, `c` is `[m,n]`.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A buffer size");
+    assert_eq!(b.len(), k * n, "B buffer size");
+    assert_eq!(c.len(), m * n, "C buffer size");
+    for k0 in (0..k).step_by(KB) {
+        let kend = (k0 + KB).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for kk in k0..kend {
+                let aik = arow[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (cj, bj) in crow.iter_mut().zip(brow) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    }
+}
+
+/// `C = A·Bᵀ`. Shapes: `[m,k]·([n,k])ᵀ -> [m,n]`.
+///
+/// Inner loop is a dot product over contiguous rows of both A and B —
+/// ideal when B is a row-major weight matrix `[out, in]`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, k2) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul_a_bt inner dims differ: {k} vs {k2}");
+    let mut c = Tensor::zeros(&[m, n]);
+    matmul_a_bt_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    c
+}
+
+/// `C += A·Bᵀ` on raw slices. `a` is `[m,k]`, `b` is `[n,k]`, `c` is `[m,n]`.
+pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A buffer size");
+    assert_eq!(b.len(), n * k, "B buffer size");
+    assert_eq!(c.len(), m * n, "C buffer size");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            *cij += crate::ops::dot(arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// `C = Aᵀ·B`. Shapes: `([m,k])ᵀ·[m,n] -> [k,n]`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (m2, n) = (b.rows(), b.cols());
+    assert_eq!(m, m2, "matmul_at_b outer dims differ: {m} vs {m2}");
+    let mut c = Tensor::zeros(&[k, n]);
+    matmul_at_b_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    c
+}
+
+/// `C += Aᵀ·B` on raw slices. `a` is `[m,k]`, `b` is `[m,n]`, `c` is `[k,n]`.
+pub fn matmul_at_b_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A buffer size");
+    assert_eq!(b.len(), m * n, "B buffer size");
+    assert_eq!(c.len(), k * n, "C buffer size");
+    // Accumulate rank-1 updates row by row: for each sample i,
+    // C += a_i ⊗ b_i. Inner loop is unit-stride over C's rows.
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let brow = &b[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let crow = &mut c[kk * n..(kk + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    }
+}
+
+/// Reference O(n³) naive multiply, kept for differential testing.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(k, b.rows());
+    let mut c = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.at(i, kk) * b.at(kk, j);
+            }
+            *c.at_mut(i, j) = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwcm_stats::rng::Xoshiro256pp;
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Xoshiro256pp::seed_from(1);
+        let a = Tensor::randn(&[7, 7], 1.0, &mut rng);
+        let mut eye = Tensor::zeros(&[7, 7]);
+        for i in 0..7 {
+            *eye.at_mut(i, i) = 1.0;
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn blocked_matches_naive_rectangular() {
+        let mut rng = Xoshiro256pp::seed_from(2);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (17, 33, 9), (64, 300, 31)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = matmul_naive(&a, &b);
+            assert!(fast.max_abs_diff(&slow) < 1e-3, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = Xoshiro256pp::seed_from(3);
+        let a = Tensor::randn(&[11, 23], 1.0, &mut rng);
+        let b = Tensor::randn(&[6, 23], 1.0, &mut rng);
+        let via_t = matmul(&a, &b.transpose());
+        let direct = matmul_a_bt(&a, &b);
+        assert!(direct.max_abs_diff(&via_t) < 1e-4);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = Xoshiro256pp::seed_from(4);
+        let a = Tensor::randn(&[19, 7], 1.0, &mut rng);
+        let b = Tensor::randn(&[19, 5], 1.0, &mut rng);
+        let via_t = matmul(&a.transpose(), &b);
+        let direct = matmul_at_b(&a, &b);
+        assert!(direct.max_abs_diff(&via_t) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_associates_with_tolerance() {
+        let mut rng = Xoshiro256pp::seed_from(5);
+        let a = Tensor::randn(&[8, 9], 0.5, &mut rng);
+        let b = Tensor::randn(&[9, 10], 0.5, &mut rng);
+        let c = Tensor::randn(&[10, 4], 0.5, &mut rng);
+        let l = matmul(&matmul(&a, &b), &c);
+        let r = matmul(&a, &matmul(&b, &c));
+        assert!(l.max_abs_diff(&r) < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

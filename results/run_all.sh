@@ -1,0 +1,32 @@
+#!/bin/sh
+# Regenerates every paper artifact at quick scale (CPU-budgeted).
+# Usage: sh results/run_all.sh [extra flags passed to every binary]
+set -x
+cd "$(dirname "$0")/.."
+R=results
+run() { bin=$1; shift; cargo run --release -q -p fedwcm-experiments --bin "$bin" -- "$@" > "$R/$bin.txt" 2>"$R/$bin.log"; }
+
+run fig2_partition
+run fig11_skew
+run table6_he_sizes
+run thm61_rate
+run fig3_motivation --rounds 80
+run fig7_convergence --rounds 80
+run fig8_per_label --rounds 80
+run table4_beta_if --rounds 60
+run table3_sampling --rounds 60
+run fig9_clients --rounds 60
+run fig10_epochs --rounds 60
+run table5_fedwcm_x --rounds 60
+run fig12_fedgrab_part --rounds 60
+run ablation_fedwcm --rounds 60
+run fig13_concentration_cmp --rounds 60
+run fig14_16_layers --rounds 60
+run fig17_collapse --rounds 60
+run fig4_concentration --rounds 60
+run fig18_19_hetero --rounds 60
+run table2_cifar10 --rounds 60
+run appendix_geometry --rounds 60
+run table1_overall --rounds 60 --dataset cifar-10
+run table1_overall --rounds 40 --dataset fashion-mnist
+echo ALL_DONE

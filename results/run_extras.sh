@@ -1,0 +1,10 @@
+#!/bin/sh
+# Extra artifacts + re-runs (BalanceFL fix landed after the first fig7).
+set -x
+cd "$(dirname "$0")/.."
+R=results
+run() { bin=$1; shift; cargo run --release -q -p fedwcm-experiments --bin "$bin" -- "$@" > "$R/$bin.txt" 2>"$R/$bin.log"; }
+run appendix_comms
+run appendix_geometry --rounds 60
+run fig7_convergence --rounds 80
+echo EXTRAS_DONE

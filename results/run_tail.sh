@@ -1,0 +1,19 @@
+#!/bin/sh
+# Re-prioritised tail: remaining artifacts at tightened round budgets.
+set -x
+cd "$(dirname "$0")/.."
+R=results
+run() { bin=$1; shift; cargo run --release -q -p fedwcm-experiments --bin "$bin" -- "$@" > "$R/$bin.txt" 2>"$R/$bin.log"; }
+run table1_overall --rounds 40 --dataset cifar-10
+run table5_fedwcm_x --rounds 40
+run fig12_fedgrab_part --rounds 40
+run ablation_fedwcm --rounds 40
+run fig13_concentration_cmp --rounds 40
+run fig17_collapse --rounds 40
+run fig4_concentration --rounds 40
+run fig18_19_hetero --rounds 40
+run fig14_16_layers --rounds 40
+run appendix_geometry --rounds 40
+run appendix_comms
+run fig7_convergence --rounds 80
+echo TAIL_DONE

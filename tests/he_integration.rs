@@ -1,0 +1,54 @@
+//! Integration: the HE aggregation protocol plugged into FedWCM's
+//! global-information-gathering phase must be transparent — identical
+//! scores, temperature, and weights as the clear-text path.
+
+use fedwcm_suite::core::{client_scores, imbalance_degree, temperature};
+use fedwcm_suite::he::protocol::aggregate_distributions;
+use fedwcm_suite::he::rlwe::RlweParams;
+use fedwcm_suite::prelude::*;
+
+#[test]
+fn he_distribution_matches_cleartext_everywhere() {
+    let spec = DatasetPreset::Cifar10.spec();
+    let counts = longtail_counts(10, 120, 0.1);
+    let train = spec.generate_train(&counts, 55);
+    let views = paper_partition(&train, 15, 0.1, 55).views(&train);
+
+    // Clear-text path.
+    let clear = fedwcm_suite::core::global_distribution(&views, 10);
+
+    // Encrypted path.
+    let payloads: Vec<Vec<usize>> = views.iter().map(|v| v.class_counts().to_vec()).collect();
+    let (agg, report) = aggregate_distributions(&payloads, RlweParams::default_params(), 55);
+    let total: usize = agg.iter().sum();
+    let he_dist: Vec<f64> = agg.iter().map(|&n| n as f64 / total as f64).collect();
+
+    for (a, b) in clear.iter().zip(&he_dist) {
+        assert!((a - b).abs() < 1e-12, "distributions differ: {a} vs {b}");
+    }
+    assert_eq!(report.clients, 15);
+
+    // Downstream quantities are identical too.
+    let target = vec![0.1f64; 10];
+    let s_clear = client_scores(&views, &clear, &target);
+    let s_he = client_scores(&views, &he_dist, &target);
+    assert_eq!(s_clear, s_he);
+    assert_eq!(
+        temperature(&clear, &target),
+        temperature(&he_dist, &target)
+    );
+    assert!(imbalance_degree(&he_dist, &target) > 0.1);
+}
+
+#[test]
+fn he_protocol_scales_to_hundred_classes() {
+    let spec = DatasetPreset::Cifar100.spec();
+    let counts = longtail_counts(100, 60, 0.05);
+    let train = spec.generate_train(&counts, 56);
+    let views = paper_partition(&train, 10, 0.1, 56).views(&train);
+    let payloads: Vec<Vec<usize>> = views.iter().map(|v| v.class_counts().to_vec()).collect();
+    let (agg, report) = aggregate_distributions(&payloads, RlweParams::default_params(), 56);
+    assert_eq!(agg, train.class_counts());
+    // Ciphertext size independent of class count (Table 6's key row).
+    assert_eq!(report.ciphertext_bytes, RlweParams::default_params().ciphertext_bytes());
+}
