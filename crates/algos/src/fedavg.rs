@@ -1,6 +1,8 @@
 //! FedAvg (McMahan et al., 2017): local SGD + model averaging.
 
-use fedwcm_fl::algorithm::{server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog};
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::{CrossEntropy, Loss};
 use std::sync::Arc;
@@ -15,7 +17,9 @@ pub struct FedAvg {
 impl FedAvg {
     /// FedAvg with cross-entropy.
     pub fn new() -> Self {
-        FedAvg { loss: Arc::new(CrossEntropy) }
+        FedAvg {
+            loss: Arc::new(CrossEntropy),
+        }
     }
 
     /// FedAvg with a custom loss.

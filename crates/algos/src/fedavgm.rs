@@ -2,7 +2,9 @@
 //! al., 2020): clients run plain local SGD, the server applies a
 //! heavy-ball update over the aggregated deltas.
 
-use fedwcm_fl::algorithm::{server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog};
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::CrossEntropy;
 use fedwcm_nn::opt::server_momentum;
@@ -18,7 +20,10 @@ impl FedAvgM {
     /// New server-momentum algorithm.
     pub fn new(beta: f32) -> Self {
         assert!((0.0..1.0).contains(&beta), "beta must be in [0,1)");
-        FedAvgM { beta, buffer: Vec::new() }
+        FedAvgM {
+            beta,
+            buffer: Vec::new(),
+        }
     }
 }
 

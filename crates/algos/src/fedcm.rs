@@ -7,7 +7,9 @@
 //! Sampler" variants, exposed here via [`FedCm::with_loss`] and
 //! [`FedCm::with_balanced_sampler`].
 
-use fedwcm_fl::algorithm::{server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog};
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::{CrossEntropy, Loss};
 use fedwcm_nn::opt::momentum_blend;
@@ -94,7 +96,10 @@ impl FederatedAlgorithm for FedCm {
         }
         uniform_average(&input.updates, &mut self.momentum);
         server_step(global, &self.momentum, input.cfg, input.mean_batches());
-        RoundLog { alpha: Some(self.alpha as f64), weights: None }
+        RoundLog {
+            alpha: Some(self.alpha as f64),
+            weights: None,
+        }
     }
 }
 

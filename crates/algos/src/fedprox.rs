@@ -1,7 +1,9 @@
 //! FedProx (Li et al., 2020): proximal regularisation towards the global
 //! model during local training.
 
-use fedwcm_fl::algorithm::{server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog};
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::CrossEntropy;
 

@@ -14,7 +14,9 @@
 //! gradient by each client's first-step mini-batch gradient (payload in
 //! `ClientUpdate::extra`).
 
-use fedwcm_fl::algorithm::{server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog};
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::CrossEntropy;
 
@@ -32,7 +34,11 @@ impl MimeLite {
     /// New Mime-lite.
     pub fn new(beta: f32, a: f32) -> Self {
         assert!((0.0..1.0).contains(&beta) && (0.0..=1.0).contains(&a));
-        MimeLite { beta, a, momentum: Vec::new() }
+        MimeLite {
+            beta,
+            a,
+            momentum: Vec::new(),
+        }
     }
 }
 
@@ -76,7 +82,10 @@ impl FederatedAlgorithm for MimeLite {
         let inv = 1.0 / input.updates.len() as f32;
         let mut gbar = vec![0.0f32; dim];
         for u in &input.updates {
-            let g = u.extra.as_ref().expect("Mime update missing gradient payload");
+            let g = u
+                .extra
+                .as_ref()
+                .expect("Mime update missing gradient payload");
             fedwcm_tensor::ops::axpy(inv, g, &mut gbar);
         }
         for (m, g) in self.momentum.iter_mut().zip(&gbar) {
@@ -86,7 +95,10 @@ impl FederatedAlgorithm for MimeLite {
         let mut dir = vec![0.0f32; dim];
         uniform_average(&input.updates, &mut dir);
         server_step(global, &dir, input.cfg, input.mean_batches());
-        RoundLog { alpha: Some(self.a as f64), weights: None }
+        RoundLog {
+            alpha: Some(self.a as f64),
+            weights: None,
+        }
     }
 }
 

@@ -18,7 +18,9 @@
 //! correction but omit secondary machinery (e.g. FedSMOO's dual updates on
 //! the perturbation itself).
 
-use fedwcm_fl::algorithm::{server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog};
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
 use fedwcm_fl::client::{ClientEnv, ClientUpdate};
 use fedwcm_nn::loss::{CrossEntropy, Loss};
 use fedwcm_tensor::ops;
@@ -189,7 +191,11 @@ impl MoFedSam {
     /// New MoFedSAM.
     pub fn new(rho: f32, alpha: f32) -> Self {
         assert!(rho > 0.0 && (0.0..=1.0).contains(&alpha));
-        MoFedSam { rho, alpha, momentum: Vec::new() }
+        MoFedSam {
+            rho,
+            alpha,
+            momentum: Vec::new(),
+        }
     }
 }
 
@@ -215,7 +221,10 @@ impl FederatedAlgorithm for MoFedSam {
         }
         uniform_average(&input.updates, &mut self.momentum);
         server_step(global, &self.momentum, input.cfg, input.mean_batches());
-        RoundLog { alpha: Some(self.alpha as f64), weights: None }
+        RoundLog {
+            alpha: Some(self.alpha as f64),
+            weights: None,
+        }
     }
 }
 
@@ -267,7 +276,11 @@ impl FedSmoo {
     /// New FedSMOO-lite for `num_clients` clients.
     pub fn new(rho: f32, lambda: f32, num_clients: usize) -> Self {
         assert!(rho > 0.0 && lambda > 0.0);
-        FedSmoo { rho, lambda, states: vec![Vec::new(); num_clients] }
+        FedSmoo {
+            rho,
+            lambda,
+            states: vec![Vec::new(); num_clients],
+        }
     }
 }
 
@@ -319,7 +332,10 @@ impl FedLesam {
     /// New FedLESAM-lite.
     pub fn new(rho: f32) -> Self {
         assert!(rho > 0.0);
-        FedLesam { rho, momentum: Vec::new() }
+        FedLesam {
+            rho,
+            momentum: Vec::new(),
+        }
     }
 }
 
@@ -380,9 +396,17 @@ mod tests {
         let clients = cfg.clients;
         let sim = build_sim(&train, &test, cfg, 0.6);
         let h1 = sim.run(&mut FedSpeed::new(0.05, 0.01));
-        assert!(h1.final_accuracy(1) > 0.45, "FedSpeed acc {}", h1.final_accuracy(1));
+        assert!(
+            h1.final_accuracy(1) > 0.45,
+            "FedSpeed acc {}",
+            h1.final_accuracy(1)
+        );
         let h2 = sim.run(&mut FedSmoo::new(0.05, 0.01, clients));
-        assert!(h2.final_accuracy(1) > 0.45, "FedSMOO acc {}", h2.final_accuracy(1));
+        assert!(
+            h2.final_accuracy(1) > 0.45,
+            "FedSMOO acc {}",
+            h2.final_accuracy(1)
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! engine's normalised delta. The server moves `c` by the participation-
 //! weighted mean control change.
 
-use fedwcm_fl::algorithm::{server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog};
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::CrossEntropy;
 
@@ -129,7 +131,12 @@ mod tests {
         let mut algo = Scaffold::new(clients);
         let _ = sim.run(&mut algo);
         assert!(!algo.server_control().is_empty());
-        let norm: f32 = algo.server_control().iter().map(|x| x * x).sum::<f32>().sqrt();
+        let norm: f32 = algo
+            .server_control()
+            .iter()
+            .map(|x| x * x)
+            .sum::<f32>()
+            .sqrt();
         assert!(norm > 0.0);
         assert!(algo.client_controls.iter().all(|c| !c.is_empty()));
     }

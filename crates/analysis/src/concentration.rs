@@ -33,7 +33,10 @@ pub fn layer_concentrations(
     max_samples: usize,
 ) -> ConcentrationReport {
     assert!(!dataset.is_empty(), "empty dataset");
-    assert!(max_samples >= dataset.classes(), "need at least one sample per class on average");
+    assert!(
+        max_samples >= dataset.classes(),
+        "need at least one sample per class on average"
+    );
     let n = dataset.len().min(max_samples);
     let idx: Vec<usize> = (0..n).collect();
     let (x, y) = dataset.gather(&idx);
@@ -175,7 +178,10 @@ mod tests {
             .find(|(n, _)| n == "relu")
             .map(|(_, c)| *c)
             .expect("relu layer reported");
-        assert!(relu_conc > 0.99, "perfectly specialised neurons: {relu_conc}");
+        assert!(
+            relu_conc > 0.99,
+            "perfectly specialised neurons: {relu_conc}"
+        );
     }
 
     #[test]

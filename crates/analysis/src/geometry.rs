@@ -56,9 +56,15 @@ impl ClassifierGeometry {
         let mut order: Vec<usize> = (0..self.classes).collect();
         order.sort_by(|&a, &b| train_counts[b].cmp(&train_counts[a]));
         let half = self.classes / 2;
-        let head: f64 =
-            order[..half].iter().map(|&c| self.row_norms[c]).sum::<f64>() / half as f64;
-        let tail: f64 = order[half..].iter().map(|&c| self.row_norms[c]).sum::<f64>()
+        let head: f64 = order[..half]
+            .iter()
+            .map(|&c| self.row_norms[c])
+            .sum::<f64>()
+            / half as f64;
+        let tail: f64 = order[half..]
+            .iter()
+            .map(|&c| self.row_norms[c])
+            .sum::<f64>()
             / (self.classes - half) as f64;
         if tail <= 1e-12 {
             f64::INFINITY
@@ -95,14 +101,22 @@ pub fn classifier_geometry(model: &Model) -> ClassifierGeometry {
             cosines[a * classes + b] = dot / denom;
         }
     }
-    ClassifierGeometry { row_norms, cosines, classes }
+    ClassifierGeometry {
+        row_norms,
+        cosines,
+        classes,
+    }
 }
 
 /// Within-class feature variability on a probe set: for each class, the
 /// mean squared distance of penultimate features to their class mean,
 /// normalised by the overall feature scale. Neural collapse drives this
 /// towards zero.
-pub fn within_class_variability(model: &mut Model, probe: &Dataset, max_samples: usize) -> Vec<f64> {
+pub fn within_class_variability(
+    model: &mut Model,
+    probe: &Dataset,
+    max_samples: usize,
+) -> Vec<f64> {
     let n = probe.len().min(max_samples);
     assert!(n > 0, "empty probe set");
     let idx: Vec<usize> = (0..n).collect();

@@ -13,16 +13,34 @@ use std::hint::black_box;
 fn variants() -> Vec<(&'static str, FedWcmOptions)> {
     vec![
         ("full", FedWcmOptions::default()),
-        ("fixed_alpha", FedWcmOptions { adaptive_alpha: false, ..FedWcmOptions::default() }),
+        (
+            "fixed_alpha",
+            FedWcmOptions {
+                adaptive_alpha: false,
+                ..FedWcmOptions::default()
+            },
+        ),
         (
             "uniform_weights",
-            FedWcmOptions { weighted_aggregation: false, ..FedWcmOptions::default() },
+            FedWcmOptions {
+                weighted_aggregation: false,
+                ..FedWcmOptions::default()
+            },
         ),
         (
             "fixed_temperature",
-            FedWcmOptions { adaptive_temperature: false, ..FedWcmOptions::default() },
+            FedWcmOptions {
+                adaptive_temperature: false,
+                ..FedWcmOptions::default()
+            },
         ),
-        ("literal_scores", FedWcmOptions { literal_scores: true, ..FedWcmOptions::default() }),
+        (
+            "literal_scores",
+            FedWcmOptions {
+                literal_scores: true,
+                ..FedWcmOptions::default()
+            },
+        ),
     ]
 }
 

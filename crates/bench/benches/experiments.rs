@@ -14,12 +14,21 @@ use fedwcm_stats::rng::{Rng, Xoshiro256pp};
 use std::hint::black_box;
 
 fn smoke_cli() -> Cli {
-    Cli { scale: Scale::Smoke, ..Cli::default() }
+    Cli {
+        scale: Scale::Smoke,
+        ..Cli::default()
+    }
 }
 
 fn smoke_exp(imbalance: f64, beta: f64) -> ExpConfig {
     // Fashion-MNIST preset: the cheapest model, keeps cell benches fast.
-    ExpConfig::new(DatasetPreset::FashionMnist, imbalance, beta, Scale::Smoke, 42)
+    ExpConfig::new(
+        DatasetPreset::FashionMnist,
+        imbalance,
+        beta,
+        Scale::Smoke,
+        42,
+    )
 }
 
 fn bench_cells(c: &mut Criterion) {
@@ -100,8 +109,9 @@ fn bench_cells(c: &mut Criterion) {
     });
     c.bench_function("table6_he_cell", |b| {
         let mut rng = Xoshiro256pp::seed_from(5);
-        let counts: Vec<Vec<usize>> =
-            (0..20).map(|_| (0..10).map(|_| rng.index(50)).collect()).collect();
+        let counts: Vec<Vec<usize>> = (0..20)
+            .map(|_| (0..10).map(|_| rng.index(50)).collect())
+            .collect();
         b.iter(|| {
             black_box(aggregate_distributions(
                 black_box(&counts),
@@ -113,7 +123,13 @@ fn bench_cells(c: &mut Criterion) {
     c.bench_function("thm61_rate_cell", |b| {
         use fedwcm_fl::quadratic::{run_quadratic_fedcm, QuadRunConfig, QuadraticProblem};
         let p = QuadraticProblem::random(6, 8, 1.0, 0.3, 9);
-        let cfg = QuadRunConfig { local_steps: 4, rounds: 50, local_lr: 0.03, alpha: 0.2, seed: 3 };
+        let cfg = QuadRunConfig {
+            local_steps: 4,
+            rounds: 50,
+            local_lr: 0.03,
+            alpha: 0.2,
+            seed: 3,
+        };
         b.iter(|| black_box(run_quadratic_fedcm(&p, &cfg)));
     });
 }

@@ -41,7 +41,12 @@ fn bench_blas1(c: &mut Criterion) {
     });
     group.bench_function("axpby_64k_momentum_blend", |b| {
         b.iter(|| {
-            ops::axpby(black_box(0.1), black_box(&x), black_box(0.9), black_box(&mut y));
+            ops::axpby(
+                black_box(0.1),
+                black_box(&x),
+                black_box(0.9),
+                black_box(&mut y),
+            );
         });
     });
     group.finish();

@@ -1,0 +1,138 @@
+//! Reproducible parallel-scaling harness (ISSUE 1 acceptance artifact).
+//!
+//! Measures, at 1/2/4/8 threads:
+//!
+//! * **round latency** — one full federated round (local training on the
+//!   sampled clients + aggregation + eval);
+//! * **GEMM throughput** — the row-parallel `matmul_into` on a
+//!   training-shaped product;
+//! * **eval throughput** — `evaluate_accuracy_threads` over the test set.
+//!
+//! Results go to `BENCH_parallel.json` (pass a path argument to override).
+//! Every measurement is the median of `SAMPLES` timed repetitions on
+//! fixed, seeded fixtures, so reruns on the same host are comparable.
+//! `host_cores` is recorded because speedups are physically bounded by
+//! it: on a single-core container all thread counts measure the same
+//! work plus scheduling overhead, and no speedup is expected.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fedwcm_bench::bench_dataset;
+use fedwcm_data::partition::paper_partition;
+use fedwcm_fl::{evaluate_accuracy_threads, FlConfig, Simulation};
+use fedwcm_parallel::with_intra_threads;
+use fedwcm_stats::Xoshiro256pp;
+use fedwcm_tensor::matmul::matmul_into;
+use fedwcm_tensor::Tensor;
+
+/// Thread counts the acceptance criteria ask for.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Timed repetitions per measurement (median reported).
+const SAMPLES: usize = 5;
+
+/// Median wall-clock seconds of `SAMPLES` runs of `f`.
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn gemm_secs(threads: usize) -> f64 {
+    let (m, k, n) = (192usize, 256usize, 160usize);
+    let mut rng = Xoshiro256pp::seed_from(42);
+    let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+    let mut c = vec![0.0f32; m * n];
+    median_secs(|| {
+        with_intra_threads(threads, || {
+            for _ in 0..8 {
+                matmul_into(a.as_slice(), b.as_slice(), &mut c, m, k, n);
+            }
+        })
+    })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".into());
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("parallel_bench: host_cores={host_cores}, samples={SAMPLES}");
+
+    let (train, test) = bench_dataset(0.5);
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 8;
+    cfg.participation = 0.5;
+    cfg.rounds = 1;
+    cfg.eval_every = 1;
+    cfg.local_epochs = 1;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"samples_per_point\": {SAMPLES},");
+    let _ = writeln!(json, "  \"measurements\": {{");
+
+    for (section, describe) in [
+        ("round_latency_s", "one federated round"),
+        ("gemm_192x256x160_x8_s", "8 row-parallel GEMMs"),
+        ("eval_accuracy_s", "full test-set evaluation"),
+    ] {
+        let _ = writeln!(json, "    \"{section}\": {{");
+        for (ti, &threads) in THREADS.iter().enumerate() {
+            let secs = match section {
+                "round_latency_s" => {
+                    let mut c = cfg.clone();
+                    c.threads = threads;
+                    let part = paper_partition(&train, c.clients, 0.5, c.seed);
+                    let views = part.views(&train);
+                    let sim = Simulation::new(
+                        c,
+                        &train,
+                        &test,
+                        views,
+                        Box::new(|| {
+                            let mut rng = Xoshiro256pp::seed_from(1234);
+                            fedwcm_nn::models::mlp(64, &[64, 32], 10, &mut rng)
+                        }),
+                    );
+                    median_secs(|| {
+                        let mut algo = fedwcm_algos::fedavg::FedAvg::default();
+                        let _ = sim.run(&mut algo);
+                    })
+                }
+                "gemm_192x256x160_x8_s" => gemm_secs(threads),
+                _ => {
+                    let mut rng = Xoshiro256pp::seed_from(9);
+                    let mut model = fedwcm_nn::models::mlp(64, &[64, 32], 10, &mut rng);
+                    median_secs(|| {
+                        let _ = evaluate_accuracy_threads(&mut model, &test, threads);
+                    })
+                }
+            };
+            eprintln!("  {section} ({describe}) @ {threads} threads: {secs:.6} s");
+            let comma = if ti + 1 < THREADS.len() { "," } else { "" };
+            let _ = writeln!(json, "      \"threads_{threads}\": {secs:.6}{comma}");
+        }
+        let comma = if section == "eval_accuracy_s" {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

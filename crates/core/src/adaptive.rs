@@ -24,7 +24,10 @@ pub const ALPHA_MAX: f64 = 0.99;
 /// the stale-momentum share `(1 − α)` so the biased direction cannot
 /// compound — the failure mode of Fig. 3/4.
 pub fn adaptive_alpha(imbalance_degree: f64, classes: usize, q_r: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&imbalance_degree), "D must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&imbalance_degree),
+        "D must be in [0,1]"
+    );
     assert!(classes >= 1);
     assert!(q_r >= 0.0 && q_r.is_finite(), "q_r must be finite and ≥ 0");
     let saturation = 1.0 - (-imbalance_degree * classes as f64).exp();
@@ -41,8 +44,7 @@ pub fn score_ratio(sampled_scores: &[f64], mean_score: f64) -> f64 {
     if sampled_scores.is_empty() || mean_score <= 1e-12 {
         return 1.0;
     }
-    let sampled_mean: f64 =
-        sampled_scores.iter().sum::<f64>() / sampled_scores.len() as f64;
+    let sampled_mean: f64 = sampled_scores.iter().sum::<f64>() / sampled_scores.len() as f64;
     sampled_mean / mean_score
 }
 

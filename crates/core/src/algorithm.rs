@@ -124,7 +124,9 @@ impl FedWcm {
     }
 
     fn info(&self) -> &GlobalInfo {
-        self.info.as_ref().expect("FedWCM used before prepare/aggregate")
+        self.info
+            .as_ref()
+            .expect("FedWCM used before prepare/aggregate")
     }
 }
 
@@ -202,7 +204,10 @@ impl FederatedAlgorithm for FedWcm {
             self.alpha = adaptive_alpha(info.imbalance, info.classes, q) as f32;
         }
 
-        RoundLog { alpha: Some(used_alpha), weights }
+        RoundLog {
+            alpha: Some(used_alpha),
+            weights,
+        }
     }
 }
 

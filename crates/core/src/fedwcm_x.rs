@@ -143,13 +143,21 @@ impl FederatedAlgorithm for FedWcmX {
         weighted_average(&input.updates, &w, &mut self.momentum);
 
         // Server step uses B̂ (deltas are normalised by η_l·B̂ already).
-        server_step(global, &self.momentum, input.cfg, self.standard_batches as f32);
+        server_step(
+            global,
+            &self.momentum,
+            input.cfg,
+            self.standard_batches as f32,
+        );
 
         // Eq. (5).
         let q = score_ratio(&sampled_scores, self.mean_score);
         self.alpha = adaptive_alpha(self.imbalance, self.classes, q) as f32;
 
-        RoundLog { alpha: Some(used_alpha), weights: Some(w) }
+        RoundLog {
+            alpha: Some(used_alpha),
+            weights: Some(w),
+        }
     }
 }
 
@@ -163,10 +171,7 @@ mod tests {
     use fedwcm_nn::models::mlp;
     use fedwcm_stats::Xoshiro256pp;
 
-    fn skewed_task(
-        seed: u64,
-        imb: f64,
-    ) -> (fedwcm_data::Dataset, fedwcm_data::Dataset, FlConfig) {
+    fn skewed_task(seed: u64, imb: f64) -> (fedwcm_data::Dataset, fedwcm_data::Dataset, FlConfig) {
         let spec = DatasetPreset::FashionMnist.spec();
         let counts = longtail_counts(10, 80, imb);
         let train = spec.generate_train(&counts, seed);

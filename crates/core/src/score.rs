@@ -51,11 +51,7 @@ pub fn client_scores(views: &[ClientView], global: &[f64], target: &[f64]) -> Ve
             if total == 0 {
                 return 0.0;
             }
-            let weighted: f64 = counts
-                .iter()
-                .zip(&dev)
-                .map(|(&n, d)| n as f64 * d)
-                .sum();
+            let weighted: f64 = counts.iter().zip(&dev).map(|(&n, d)| n as f64 * d).sum();
             weighted / total as f64
         })
         .collect()
@@ -159,10 +155,7 @@ mod tests {
         let g = global_distribution(&views, 2);
         let target = [0.5, 0.5];
         let s = client_scores(&views, &g, &target);
-        assert!(
-            s[1] > s[0],
-            "minority-rich client must score higher: {s:?}"
-        );
+        assert!(s[1] > s[0], "minority-rich client must score higher: {s:?}");
     }
 
     #[test]

@@ -13,10 +13,18 @@ pub struct Dataset {
 impl Dataset {
     /// Wrap features and labels; validates shapes and label range.
     pub fn new(features: Tensor, labels: Vec<usize>, classes: usize) -> Self {
-        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature/label count mismatch"
+        );
         assert!(classes >= 2, "need at least two classes");
         assert!(labels.iter().all(|&y| y < classes), "label out of range");
-        Dataset { features, labels, classes }
+        Dataset {
+            features,
+            labels,
+            classes,
+        }
     }
 
     /// Number of samples.
@@ -115,7 +123,10 @@ impl ClientView {
         for &i in &indices {
             class_counts[dataset.label(i)] += 1;
         }
-        ClientView { indices, class_counts }
+        ClientView {
+            indices,
+            class_counts,
+        }
     }
 
     /// Number of samples this client holds (the paper's `n_k`).

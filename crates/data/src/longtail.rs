@@ -34,7 +34,11 @@ pub fn longtail_counts(classes: usize, head_count: usize, imbalance_factor: f64)
 
 /// Scale a long-tail profile so the total approximately equals `total`
 /// (useful to keep dataset sizes comparable across IF settings).
-pub fn longtail_counts_with_total(classes: usize, total: usize, imbalance_factor: f64) -> Vec<usize> {
+pub fn longtail_counts_with_total(
+    classes: usize,
+    total: usize,
+    imbalance_factor: f64,
+) -> Vec<usize> {
     assert!(total >= classes, "need at least one sample per class");
     // First pass with a nominal head, then rescale.
     let nominal = longtail_counts(classes, 1_000_000, imbalance_factor);
@@ -95,7 +99,10 @@ mod tests {
         for target in [0.5, 0.1, 0.05, 0.01] {
             let c = longtail_counts(10, 10_000, target);
             let ratio = c[9] as f64 / c[0] as f64;
-            assert!((ratio - target).abs() / target < 0.05, "IF {target}: ratio {ratio}");
+            assert!(
+                (ratio - target).abs() / target < 0.05,
+                "IF {target}: ratio {ratio}"
+            );
         }
     }
 

@@ -255,9 +255,7 @@ pub fn creff_partition(
 /// integer count matrix whose column sums equal the dataset class counts.
 fn deal_from_pools(dataset: &Dataset, counts: &[Vec<usize>], rng: &mut Xoshiro256pp) -> Partition {
     let classes = dataset.classes();
-    let mut pools: Vec<Vec<usize>> = (0..classes)
-        .map(|c| dataset.indices_of_class(c))
-        .collect();
+    let mut pools: Vec<Vec<usize>> = (0..classes).map(|c| dataset.indices_of_class(c)).collect();
     for pool in pools.iter_mut() {
         rng.shuffle(pool);
     }

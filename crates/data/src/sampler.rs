@@ -24,7 +24,12 @@ impl BatchSampler {
     pub fn new(indices: &[usize], batch_size: usize, rng: Xoshiro256pp) -> Self {
         assert!(batch_size >= 1, "batch size must be ≥ 1");
         assert!(!indices.is_empty(), "cannot sample from empty index set");
-        let mut s = BatchSampler { indices: indices.to_vec(), batch_size, cursor: 0, rng };
+        let mut s = BatchSampler {
+            indices: indices.to_vec(),
+            batch_size,
+            cursor: 0,
+            rng,
+        };
         s.rng.shuffle(&mut s.indices);
         s
     }
@@ -66,7 +71,11 @@ impl BalanceSampler {
             per_class[dataset.label(i)].push(i);
         }
         per_class.retain(|v| !v.is_empty());
-        BalanceSampler { per_class, batch_size, rng }
+        BalanceSampler {
+            per_class,
+            batch_size,
+            rng,
+        }
     }
 
     /// Next balanced mini-batch of indices.

@@ -202,13 +202,23 @@ impl SyntheticSpec {
     /// `label_flip`.
     pub fn generate_train(&self, counts: &[usize], seed: u64) -> Dataset {
         assert_eq!(counts.len(), self.classes, "counts/classes mismatch");
-        self.generate(counts, Xoshiro256pp::stream(seed, &[STREAM_TRAIN]), self.label_flip, seed)
+        self.generate(
+            counts,
+            Xoshiro256pp::stream(seed, &[STREAM_TRAIN]),
+            self.label_flip,
+            seed,
+        )
     }
 
     /// Materialise the balanced test set (no label noise).
     pub fn generate_test(&self, seed: u64) -> Dataset {
         let counts = vec![self.test_per_class; self.classes];
-        self.generate(&counts, Xoshiro256pp::stream(seed, &[STREAM_TEST]), 0.0, seed)
+        self.generate(
+            &counts,
+            Xoshiro256pp::stream(seed, &[STREAM_TEST]),
+            0.0,
+            seed,
+        )
     }
 
     fn generate(&self, counts: &[usize], mut rng: Xoshiro256pp, flip: f64, seed: u64) -> Dataset {

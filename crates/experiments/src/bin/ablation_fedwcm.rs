@@ -14,19 +14,31 @@ fn variants() -> Vec<(&'static str, FedWcmOptions)> {
         ("FedWCM (full)", FedWcmOptions::default()),
         (
             "fixed alpha=0.1",
-            FedWcmOptions { adaptive_alpha: false, ..FedWcmOptions::default() },
+            FedWcmOptions {
+                adaptive_alpha: false,
+                ..FedWcmOptions::default()
+            },
         ),
         (
             "uniform weights",
-            FedWcmOptions { weighted_aggregation: false, ..FedWcmOptions::default() },
+            FedWcmOptions {
+                weighted_aggregation: false,
+                ..FedWcmOptions::default()
+            },
         ),
         (
             "fixed temperature",
-            FedWcmOptions { adaptive_temperature: false, ..FedWcmOptions::default() },
+            FedWcmOptions {
+                adaptive_temperature: false,
+                ..FedWcmOptions::default()
+            },
         ),
         (
             "literal |.| scores",
-            FedWcmOptions { literal_scores: true, ..FedWcmOptions::default() },
+            FedWcmOptions {
+                literal_scores: true,
+                ..FedWcmOptions::default()
+            },
         ),
     ]
 }

@@ -33,10 +33,26 @@ fn main() {
         let geom = classifier_geometry(&model);
         let variability = within_class_variability(&mut model, &task.test, 400);
         let mean_var: f64 = variability.iter().sum::<f64>() / variability.len() as f64;
-        println!("\n## {} (final acc {:.4})", method.label(), h.final_accuracy(3));
-        println!("row norms: {:?}", geom.row_norms.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
-        println!("head/tail norm ratio: {:.3}", geom.head_tail_norm_ratio(&counts));
-        println!("mean tail-pair cosine: {:.3}", geom.mean_cosine_within(&tail));
+        println!(
+            "\n## {} (final acc {:.4})",
+            method.label(),
+            h.final_accuracy(3)
+        );
+        println!(
+            "row norms: {:?}",
+            geom.row_norms
+                .iter()
+                .map(|v| (v * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "head/tail norm ratio: {:.3}",
+            geom.head_tail_norm_ratio(&counts)
+        );
+        println!(
+            "mean tail-pair cosine: {:.3}",
+            geom.mean_cosine_within(&tail)
+        );
         println!("mean within-class variability: {:.4}", mean_var);
         eprintln!("[geometry] {} done", method.label());
     }

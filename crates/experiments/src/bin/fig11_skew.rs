@@ -31,7 +31,10 @@ fn main() {
         .filter(|&&s| (s as f64) < 0.1 * total as f64 / sizes.len() as f64 * 10.0 / 4.0)
         .count();
     let gini_v = gini(&sizes.iter().map(|&s| s as f64).collect::<Vec<_>>());
-    println!("\n# top-10% clients hold {:.1}% of samples", 100.0 * top10_share as f64 / total as f64);
+    println!(
+        "\n# top-10% clients hold {:.1}% of samples",
+        100.0 * top10_share as f64 / total as f64
+    );
     println!("# clients below 25% of the mean size: {small_clients}");
     println!("# quantity Gini = {gini_v:.3}");
     println!(

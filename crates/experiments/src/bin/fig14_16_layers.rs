@@ -9,7 +9,11 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method};
 fn main() {
     let cli = parse_args(std::env::args());
     let exp = ExpConfig::new(DatasetPreset::Cifar10, 0.1, 0.1, cli.scale, cli.seed);
-    for (fig, method) in [(14, Method::FedAvg), (15, Method::FedCm), (16, Method::FedWcm)] {
+    for (fig, method) in [
+        (14, Method::FedAvg),
+        (15, Method::FedCm),
+        (16, Method::FedWcm),
+    ] {
         let trace = run_with_concentration(&exp, method, &cli, 1);
         print_trace_csv(
             &format!("Fig.{fig} per-layer concentration — {}", trace.name),

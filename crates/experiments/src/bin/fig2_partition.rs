@@ -33,12 +33,20 @@ fn main() {
     exp.clients = exp.clients.min(20); // heatmap stays readable
 
     let equal = exp.prepare();
-    print_matrix("Paper partition (equal quantity, Dir(0.1) class skew)", &equal.partition, &equal.train);
+    print_matrix(
+        "Paper partition (equal quantity, Dir(0.1) class skew)",
+        &equal.partition,
+        &equal.train,
+    );
 
     let mut skewed_exp = exp.clone();
     skewed_exp.fedgrab_partition = true;
     let skewed = skewed_exp.prepare();
-    print_matrix("FedGrab partition (per-class Dir(0.1) split)", &skewed.partition, &skewed.train);
+    print_matrix(
+        "FedGrab partition (per-class Dir(0.1) split)",
+        &skewed.partition,
+        &skewed.train,
+    );
 
     println!(
         "\nExpected shape (paper Fig. 2): the FedGrab partition shows strong\n\

@@ -16,10 +16,20 @@ fn main() {
             h.name = format!("{}(IF={imbalance})", h.name);
             histories.push(h);
         }
-        print_series(&format!("Fig.3 accuracy curves, IF={imbalance}"), &histories);
+        print_series(
+            &format!("Fig.3 accuracy curves, IF={imbalance}"),
+            &histories,
+        );
         let tail_std: Vec<String> = histories
             .iter()
-            .map(|h| format!("{}: final={:.4} tail-std={:.4}", h.name, h.final_accuracy(3), h.tail_accuracy_std(5)))
+            .map(|h| {
+                format!(
+                    "{}: final={:.4} tail-std={:.4}",
+                    h.name,
+                    h.final_accuracy(3),
+                    h.tail_accuracy_std(5)
+                )
+            })
             .collect();
         println!("# summary: {}", tail_std.join(" | "));
     }

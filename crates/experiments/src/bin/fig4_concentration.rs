@@ -30,7 +30,11 @@ fn main() {
             .into_iter()
             .map(|(r, a)| (r, vec![a]))
             .collect();
-        print_trace_csv(&format!("FedCM test accuracy, IF={imbalance}"), &["accuracy".into()], &acc_rows);
+        print_trace_csv(
+            &format!("FedCM test accuracy, IF={imbalance}"),
+            &["accuracy".into()],
+            &acc_rows,
+        );
         let conc: Vec<f64> = trace.mean_concentration.iter().map(|&(_, c)| c).collect();
         println!(
             "# summary IF={imbalance}: final-acc={:.4} concentration-spike-rate={:.3}",

@@ -34,18 +34,11 @@ fn main() {
             let mut rows = Vec::new();
             for imbalance in ifs {
                 let exp = ExpConfig::new(preset, imbalance, beta, cli.scale, cli.seed);
-                let values: Vec<f64> = methods
-                    .iter()
-                    .map(|&m| run_cell(&exp, m, &cli))
-                    .collect();
+                let values: Vec<f64> = methods.iter().map(|&m| run_cell(&exp, m, &cli)).collect();
                 rows.push((format!("IF={imbalance}"), values));
                 eprintln!("[table1] {name} beta={beta} IF={imbalance} done");
             }
-            print_table(
-                &format!("Table 1/7 — {name}, beta={beta}"),
-                &headers,
-                &rows,
-            );
+            print_table(&format!("Table 1/7 — {name}, beta={beta}"), &headers, &rows);
         }
     }
     println!(

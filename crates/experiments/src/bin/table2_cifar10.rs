@@ -28,7 +28,11 @@ fn main() {
         eprintln!("[table2] IF={imbalance} done");
         rows.push((format!("IF={imbalance}"), values));
     }
-    print_table("Table 2 — CIFAR-10: FedAvg / FedGrab / FedWCM", &headers, &rows);
+    print_table(
+        "Table 2 — CIFAR-10: FedAvg / FedGrab / FedWCM",
+        &headers,
+        &rows,
+    );
     println!(
         "\nExpected shape (paper Table 2): FedGrab competitive at IF≥0.5,\n\
          collapsing at small IF (especially beta=0.1); FedWCM best overall."

@@ -15,8 +15,7 @@ fn main() {
         let values: Vec<f64> = ifs
             .iter()
             .map(|&imb| {
-                let mut exp =
-                    ExpConfig::new(DatasetPreset::Cifar10, imb, 0.1, cli.scale, cli.seed);
+                let mut exp = ExpConfig::new(DatasetPreset::Cifar10, imb, 0.1, cli.scale, cli.seed);
                 exp.fedgrab_partition = true;
                 run_cell(&exp, m, &cli)
             })

@@ -3,15 +3,18 @@
 //! and the 100-client total-communication figure from Appendix C.
 
 use fedwcm_experiments::parse_args;
-use fedwcm_he::rlwe::RlweParams;
 use fedwcm_he::protocol::aggregate_distributions;
+use fedwcm_he::rlwe::RlweParams;
 use fedwcm_stats::rng::{Rng, Xoshiro256pp};
 
 fn main() {
     let cli = parse_args(std::env::args());
     let params = RlweParams::default_params();
     println!("# Table 6 — HE distribution-aggregation overhead");
-    println!("# ring degree N={}, plaintext modulus t=2^20, q=2^62", params.degree);
+    println!(
+        "# ring degree N={}, plaintext modulus t=2^20, q=2^62",
+        params.degree
+    );
     println!(
         "\n| {:>8} | {:>16} | {:>17} | {:>20} | {:>14} |",
         "classes", "plaintext (B)", "ciphertext (B)", "enc time/client (s)", "exact result"

@@ -7,10 +7,21 @@ use fedwcm_analysis::rate::{fit_power_law, mean_grad_norm};
 use fedwcm_experiments::parse_args;
 use fedwcm_fl::quadratic::{run_quadratic_fedcm, QuadRunConfig, QuadraticProblem};
 
-fn sweep(problem: &QuadraticProblem, alpha: f64, rounds_grid: &[usize], seed: u64) -> (f64, Vec<(usize, f64)>) {
+fn sweep(
+    problem: &QuadraticProblem,
+    alpha: f64,
+    rounds_grid: &[usize],
+    seed: u64,
+) -> (f64, Vec<(usize, f64)>) {
     let mut points = Vec::new();
     for &rounds in rounds_grid {
-        let cfg = QuadRunConfig { local_steps: 4, rounds, local_lr: 0.03, alpha, seed };
+        let cfg = QuadRunConfig {
+            local_steps: 4,
+            rounds,
+            local_lr: 0.03,
+            alpha,
+            seed,
+        };
         let norms = run_quadratic_fedcm(problem, &cfg);
         points.push((rounds, mean_grad_norm(&norms)));
     }

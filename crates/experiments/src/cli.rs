@@ -29,7 +29,13 @@ pub struct Cli {
 
 impl Default for Cli {
     fn default() -> Self {
-        Cli { scale: Scale::Quick, seed: 42, trials: 1, dataset: None, rounds: None }
+        Cli {
+            scale: Scale::Quick,
+            seed: 42,
+            trials: 1,
+            dataset: None,
+            rounds: None,
+        }
     }
 }
 
@@ -105,7 +111,17 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let c = parse(&["--smoke", "--seed", "7", "--trials", "3", "--dataset", "cifar-10", "--rounds", "99"]);
+        let c = parse(&[
+            "--smoke",
+            "--seed",
+            "7",
+            "--trials",
+            "3",
+            "--dataset",
+            "cifar-10",
+            "--rounds",
+            "99",
+        ]);
         assert_eq!(c.scale, Scale::Smoke);
         assert_eq!(c.seed, 7);
         assert_eq!(c.trials, 3);

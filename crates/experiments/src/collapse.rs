@@ -88,7 +88,11 @@ mod tests {
     #[test]
     fn concentration_trace_records_every_round() {
         let exp = ExpConfig::new(DatasetPreset::FashionMnist, 0.1, 0.3, Scale::Smoke, 71);
-        let cli = Cli { scale: Scale::Smoke, rounds: Some(4), ..Cli::default() };
+        let cli = Cli {
+            scale: Scale::Smoke,
+            rounds: Some(4),
+            ..Cli::default()
+        };
         let trace = run_with_concentration(&exp, Method::FedCm, &cli, 1);
         assert_eq!(trace.mean_concentration.len(), 4);
         assert_eq!(trace.per_layer.len(), 4);
@@ -104,7 +108,11 @@ mod tests {
     #[test]
     fn sampling_interval_respected() {
         let exp = ExpConfig::new(DatasetPreset::FashionMnist, 0.5, 0.3, Scale::Smoke, 72);
-        let cli = Cli { scale: Scale::Smoke, rounds: Some(6), ..Cli::default() };
+        let cli = Cli {
+            scale: Scale::Smoke,
+            rounds: Some(6),
+            ..Cli::default()
+        };
         let trace = run_with_concentration(&exp, Method::FedAvg, &cli, 3);
         let rounds: Vec<usize> = trace.mean_concentration.iter().map(|&(r, _)| r).collect();
         assert_eq!(rounds, vec![0, 3]);

@@ -1,7 +1,9 @@
 //! Method registry: build any algorithm the paper evaluates by name.
 
 use crate::setup::PreparedTask;
-use fedwcm_algos::{FedAvg, FedAvgM, FedCm, FedDyn, FedLesam, FedProx, FedSam, FedSmoo, FedSpeed, MoFedSam};
+use fedwcm_algos::{
+    FedAvg, FedAvgM, FedCm, FedDyn, FedLesam, FedProx, FedSam, FedSmoo, FedSpeed, MoFedSam,
+};
 use fedwcm_core::{FedWcm, FedWcmOptions, FedWcmX};
 use fedwcm_fl::FederatedAlgorithm;
 use fedwcm_longtail::{fedcm_balance_loss, fedcm_balance_sampler, fedcm_focal, BalanceFl, FedGrab};

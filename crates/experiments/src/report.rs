@@ -64,23 +64,36 @@ pub fn print_table(title: &str, headers: &[String], rows: &[(String, Vec<f64>)])
 /// method) — the figure data.
 pub fn print_series(title: &str, histories: &[History]) {
     println!("\n## {title} (CSV: round,{})", join_names(histories));
-    // Union of evaluated rounds (all histories share eval cadence).
-    let rounds: Vec<usize> = histories
-        .first()
-        .map(|h| h.accuracy_series().iter().map(|&(r, _)| r).collect())
-        .unwrap_or_default();
-    for (i, r) in rounds.iter().enumerate() {
-        print!("{r}");
-        for h in histories {
-            let series = h.accuracy_series();
-            if let Some(&(_, acc)) = series.get(i) {
-                print!(",{acc:.4}");
-            } else {
-                print!(",");
+    print!("{}", format_series(histories));
+}
+
+/// CSV body for [`print_series`]: one row per round in the **union** of
+/// evaluated rounds across all histories, aligned by round number.
+///
+/// Histories may evaluate at different cadences (or miss boundaries when
+/// a run is cut short); a method without a measurement at some round gets
+/// an empty cell rather than silently shifting its column.
+pub fn format_series(histories: &[History]) -> String {
+    let mut rounds: Vec<usize> = histories
+        .iter()
+        .flat_map(|h| h.accuracy_series().into_iter().map(|(r, _)| r))
+        .collect();
+    rounds.sort_unstable();
+    rounds.dedup();
+    let series: Vec<Vec<(usize, f64)>> = histories.iter().map(|h| h.accuracy_series()).collect();
+
+    let mut out = String::new();
+    for &r in &rounds {
+        out.push_str(&r.to_string());
+        for s in &series {
+            match s.iter().find(|&&(round, _)| round == r) {
+                Some(&(_, acc)) => out.push_str(&format!(",{acc:.4}")),
+                None => out.push(','),
             }
         }
-        println!();
+        out.push('\n');
     }
+    out
 }
 
 fn join_names(histories: &[History]) -> String {
@@ -105,7 +118,10 @@ mod tests {
     #[test]
     fn run_cell_smoke() {
         let exp = ExpConfig::new(DatasetPreset::FashionMnist, 1.0, 0.6, Scale::Smoke, 5);
-        let cli = Cli { scale: Scale::Smoke, ..Cli::default() };
+        let cli = Cli {
+            scale: Scale::Smoke,
+            ..Cli::default()
+        };
         let acc = run_cell(&exp, Method::FedAvg, &cli);
         assert!((0.0..=1.0).contains(&acc));
         assert!(acc > 0.2, "smoke FedAvg acc {acc}");
@@ -114,16 +130,50 @@ mod tests {
     #[test]
     fn run_history_has_records() {
         let exp = ExpConfig::new(DatasetPreset::FashionMnist, 1.0, 0.6, Scale::Smoke, 6);
-        let cli = Cli { scale: Scale::Smoke, ..Cli::default() };
+        let cli = Cli {
+            scale: Scale::Smoke,
+            ..Cli::default()
+        };
         let h = run_history(&exp, Method::FedCm, &cli);
         assert_eq!(h.records.len(), exp.rounds);
         assert!(!h.accuracy_series().is_empty());
     }
 
     #[test]
+    fn format_series_aligns_by_round_number() {
+        use fedwcm_fl::RoundRecord;
+        let rec = |round: usize, acc: Option<f64>| RoundRecord {
+            round,
+            train_loss: 0.0,
+            update_norm: 0.0,
+            test_acc: acc,
+            alpha: None,
+            dropped_updates: 0,
+        };
+        // Two methods evaluated at *different* rounds: pairing by index
+        // would misattribute h2's round-2 accuracy to round 1.
+        let mut h1 = History::new("a");
+        h1.records = vec![rec(1, Some(0.1)), rec(3, Some(0.3)), rec(5, Some(0.5))];
+        let mut h2 = History::new("b");
+        h2.records = vec![rec(2, Some(0.2)), rec(3, Some(0.35)), rec(5, Some(0.55))];
+        let csv = format_series(&[h1, h2]);
+        let expected = "1,0.1000,\n2,,0.2000\n3,0.3000,0.3500\n5,0.5000,0.5500\n";
+        assert_eq!(csv, expected);
+    }
+
+    #[test]
+    fn format_series_empty_histories() {
+        assert_eq!(format_series(&[]), "");
+        assert_eq!(format_series(&[History::new("a")]), "");
+    }
+
+    #[test]
     fn rounds_override_applies() {
         let exp = ExpConfig::new(DatasetPreset::FashionMnist, 1.0, 0.6, Scale::Smoke, 7);
-        let cli = Cli { rounds: Some(3), ..Cli::default() };
+        let cli = Cli {
+            rounds: Some(3),
+            ..Cli::default()
+        };
         let h = run_history(&exp, Method::FedAvg, &cli);
         assert_eq!(h.records.len(), 3);
     }

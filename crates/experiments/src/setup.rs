@@ -120,8 +120,15 @@ impl ExpConfig {
             seed: self.seed,
             threads: 0,
             eval_every: (self.rounds / 20).max(1),
-            };
-        PreparedTask { exp: self.clone(), train, test, partition, fl, factory }
+        };
+        PreparedTask {
+            exp: self.clone(),
+            train,
+            test,
+            partition,
+            fl,
+            factory,
+        }
     }
 }
 
@@ -218,10 +225,18 @@ mod tests {
         let equal = exp.prepare();
         exp.fedgrab_partition = true;
         let skewed = exp.prepare();
-        let equal_sizes: Vec<f64> =
-            equal.partition.client_sizes().iter().map(|&s| s as f64).collect();
-        let skewed_sizes: Vec<f64> =
-            skewed.partition.client_sizes().iter().map(|&s| s as f64).collect();
+        let equal_sizes: Vec<f64> = equal
+            .partition
+            .client_sizes()
+            .iter()
+            .map(|&s| s as f64)
+            .collect();
+        let skewed_sizes: Vec<f64> = skewed
+            .partition
+            .client_sizes()
+            .iter()
+            .map(|&s| s as f64)
+            .collect();
         assert!(
             fedwcm_stats::describe::gini(&skewed_sizes)
                 > fedwcm_stats::describe::gini(&equal_sizes)

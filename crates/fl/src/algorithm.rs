@@ -78,7 +78,11 @@ pub fn uniform_average(updates: &[ClientUpdate], out: &mut [f32]) {
 /// Weighted average of update deltas with the given per-update weights
 /// (need not sum to one; caller controls normalisation).
 pub fn weighted_average(updates: &[ClientUpdate], weights: &[f64], out: &mut [f32]) {
-    assert_eq!(updates.len(), weights.len(), "weights/updates length mismatch");
+    assert_eq!(
+        updates.len(),
+        weights.len(),
+        "weights/updates length mismatch"
+    );
     assert!(!updates.is_empty(), "no updates to aggregate");
     out.fill(0.0);
     for (u, &w) in updates.iter().zip(weights) {
@@ -127,7 +131,11 @@ mod tests {
     fn server_step_recovers_model_averaging() {
         // One client, identity aggregation: the server step must land the
         // global model exactly on the client's final local model.
-        let cfg = FlConfig { global_lr: 1.0, local_lr: 0.1, ..FlConfig::default_sim() };
+        let cfg = FlConfig {
+            global_lr: 1.0,
+            local_lr: 0.1,
+            ..FlConfig::default_sim()
+        };
         let global_before = vec![1.0f32, -1.0];
         // Client moved to [0.5, -0.8] over B=4 steps at lr=0.1:
         let local_final = [0.5f32, -0.8];

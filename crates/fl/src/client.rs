@@ -47,10 +47,14 @@ impl<'a> ClientEnv<'a> {
 
     /// The deterministic RNG stream for this `(round, client)` pair.
     pub fn rng(&self) -> Xoshiro256pp {
-        Xoshiro256pp::stream(self.cfg.seed, &[STREAM_LOCAL, self.round as u64, self.id as u64])
+        Xoshiro256pp::stream(
+            self.cfg.seed,
+            &[STREAM_LOCAL, self.round as u64, self.id as u64],
+        )
     }
 
-    /// Mini-batches per epoch for this client (`B_k / epochs`).
+    /// Mini-batches per epoch for this client: `ceil(n_k / batch_size)`,
+    /// where `n_k` is the client's sample count (at least 1).
     pub fn batches_per_epoch(&self) -> usize {
         self.view.len().div_ceil(self.cfg.batch_size).max(1)
     }

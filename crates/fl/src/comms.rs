@@ -71,7 +71,10 @@ mod tests {
         let cfg = FlConfig::default_sim();
         let plain = communication_report(&cfg, 1000, false);
         let momentum = communication_report(&cfg, 1000, true);
-        assert_eq!(momentum.down_bytes_per_round, 2 * plain.down_bytes_per_round);
+        assert_eq!(
+            momentum.down_bytes_per_round,
+            2 * plain.down_bytes_per_round
+        );
         assert_eq!(momentum.up_bytes_per_round, plain.up_bytes_per_round);
     }
 

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 /// Hyper-parameters of a federated simulation, mirroring the paper's
-//  experimental setup section (§7.1).
+/// experimental setup section (§7.1).
 #[derive(Clone, Debug)]
 pub struct FlConfig {
     /// Total number of clients `K` (paper default 100; 40 for the
@@ -51,8 +51,7 @@ impl FlConfig {
             "participation must be in (0,1], got {}",
             self.participation
         );
-        ((self.clients as f64 * self.participation).round() as usize)
-            .clamp(1, self.clients)
+        ((self.clients as f64 * self.participation).round() as usize).clamp(1, self.clients)
     }
 
     /// Resolved worker-thread count.
@@ -70,7 +69,10 @@ impl FlConfig {
         assert!(self.rounds >= 1, "need at least one round");
         assert!(self.local_epochs >= 1, "need at least one local epoch");
         assert!(self.batch_size >= 1, "need a positive batch size");
-        assert!(self.local_lr > 0.0 && self.global_lr > 0.0, "learning rates must be positive");
+        assert!(
+            self.local_lr > 0.0 && self.global_lr > 0.0,
+            "learning rates must be positive"
+        );
         assert!(self.eval_every >= 1, "eval_every must be ≥ 1");
         let _ = self.sampled_per_round();
     }

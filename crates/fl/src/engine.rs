@@ -6,7 +6,7 @@ use crate::config::FlConfig;
 use crate::metrics::{History, RoundRecord};
 use fedwcm_data::dataset::{ClientView, Dataset};
 use fedwcm_nn::model::Model;
-use fedwcm_parallel::parallel_map;
+use fedwcm_parallel::{chunk_ranges, parallel_map, with_intra_threads, ThreadBudget};
 use fedwcm_stats::rng::{Rng, Xoshiro256pp};
 
 /// Stream label for per-round client sampling.
@@ -45,12 +45,22 @@ impl<'a> Simulation<'a> {
         factory: Box<ModelFactory>,
     ) -> Self {
         cfg.validate();
-        assert_eq!(views.len(), cfg.clients, "view count must equal cfg.clients");
+        assert_eq!(
+            views.len(),
+            cfg.clients,
+            "view count must equal cfg.clients"
+        );
         assert!(
             views.iter().all(|v| !v.is_empty()),
             "every client needs at least one sample"
         );
-        Simulation { cfg, train, test, views, factory }
+        Simulation {
+            cfg,
+            train,
+            test,
+            views,
+            factory,
+        }
     }
 
     /// The client ids sampled in round `r` (deterministic per seed).
@@ -82,9 +92,13 @@ impl<'a> Simulation<'a> {
 
             // Parallel local training: results are collected in sampled-id
             // order, so aggregation is deterministic across thread counts.
+            // The round's thread budget is split between client fan-out and
+            // intra-client GEMM parallelism so total concurrency never
+            // exceeds `threads`.
+            let budget = ThreadBudget::split(threads, sampled.len());
             let algo_ref: &dyn FederatedAlgorithm = algo;
             let global_ref = &global;
-            let mut updates = parallel_map(sampled.len(), threads, |i| {
+            let mut updates = parallel_map(sampled.len(), budget.outer(), |i| {
                 let id = sampled[i];
                 let env = ClientEnv {
                     id,
@@ -94,7 +108,7 @@ impl<'a> Simulation<'a> {
                     cfg: &self.cfg,
                     factory: self.factory.as_ref(),
                 };
-                algo_ref.local_train(&env, global_ref)
+                with_intra_threads(budget.inner(), || algo_ref.local_train(&env, global_ref))
             });
 
             // Failure containment: a client whose local training diverged
@@ -108,12 +122,23 @@ impl<'a> Simulation<'a> {
                     && fedwcm_tensor::ops::norm(&u.delta) < MAX_UPDATE_NORM
             });
             let dropped_updates = before_filter - updates.len();
+
+            // Evaluation cadence is a property of the round number alone:
+            // an empty (fully-dropped) round still evaluates the unchanged
+            // global model on eval boundaries, so accuracy series keep
+            // their cadence regardless of failures.
+            let eval_now = (round + 1) % self.cfg.eval_every == 0 || round + 1 == self.cfg.rounds;
+
             if updates.is_empty() {
+                let test_acc = eval_now.then(|| {
+                    model.set_params(&global);
+                    evaluate_accuracy_threads(&mut model, self.test, threads)
+                });
                 history.records.push(RoundRecord {
                     round,
                     train_loss: f64::NAN,
                     update_norm: 0.0,
-                    test_acc: None,
+                    test_acc,
                     alpha: None,
                     dropped_updates,
                 });
@@ -121,7 +146,12 @@ impl<'a> Simulation<'a> {
                 continue;
             }
 
-            let input = RoundInput { round, cfg: &self.cfg, updates, views: &self.views };
+            let input = RoundInput {
+                round,
+                cfg: &self.cfg,
+                updates,
+                views: &self.views,
+            };
             let train_loss = input.mean_loss() as f64;
             let before = global.clone();
             let log = algo.aggregate(&mut global, &input);
@@ -135,13 +165,10 @@ impl<'a> Simulation<'a> {
                 .sum::<f64>()
                 .sqrt();
 
-            let test_acc = if (round + 1) % self.cfg.eval_every == 0 || round + 1 == self.cfg.rounds
-            {
+            let test_acc = eval_now.then(|| {
                 model.set_params(&global);
-                Some(evaluate_accuracy(&mut model, self.test))
-            } else {
-                None
-            };
+                evaluate_accuracy_threads(&mut model, self.test, threads)
+            });
 
             history.records.push(RoundRecord {
                 round,
@@ -169,45 +196,119 @@ impl<'a> Simulation<'a> {
     }
 }
 
-/// Overall accuracy of `model` on `dataset`, evaluated in batches.
-pub fn evaluate_accuracy(model: &mut Model, dataset: &Dataset) -> f64 {
-    if dataset.is_empty() {
-        return 0.0;
-    }
-    let mut correct = 0usize;
-    let n = dataset.len();
+/// The `[start, end)` sample ranges of each evaluation batch.
+fn eval_batches(n: usize) -> Vec<(usize, usize)> {
+    let mut batches = Vec::with_capacity(n.div_ceil(EVAL_BATCH));
     let mut start = 0usize;
     while start < n {
         let end = (start + EVAL_BATCH).min(n);
-        let idx: Vec<usize> = (start..end).collect();
-        let (x, y) = dataset.gather(&idx);
-        let preds = model.predict(&x);
-        correct += preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        batches.push((start, end));
         start = end;
     }
+    batches
+}
+
+/// Correct-prediction count of `model` over sample range `[start, end)`.
+fn correct_in_range(model: &mut Model, dataset: &Dataset, start: usize, end: usize) -> usize {
+    let idx: Vec<usize> = (start..end).collect();
+    let (x, y) = dataset.gather(&idx);
+    let preds = model.predict(&x);
+    preds.iter().zip(&y).filter(|(p, t)| p == t).count()
+}
+
+/// Overall accuracy of `model` on `dataset`, evaluated in batches.
+pub fn evaluate_accuracy(model: &mut Model, dataset: &Dataset) -> f64 {
+    evaluate_accuracy_threads(model, dataset, 1)
+}
+
+/// Like [`evaluate_accuracy`], but spreads the evaluation batches over up
+/// to `threads` workers (each on its own model replica).
+///
+/// The reduction sums integer correct-counts collected in batch-index
+/// order, so the result is bitwise identical for every thread count.
+pub fn evaluate_accuracy_threads(model: &mut Model, dataset: &Dataset, threads: usize) -> f64 {
+    if dataset.is_empty() {
+        return 0.0;
+    }
+    let n = dataset.len();
+    let batches = eval_batches(n);
+    let threads = threads.clamp(1, batches.len());
+    let correct: usize = if threads <= 1 {
+        let mut correct = 0usize;
+        for &(start, end) in &batches {
+            correct += correct_in_range(model, dataset, start, end);
+        }
+        correct
+    } else {
+        let chunks = chunk_ranges(batches.len(), threads);
+        let model_ref: &Model = model;
+        parallel_map(chunks.len(), threads, |ci| {
+            let (b0, b1) = chunks[ci];
+            let mut replica = model_ref.clone();
+            batches[b0..b1]
+                .iter()
+                .map(|&(start, end)| correct_in_range(&mut replica, dataset, start, end))
+                .sum::<usize>()
+        })
+        .into_iter()
+        .sum()
+    };
     correct as f64 / n as f64
 }
 
 /// Per-class accuracy of `model` on `dataset` (classes with no test
 /// samples report 0).
 pub fn per_class_accuracy(model: &mut Model, dataset: &Dataset) -> Vec<f64> {
+    per_class_accuracy_threads(model, dataset, 1)
+}
+
+/// Like [`per_class_accuracy`], but batch-chunk parallel with the same
+/// index-ordered integer reduction as [`evaluate_accuracy_threads`].
+pub fn per_class_accuracy_threads(
+    model: &mut Model,
+    dataset: &Dataset,
+    threads: usize,
+) -> Vec<f64> {
     let classes = dataset.classes();
-    let mut correct = vec![0usize; classes];
-    let mut total = vec![0usize; classes];
-    let n = dataset.len();
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + EVAL_BATCH).min(n);
-        let idx: Vec<usize> = (start..end).collect();
-        let (x, y) = dataset.gather(&idx);
-        let preds = model.predict(&x);
-        for (p, &t) in preds.iter().zip(&y) {
-            total[t] += 1;
-            if *p == t {
-                correct[t] += 1;
+    let batches = eval_batches(dataset.len());
+    let threads = threads.clamp(1, batches.len().max(1));
+
+    // Per-class (correct, total) tallies over a run of batches.
+    let tally_batches = |model: &mut Model, range: &[(usize, usize)]| {
+        let mut correct = vec![0usize; classes];
+        let mut total = vec![0usize; classes];
+        for &(start, end) in range {
+            let idx: Vec<usize> = (start..end).collect();
+            let (x, y) = dataset.gather(&idx);
+            let preds = model.predict(&x);
+            for (p, &t) in preds.iter().zip(&y) {
+                total[t] += 1;
+                if *p == t {
+                    correct[t] += 1;
+                }
             }
         }
-        start = end;
+        (correct, total)
+    };
+
+    let (mut correct, mut total) = (vec![0usize; classes], vec![0usize; classes]);
+    let partials = if threads <= 1 {
+        vec![tally_batches(model, &batches)]
+    } else {
+        let chunks = chunk_ranges(batches.len(), threads);
+        let model_ref: &Model = model;
+        parallel_map(chunks.len(), threads, |ci| {
+            let (b0, b1) = chunks[ci];
+            tally_batches(&mut model_ref.clone(), &batches[b0..b1])
+        })
+    };
+    for (c, t) in partials {
+        for (acc, v) in correct.iter_mut().zip(&c) {
+            *acc += v;
+        }
+        for (acc, v) in total.iter_mut().zip(&t) {
+            *acc += v;
+        }
     }
     correct
         .iter()
@@ -219,7 +320,7 @@ pub fn per_class_accuracy(model: &mut Model, dataset: &Dataset) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithm::{uniform_average, server_step, RoundLog};
+    use crate::algorithm::{server_step, uniform_average, RoundLog};
     use crate::client::{run_local_sgd, ClientUpdate, LocalSgdSpec};
     use fedwcm_data::longtail::longtail_counts;
     use fedwcm_data::partition::paper_partition;
@@ -396,7 +497,7 @@ mod tests {
         cfg.clients = 3;
         cfg.participation = 0.34; // one client per round
         cfg.rounds = 3;
-        cfg.eval_every = 10;
+        cfg.eval_every = 2;
         let sim = build_sim(&ds, &test, cfg);
         // Poison every client.
         struct AllPoison;
@@ -423,6 +524,74 @@ mod tests {
         for r in &h.records {
             assert_eq!(r.dropped_updates, 1);
             assert_eq!(r.update_norm, 0.0);
+        }
+        // Evaluation cadence must survive empty rounds: with eval_every=2
+        // the boundaries are rounds 1 (2nd) and 2 (final), even though
+        // every round dropped all of its updates.
+        assert!(
+            h.records[0].test_acc.is_none(),
+            "round 0 is not an eval boundary"
+        );
+        assert!(
+            h.records[1].test_acc.is_some(),
+            "eval_every boundary skipped"
+        );
+        assert!(h.records[2].test_acc.is_some(), "final round must evaluate");
+    }
+
+    #[test]
+    fn thread_count_is_bitwise_invisible() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 40, 0.5);
+        let ds = spec.generate_train(&counts, 21);
+        let test = spec.generate_test(21);
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 5;
+        cfg.participation = 0.6;
+        cfg.rounds = 3;
+        cfg.eval_every = 1;
+        cfg.threads = 1;
+        let h1 = build_sim(&ds, &test, cfg.clone()).run(&mut TestFedAvg);
+        cfg.threads = 4;
+        let h4 = build_sim(&ds, &test, cfg).run(&mut TestFedAvg);
+        assert_eq!(h1.records.len(), h4.records.len());
+        for (a, b) in h1.records.iter().zip(&h4.records) {
+            assert_eq!(
+                a.train_loss.to_bits(),
+                b.train_loss.to_bits(),
+                "round {}",
+                a.round
+            );
+            assert_eq!(
+                a.update_norm.to_bits(),
+                b.update_norm.to_bits(),
+                "round {}",
+                a.round
+            );
+            assert_eq!(
+                a.test_acc.map(f64::to_bits),
+                b.test_acc.map(f64::to_bits),
+                "round {}",
+                a.round
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_eval_matches_sequential() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let test = spec.generate_test(22);
+        let mut rng = Xoshiro256pp::seed_from(9);
+        let mut model = mlp(64, &[16], 10, &mut rng);
+        let gold_acc = evaluate_accuracy_threads(&mut model, &test, 1);
+        let gold_pc = per_class_accuracy_threads(&mut model, &test, 1);
+        for threads in [2, 3, 8] {
+            let acc = evaluate_accuracy_threads(&mut model, &test, threads);
+            assert_eq!(acc.to_bits(), gold_acc.to_bits(), "threads={threads}");
+            let pc = per_class_accuracy_threads(&mut model, &test, threads);
+            let gold_bits: Vec<u64> = gold_pc.iter().map(|v| v.to_bits()).collect();
+            let bits: Vec<u64> = pc.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, gold_bits, "threads={threads}");
         }
     }
 

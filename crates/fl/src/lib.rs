@@ -41,5 +41,8 @@ pub mod quadratic;
 pub use algorithm::{FederatedAlgorithm, RoundInput, RoundLog};
 pub use client::{ClientEnv, ClientUpdate, LocalSgdSpec};
 pub use config::FlConfig;
-pub use engine::{evaluate_accuracy, per_class_accuracy, Simulation};
+pub use engine::{
+    evaluate_accuracy, evaluate_accuracy_threads, per_class_accuracy, per_class_accuracy_threads,
+    Simulation,
+};
 pub use metrics::{History, RoundRecord};

@@ -30,7 +30,10 @@ pub struct History {
 impl History {
     /// New empty history.
     pub fn new(name: impl Into<String>) -> Self {
-        History { name: name.into(), records: Vec::new() }
+        History {
+            name: name.into(),
+            records: Vec::new(),
+        }
     }
 
     /// All `(round, accuracy)` evaluation points.
@@ -78,7 +81,10 @@ impl History {
             return 0.0;
         }
         let take = window.max(2).min(series.len());
-        let tail: Vec<f64> = series[series.len() - take..].iter().map(|&(_, a)| a).collect();
+        let tail: Vec<f64> = series[series.len() - take..]
+            .iter()
+            .map(|&(_, a)| a)
+            .collect();
         fedwcm_stats::describe::stddev(&tail)
     }
 }

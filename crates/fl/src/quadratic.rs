@@ -33,7 +33,11 @@ impl QuadraticProblem {
         let minimisers = (0..clients)
             .map(|_| (0..dim).map(|_| normal.sample(&mut rng)).collect())
             .collect();
-        QuadraticProblem { curvatures, minimisers, sigma }
+        QuadraticProblem {
+            curvatures,
+            minimisers,
+            sigma,
+        }
     }
 
     /// Number of clients.

@@ -53,8 +53,8 @@ pub fn reduce128(x: u128) -> u64 {
     let hi = (x >> 64) as u64;
     let hi_lo = hi & 0xFFFF_FFFF; // hi low 32 bits
     let hi_hi = hi >> 32; // hi high 32 bits
-    // x = lo + hi_lo·2^64 + hi_hi·2^96
-    //   ≡ lo + hi_lo·(2^32 − 1) − hi_hi  (mod p), since 2^96 ≡ −1.
+                          // x = lo + hi_lo·2^64 + hi_hi·2^96
+                          //   ≡ lo + hi_lo·(2^32 − 1) − hi_hi  (mod p), since 2^96 ≡ −1.
     let mut r = subp(lo, hi_hi);
     let t = (hi_lo << 32).wrapping_sub(hi_lo); // hi_lo·(2^32−1) < p
     r = addp(r, t);
@@ -241,7 +241,11 @@ mod tests {
         for n in [8usize, 32, 256] {
             let a: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
             let b: Vec<u64> = (0..n).map(|_| rng.next_u64() % P).collect();
-            assert_eq!(negacyclic_mul(&a, &b), negacyclic_mul_naive(&a, &b), "n={n}");
+            assert_eq!(
+                negacyclic_mul(&a, &b),
+                negacyclic_mul_naive(&a, &b),
+                "n={n}"
+            );
         }
     }
 

@@ -44,7 +44,10 @@ pub fn aggregate_distributions(
 ) -> (Vec<usize>, ProtocolReport) {
     assert!(!client_counts.is_empty(), "no clients");
     let classes = client_counts[0].len();
-    assert!(classes >= 1 && classes <= params.degree, "class count must fit the ring");
+    assert!(
+        classes >= 1 && classes <= params.degree,
+        "class count must fit the ring"
+    );
     assert!(
         client_counts.iter().all(|c| c.len() == classes),
         "inconsistent class counts"

@@ -34,7 +34,10 @@ pub fn negq(a: u64) -> u64 {
 
 /// Elementwise polynomial addition.
 pub fn poly_add(a: &[u64], b: &[u64], out: &mut [u64]) {
-    assert!(a.len() == b.len() && b.len() == out.len(), "poly length mismatch");
+    assert!(
+        a.len() == b.len() && b.len() == out.len(),
+        "poly length mismatch"
+    );
     for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o = addq(x, y);
     }
@@ -42,7 +45,10 @@ pub fn poly_add(a: &[u64], b: &[u64], out: &mut [u64]) {
 
 /// Elementwise polynomial subtraction.
 pub fn poly_sub(a: &[u64], b: &[u64], out: &mut [u64]) {
-    assert!(a.len() == b.len() && b.len() == out.len(), "poly length mismatch");
+    assert!(
+        a.len() == b.len() && b.len() == out.len(),
+        "poly length mismatch"
+    );
     for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o = subq(x, y);
     }

@@ -49,8 +49,14 @@ impl RlweParams {
     }
 
     fn validate(&self) {
-        assert!(self.degree.is_power_of_two() && self.degree >= 16, "degree must be a power of two ≥ 16");
-        assert!(self.plain_modulus >= 2 && self.plain_modulus <= Q / 4, "bad plaintext modulus");
+        assert!(
+            self.degree.is_power_of_two() && self.degree >= 16,
+            "degree must be a power of two ≥ 16"
+        );
+        assert!(
+            self.plain_modulus >= 2 && self.plain_modulus <= Q / 4,
+            "bad plaintext modulus"
+        );
         assert!(self.secret_weight >= 2 && self.secret_weight <= self.degree / 2);
         assert!(self.noise_bound >= 1);
     }
@@ -85,7 +91,11 @@ impl SecretKey {
         if minus.is_empty() {
             minus.push(plus.pop().expect("nonempty key"));
         }
-        SecretKey { params, plus, minus }
+        SecretKey {
+            params,
+            plus,
+            minus,
+        }
     }
 
     /// Scheme parameters bound to this key.
@@ -206,7 +216,11 @@ impl Ciphertext {
             coeffs.push(v);
         }
         let c1 = coeffs.split_off(n);
-        Some(Ciphertext { c0: coeffs, c1, added: 1 })
+        Some(Ciphertext {
+            c0: coeffs,
+            c1,
+            added: 1,
+        })
     }
 }
 
@@ -317,7 +331,7 @@ mod tests {
     fn malformed_bytes_rejected() {
         assert!(Ciphertext::from_bytes(&[]).is_none());
         assert!(Ciphertext::from_bytes(&[0u8; 8]).is_none()); // n = 0
-        // Truncated body.
+                                                              // Truncated body.
         let mut bad = Vec::new();
         bad.extend_from_slice(&16u64.to_le_bytes());
         bad.extend_from_slice(&[0u8; 16]);

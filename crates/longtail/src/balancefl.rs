@@ -11,7 +11,9 @@
 //!    global model's logits, so locally-missing knowledge is not destroyed
 //!    by the local update.
 
-use fedwcm_fl::algorithm::{server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog};
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
 use fedwcm_fl::client::{ClientEnv, ClientUpdate};
 use fedwcm_nn::loss::{CrossEntropy, Loss};
 
@@ -29,13 +31,19 @@ pub struct BalanceFl {
 impl BalanceFl {
     /// Standard configuration (λ = 1, clip = 10).
     pub fn new() -> Self {
-        BalanceFl { lambda: 1.0, grad_clip: 10.0 }
+        BalanceFl {
+            lambda: 1.0,
+            grad_clip: 10.0,
+        }
     }
 
     /// Custom inheritance strength.
     pub fn with_lambda(lambda: f32) -> Self {
         assert!(lambda >= 0.0);
-        BalanceFl { lambda, grad_clip: 10.0 }
+        BalanceFl {
+            lambda,
+            grad_clip: 10.0,
+        }
     }
 }
 
@@ -162,7 +170,8 @@ mod tests {
                 mlp(64, &[32], 10, &mut rng)
             }),
         );
-        sim.run(&mut BalanceFl::with_lambda(lambda)).final_accuracy(1)
+        sim.run(&mut BalanceFl::with_lambda(lambda))
+            .final_accuracy(1)
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! per-client-per-round rather than persisted server-side, and operates on
 //! the final linear layer only (where minority collapse manifests).
 
-use fedwcm_fl::algorithm::{server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog};
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
 use fedwcm_fl::client::{ClientEnv, ClientUpdate};
 use fedwcm_nn::loss::BalancedSoftmax;
 
@@ -34,7 +36,11 @@ impl FedGrab {
     /// output).
     pub fn new(global_counts: Vec<usize>) -> Self {
         assert!(!global_counts.is_empty());
-        FedGrab { tau: 0.5, ema: 0.9, global_counts }
+        FedGrab {
+            tau: 0.5,
+            ema: 0.9,
+            global_counts,
+        }
     }
 }
 
@@ -55,7 +61,11 @@ impl FederatedAlgorithm for FedGrab {
         let (clf_off, clf_len) = model.layer_param_range(model.num_layers() - 1);
         assert!(clf_len > classes, "classifier layer too small");
         let feat = (clf_len - classes) / classes;
-        assert_eq!(feat * classes + classes, clf_len, "unexpected classifier layout");
+        assert_eq!(
+            feat * classes + classes,
+            clf_len,
+            "unexpected classifier layout"
+        );
 
         let batches_per_epoch = env.batches_per_epoch();
         let total_steps = batches_per_epoch * cfg.local_epochs;

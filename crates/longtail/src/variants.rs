@@ -37,7 +37,10 @@ mod tests {
     #[test]
     fn labels_match_paper_tables() {
         assert_eq!(fedcm_focal(0.1).name(), "FedCM+FocalLoss");
-        assert_eq!(fedcm_balance_loss(0.1, &[100, 10]).name(), "FedCM+BalanceLoss");
+        assert_eq!(
+            fedcm_balance_loss(0.1, &[100, 10]).name(),
+            "FedCM+BalanceLoss"
+        );
         assert_eq!(fedcm_balance_sampler(0.1).name(), "FedCM+BalanceSampler");
     }
 }

@@ -13,6 +13,7 @@ use fedwcm_tensor::Tensor;
 ///
 /// Weights are `[c_out, c_in*kh*kw]` row-major plus `c_out` biases, so the
 /// per-sample forward is one GEMM against the im2col patch matrix.
+#[derive(Clone)]
 pub struct Conv2d {
     geom: ConvGeom,
     c_out: usize,
@@ -22,11 +23,32 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// New conv layer over input `[c_in, h, w]`.
-    pub fn new(c_in: usize, h: usize, w: usize, c_out: usize, k: usize, stride: usize, pad: usize) -> Self {
-        let geom = ConvGeom { c_in, h, w, kh: k, kw: k, stride, pad };
+    pub fn new(
+        c_in: usize,
+        h: usize,
+        w: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        let geom = ConvGeom {
+            c_in,
+            h,
+            w,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        };
         // Validate geometry eagerly.
         let _ = (geom.oh(), geom.ow());
-        Conv2d { geom, c_out, cached_cols: Vec::new(), cached_batch: 0 }
+        Conv2d {
+            geom,
+            c_out,
+            cached_cols: Vec::new(),
+            cached_batch: 0,
+        }
     }
 
     /// Output channel count.
@@ -50,7 +72,11 @@ impl Layer for Conv2d {
     }
 
     fn out_features(&self, in_features: usize) -> usize {
-        assert_eq!(in_features, self.geom.input_len(), "conv input width mismatch");
+        assert_eq!(
+            in_features,
+            self.geom.input_len(),
+            "conv input width mismatch"
+        );
         self.c_out * self.geom.patch_cols()
     }
 
@@ -59,12 +85,21 @@ impl Layer for Conv2d {
     }
 
     fn init_params(&self, params: &mut [f32], rng: &mut Xoshiro256pp) {
-        init_weights_biases(params, self.weight_len(), he_std(self.geom.patch_rows()), rng);
+        init_weights_biases(
+            params,
+            self.weight_len(),
+            he_std(self.geom.patch_rows()),
+            rng,
+        );
     }
 
     fn forward(&mut self, params: &[f32], input: &Tensor, train: bool) -> Tensor {
         let batch = input.rows();
-        assert_eq!(input.cols(), self.geom.input_len(), "conv forward width mismatch");
+        assert_eq!(
+            input.cols(),
+            self.geom.input_len(),
+            "conv forward width mismatch"
+        );
         let (w, b) = params.split_at(self.weight_len());
         let pr = self.geom.patch_rows();
         let pc = self.geom.patch_cols();
@@ -120,9 +155,14 @@ impl Layer for Conv2d {
         }
         grad_in
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Non-overlapping `f×f` average pooling over `[c, h, w]`.
+#[derive(Clone)]
 pub struct AvgPool2d {
     c: usize,
     h: usize,
@@ -133,7 +173,10 @@ pub struct AvgPool2d {
 impl AvgPool2d {
     /// New pooling layer; `h` and `w` must be divisible by `f`.
     pub fn new(c: usize, h: usize, w: usize, f: usize) -> Self {
-        assert!(f > 0 && h.is_multiple_of(f) && w.is_multiple_of(f), "pool factor must divide dims");
+        assert!(
+            f > 0 && h.is_multiple_of(f) && w.is_multiple_of(f),
+            "pool factor must divide dims"
+        );
         AvgPool2d { c, h, w, f }
     }
 
@@ -149,7 +192,11 @@ impl Layer for AvgPool2d {
     }
 
     fn out_features(&self, in_features: usize) -> usize {
-        assert_eq!(in_features, self.c * self.h * self.w, "pool input width mismatch");
+        assert_eq!(
+            in_features,
+            self.c * self.h * self.w,
+            "pool input width mismatch"
+        );
         self.c * (self.h / self.f) * (self.w / self.f)
     }
 
@@ -208,9 +255,14 @@ impl Layer for AvgPool2d {
         }
         grad_in
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Global average pooling `[c, h, w] → [c]`.
+#[derive(Clone)]
 pub struct GlobalAvgPool {
     c: usize,
     spatial: usize,
@@ -229,7 +281,11 @@ impl Layer for GlobalAvgPool {
     }
 
     fn out_features(&self, in_features: usize) -> usize {
-        assert_eq!(in_features, self.c * self.spatial, "gap input width mismatch");
+        assert_eq!(
+            in_features,
+            self.c * self.spatial,
+            "gap input width mismatch"
+        );
         self.c
     }
 
@@ -241,7 +297,10 @@ impl Layer for GlobalAvgPool {
             let x = input.row(s);
             let o = out.row_mut(s);
             for c in 0..self.c {
-                o[c] = x[c * self.spatial..(c + 1) * self.spatial].iter().sum::<f32>() * inv;
+                o[c] = x[c * self.spatial..(c + 1) * self.spatial]
+                    .iter()
+                    .sum::<f32>()
+                    * inv;
             }
         }
         out
@@ -261,6 +320,10 @@ impl Layer for GlobalAvgPool {
             }
         }
         grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -300,7 +363,11 @@ mod tests {
         let proj = Tensor::randn(&[2, out_len], 1.0, &mut rng);
         let objective = |p: &[f32], c: &mut Conv2d| -> f32 {
             let y = c.forward(p, &x, false);
-            y.as_slice().iter().zip(proj.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(proj.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let _ = conv.forward(&params, &x, true);
         let mut grads = vec![0.0; params.len()];
@@ -313,7 +380,11 @@ mod tests {
             p[i] -= 2.0 * eps;
             let down = objective(&p, &mut conv);
             let fd = (up - down) / (2.0 * eps);
-            assert!((fd - grads[i]).abs() < 0.1, "param {i}: fd {fd} vs {}", grads[i]);
+            assert!(
+                (fd - grads[i]).abs() < 0.1,
+                "param {i}: fd {fd} vs {}",
+                grads[i]
+            );
         }
         // Spot-check input gradient.
         let xs = x.as_slice().to_vec();
@@ -323,13 +394,21 @@ mod tests {
             let t = Tensor::from_vec(xp.clone(), &[2, 50]);
             let up: f32 = {
                 let y = conv.forward(&params, &t, false);
-                y.as_slice().iter().zip(proj.as_slice()).map(|(a, b)| a * b).sum()
+                y.as_slice()
+                    .iter()
+                    .zip(proj.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum()
             };
             xp[i] -= 2.0 * eps;
             let t = Tensor::from_vec(xp, &[2, 50]);
             let down: f32 = {
                 let y = conv.forward(&params, &t, false);
-                y.as_slice().iter().zip(proj.as_slice()).map(|(a, b)| a * b).sum()
+                y.as_slice()
+                    .iter()
+                    .zip(proj.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum()
             };
             let fd = (up - down) / (2.0 * eps);
             assert!((fd - gx.as_slice()[i]).abs() < 0.1, "input {i}");
@@ -375,8 +454,18 @@ mod tests {
         let y = pool.forward(&[], &x, true);
         let g = Tensor::randn(&[2, 12], 1.0, &mut rng);
         let gi = pool.backward(&[], &mut [], &g);
-        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.as_slice().iter().zip(gi.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = y
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(gi.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3);
         let _ = rng.next_u64();
     }

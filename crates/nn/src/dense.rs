@@ -7,6 +7,7 @@ use fedwcm_tensor::Tensor;
 
 /// `y = x·Wᵀ + b`, with `W` stored row-major as `[out, in]` (so the
 /// forward pass is the contiguous-dot kernel `matmul_a_bt`).
+#[derive(Clone)]
 pub struct Dense {
     in_features: usize,
     out_features: usize,
@@ -16,8 +17,15 @@ pub struct Dense {
 impl Dense {
     /// New dense layer `in → out`.
     pub fn new(in_features: usize, out_features: usize) -> Self {
-        assert!(in_features > 0 && out_features > 0, "dense dims must be positive");
-        Dense { in_features, out_features, cached_input: None }
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dense dims must be positive"
+        );
+        Dense {
+            in_features,
+            out_features,
+            cached_input: None,
+        }
     }
 
     fn weight_len(&self) -> usize {
@@ -45,7 +53,11 @@ impl Layer for Dense {
 
     fn forward(&mut self, params: &[f32], input: &Tensor, train: bool) -> Tensor {
         let batch = input.rows();
-        assert_eq!(input.cols(), self.in_features, "dense forward width mismatch");
+        assert_eq!(
+            input.cols(),
+            self.in_features,
+            "dense forward width mismatch"
+        );
         let (w, b) = params.split_at(self.weight_len());
         let mut out = Tensor::zeros(&[batch, self.out_features]);
         matmul_a_bt_into(
@@ -106,6 +118,10 @@ impl Layer for Dense {
         );
         grad_in
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +181,11 @@ mod tests {
         let wsum = Tensor::randn(&[2, 3], 1.0, &mut rng);
         let objective = |p: &[f32], d: &mut Dense| -> f32 {
             let y = d.forward(p, &x, false);
-            y.as_slice().iter().zip(wsum.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(wsum.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         // Analytic gradients.
         let _ = d.forward(&params, &x, true);
@@ -180,7 +200,11 @@ mod tests {
             p[i] -= 2.0 * eps;
             let down = objective(&p, &mut d);
             let fd = (up - down) / (2.0 * eps);
-            assert!((fd - grads[i]).abs() < 2e-2, "param {i}: fd {fd} vs {}", grads[i]);
+            assert!(
+                (fd - grads[i]).abs() < 2e-2,
+                "param {i}: fd {fd} vs {}",
+                grads[i]
+            );
         }
         // Finite differences on input.
         let xs = x.as_slice();
@@ -190,13 +214,21 @@ mod tests {
             let up = {
                 let t = Tensor::from_vec(xp.clone(), &[2, 4]);
                 let y = d.forward(&params, &t, false);
-                y.as_slice().iter().zip(wsum.as_slice()).map(|(a, b)| a * b).sum::<f32>()
+                y.as_slice()
+                    .iter()
+                    .zip(wsum.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
             };
             xp[i] -= 2.0 * eps;
             let down = {
                 let t = Tensor::from_vec(xp, &[2, 4]);
                 let y = d.forward(&params, &t, false);
-                y.as_slice().iter().zip(wsum.as_slice()).map(|(a, b)| a * b).sum::<f32>()
+                y.as_slice()
+                    .iter()
+                    .zip(wsum.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
             };
             let fd = (up - down) / (2.0 * eps);
             assert!((fd - gx.as_slice()[i]).abs() < 2e-2, "input {i}");

@@ -42,7 +42,11 @@ pub fn check_model_gradients(
     let _ = model.loss_grad(x, y, loss, &mut grads);
     let base = model.params().to_vec();
 
-    let mut report = GradCheckReport { checked: 0, max_abs_err: 0.0, max_rel_err: 0.0 };
+    let mut report = GradCheckReport {
+        checked: 0,
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+    };
     for i in (0..base.len()).step_by(stride) {
         let mut p = base.clone();
         p[i] += eps;
@@ -105,6 +109,9 @@ mod tests {
         let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
         let y = [0usize, 2];
         let report = check_model_gradients(&mut model, &x, &y, &BrokenLoss, 2, 1e-3);
-        assert!(!report.passes(0.05), "broken gradient slipped through: {report:?}");
+        assert!(
+            !report.passes(0.05),
+            "broken gradient slipped through: {report:?}"
+        );
     }
 }

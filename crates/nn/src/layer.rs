@@ -10,7 +10,10 @@ use fedwcm_tensor::Tensor;
 /// slice (`params`) plus a matching gradient slice on the backward pass.
 /// Layers may cache activations from the most recent `forward` call — the
 /// model guarantees `backward` follows the corresponding `forward`.
-pub trait Layer: Send {
+///
+/// Layers are `Send + Sync` and cloneable (via [`Layer::clone_box`]) so a
+/// model can be duplicated per worker for read-only parallel evaluation.
+pub trait Layer: Send + Sync {
     /// Human-readable layer name (used by the concentration analysis).
     fn name(&self) -> &'static str;
 
@@ -31,10 +34,19 @@ pub trait Layer: Send {
     /// Backward pass: accumulate parameter gradients into `grad_params`
     /// (same length as `params`) and return the input gradient.
     fn backward(&mut self, params: &[f32], grad_params: &mut [f32], grad_out: &Tensor) -> Tensor;
+
+    /// Clone this layer behind a fresh box (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Rectified linear unit. Caches the activation mask.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Relu {
     mask: Vec<bool>,
 }
@@ -78,7 +90,11 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, _params: &[f32], _grad_params: &mut [f32], grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.mask.len(), "ReLU backward without matching forward");
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "ReLU backward without matching forward"
+        );
         let mut g = grad_out.clone();
         for (x, &keep) in g.as_mut_slice().iter_mut().zip(&self.mask) {
             if !keep {
@@ -87,9 +103,14 @@ impl Layer for Relu {
         }
         g
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Leaky rectified linear unit: `max(x, slope·x)` with `slope < 1`.
+#[derive(Clone)]
 pub struct LeakyRelu {
     slope: f32,
     cached_input: Vec<f32>,
@@ -99,7 +120,10 @@ impl LeakyRelu {
     /// New leaky ReLU with the given negative-side slope (e.g. 0.01).
     pub fn new(slope: f32) -> Self {
         assert!((0.0..1.0).contains(&slope), "slope must be in [0,1)");
-        LeakyRelu { slope, cached_input: Vec::new() }
+        LeakyRelu {
+            slope,
+            cached_input: Vec::new(),
+        }
     }
 }
 
@@ -140,10 +164,14 @@ impl Layer for LeakyRelu {
         }
         g
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Hyperbolic-tangent activation.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Tanh {
     cached_output: Vec<f32>,
 }
@@ -187,6 +215,10 @@ impl Layer for Tanh {
             *x *= 1.0 - y * y;
         }
         g
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -282,7 +314,8 @@ mod tests {
         let gx = t.backward(&[], &mut [], &g);
         let eps = 1e-3f32;
         for i in 0..5 {
-            let fd = ((x.as_slice()[i] + eps).tanh() - (x.as_slice()[i] - eps).tanh()) / (2.0 * eps);
+            let fd =
+                ((x.as_slice()[i] + eps).tanh() - (x.as_slice()[i] - eps).tanh()) / (2.0 * eps);
             assert!((gx.as_slice()[i] - fd).abs() < 1e-3, "unit {i}");
         }
     }

@@ -12,6 +12,10 @@ use fedwcm_tensor::Tensor;
 /// gradients as one flat buffer from [`Model::backward`] /
 /// [`Model::loss_grad`]. All federated arithmetic happens on these flat
 /// slices with the `fedwcm-tensor::ops` kernels.
+///
+/// `Clone` duplicates the layer stack and parameters, which lets the
+/// evaluation path hand each worker its own model replica.
+#[derive(Clone)]
 pub struct Model {
     layers: Vec<Box<dyn Layer>>,
     offsets: Vec<(usize, usize)>,
@@ -38,7 +42,13 @@ impl Model {
         for (l, &(off, len)) in layers.iter().zip(&offsets) {
             l.init_params(&mut params[off..off + len], rng);
         }
-        Model { layers, offsets, params, in_features, out_features: width }
+        Model {
+            layers,
+            offsets,
+            params,
+            in_features,
+            out_features: width,
+        }
     }
 
     /// Input feature count.
@@ -68,7 +78,11 @@ impl Model {
 
     /// Overwrite all parameters.
     pub fn set_params(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.params.len(), "set_params length mismatch");
+        assert_eq!(
+            params.len(),
+            self.params.len(),
+            "set_params length mismatch"
+        );
         self.params.copy_from_slice(params);
     }
 
@@ -112,7 +126,11 @@ impl Model {
 
     /// Backward pass from a logits gradient; fills `grads` (accumulating).
     pub fn backward(&mut self, grad_logits: &Tensor, grads: &mut [f32]) {
-        assert_eq!(grads.len(), self.params.len(), "grad buffer length mismatch");
+        assert_eq!(
+            grads.len(),
+            self.params.len(),
+            "grad buffer length mismatch"
+        );
         let mut g = grad_logits.clone();
         for (l, &(off, len)) in self.layers.iter_mut().zip(&self.offsets).rev() {
             g = l.backward(&self.params[off..off + len], &mut grads[off..off + len], &g);
@@ -122,7 +140,13 @@ impl Model {
     /// Convenience: forward + loss + backward on one mini-batch.
     /// Returns the mean loss; writes the mean gradient into `grads`
     /// (overwriting, not accumulating).
-    pub fn loss_grad(&mut self, x: &Tensor, y: &[usize], loss: &dyn Loss, grads: &mut [f32]) -> f32 {
+    pub fn loss_grad(
+        &mut self,
+        x: &Tensor,
+        y: &[usize],
+        loss: &dyn Loss,
+        grads: &mut [f32],
+    ) -> f32 {
         grads.fill(0.0);
         let logits = self.forward(x, true);
         let (l, dlogits) = loss.loss_and_grad(&logits, y);
@@ -282,7 +306,11 @@ mod tests {
                 loss.loss_and_grad(&logits, &y).0
             };
             let fd = (up - down) / (2.0 * eps);
-            assert!((fd - grads[i]).abs() < 1e-2, "param {i}: fd {fd} vs {}", grads[i]);
+            assert!(
+                (fd - grads[i]).abs() < 1e-2,
+                "param {i}: fd {fd} vs {}",
+                grads[i]
+            );
             m.set_params(&base_params);
         }
     }

@@ -48,7 +48,10 @@ pub fn res_lite(
     width: usize,
     rng: &mut Xoshiro256pp,
 ) -> Model {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "res_lite needs h, w divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "res_lite needs h, w divisible by 4"
+    );
     assert!(classes >= 2 && width >= 4);
     let layers: Vec<Box<dyn Layer>> = vec![
         Box::new(Conv2d::new(c_in, h, w, width, 3, 1, 1)),

@@ -10,6 +10,7 @@ use fedwcm_tensor::Tensor;
 
 /// A residual block around a sequence of inner layers whose composite
 /// output width equals the input width.
+#[derive(Clone)]
 pub struct Residual {
     body: Vec<Box<dyn Layer>>,
     offsets: Vec<(usize, usize)>,
@@ -72,11 +73,19 @@ impl Layer for Residual {
     fn backward(&mut self, params: &[f32], grad_params: &mut [f32], grad_out: &Tensor) -> Tensor {
         let mut g = grad_out.clone();
         for (l, &(off, len)) in self.body.iter_mut().zip(&self.offsets).rev() {
-            g = l.backward(&params[off..off + len], &mut grad_params[off..off + len], &g);
+            g = l.backward(
+                &params[off..off + len],
+                &mut grad_params[off..off + len],
+                &g,
+            );
         }
         // Skip path: add grad_out directly.
         fedwcm_tensor::ops::axpy(1.0, grad_out.as_slice(), g.as_mut_slice());
         g
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -133,7 +142,11 @@ mod tests {
         let proj = Tensor::randn(&[2, 3], 1.0, &mut rng);
         let objective = |p: &[f32], r: &mut Residual| -> f32 {
             let y = r.forward(p, &x, false);
-            y.as_slice().iter().zip(proj.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(proj.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let _ = r.forward(&params, &x, true);
         let mut grads = vec![0.0; params.len()];
@@ -146,7 +159,11 @@ mod tests {
             p[i] -= 2.0 * eps;
             let down = objective(&p, &mut r);
             let fd = (up - down) / (2.0 * eps);
-            assert!((fd - grads[i]).abs() < 3e-2, "param {i}: fd {fd} vs {}", grads[i]);
+            assert!(
+                (fd - grads[i]).abs() < 3e-2,
+                "param {i}: fd {fd} vs {}",
+                grads[i]
+            );
         }
         let _ = rng.next_u64();
     }

@@ -54,7 +54,10 @@ pub fn load_params(model: &mut Model, bytes: &[u8]) -> Result<(), LoadError> {
     }
     let count = u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
     if count != model.param_len() {
-        return Err(LoadError::WrongArity { found: count, expected: model.param_len() });
+        return Err(LoadError::WrongArity {
+            found: count,
+            expected: model.param_len(),
+        });
     }
     let body = &bytes[16..];
     if body.len() != count * 4 {

@@ -7,14 +7,12 @@ use fedwcm_stats::Xoshiro256pp;
 use fedwcm_tensor::Tensor;
 use proptest::prelude::*;
 
-fn logits_and_labels(
-    batch: usize,
-    classes: usize,
-    seed: u64,
-) -> (Tensor, Vec<usize>) {
+fn logits_and_labels(batch: usize, classes: usize, seed: u64) -> (Tensor, Vec<usize>) {
     let mut rng = Xoshiro256pp::seed_from(seed);
     let logits = Tensor::randn(&[batch, classes], 2.0, &mut rng);
-    let labels: Vec<usize> = (0..batch).map(|i| (i * 7 + seed as usize) % classes).collect();
+    let labels: Vec<usize> = (0..batch)
+        .map(|i| (i * 7 + seed as usize) % classes)
+        .collect();
     (logits, labels)
 }
 

@@ -1,4 +1,4 @@
-//! Deterministic data-parallel utilities on scoped threads.
+//! Deterministic data-parallel utilities on a persistent worker pool.
 //!
 //! The FL engine trains the clients sampled in a round concurrently; each
 //! client's work is independent (own RNG stream, own model copy), so the
@@ -6,13 +6,26 @@
 //! **in index order** — making the subsequent server aggregation bitwise
 //! deterministic regardless of thread count or scheduling.
 //!
-//! Built on `std::thread::scope` (no unsafe, no external runtime). When the
-//! machine exposes a single core — or `FEDWCM_THREADS=1` — everything runs
-//! inline on the caller thread, which also keeps stack traces simple.
+//! All primitives run on one process-wide pool of persistent workers
+//! (see [`pool`]): submitting work is a queue push, not a per-call burst
+//! of `thread::spawn`, and results land in **disjoint, index-owned
+//! slots** — each index is claimed by exactly one participant, so no
+//! lock guards the result vector.
+//!
+//! Two levels of parallelism share the budget without oversubscription:
+//! [`ThreadBudget`] splits a round's threads between *client-level*
+//! fan-out and *intra-client* kernels (row-parallel GEMM in
+//! `fedwcm-tensor`), and [`with_intra_threads`] carries the inner share
+//! to the kernels through a scoped thread-local.
+//!
+//! When the machine exposes a single core — or `FEDWCM_THREADS=1` —
+//! everything runs inline on the caller thread, which also keeps stack
+//! traces simple.
 
+use std::cell::{Cell, UnsafeCell};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+mod pool;
 
 /// Resolve the worker count: the `FEDWCM_THREADS` env var if set (≥1),
 /// otherwise [`std::thread::available_parallelism`].
@@ -22,15 +35,107 @@ pub fn default_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
+
+thread_local! {
+    /// Thread budget available to *intra-task* kernels on this thread.
+    static INTRA_THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The thread budget kernels (GEMM, reductions) may use on the current
+/// thread. Defaults to 1; scoped via [`with_intra_threads`].
+pub fn intra_threads() -> usize {
+    INTRA_THREADS.with(Cell::get)
+}
+
+/// Run `f` with the current thread's intra-task budget set to `threads`,
+/// restoring the previous value afterwards (also on panic).
+pub fn with_intra_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INTRA_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = INTRA_THREADS.with(|c| c.replace(threads.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Split of a total thread budget between task-level fan-out (`outer`)
+/// and per-task kernels (`inner`), such that `outer * inner <= total` —
+/// nested parallelism never oversubscribes the configured budget.
+///
+/// The split favours the outer level (independent clients scale better
+/// than intra-GEMM rows) and gives the remainder to the inner level:
+/// 8 threads over 3 clients → `outer = 3`, `inner = 2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadBudget {
+    outer: usize,
+    inner: usize,
+}
+
+impl ThreadBudget {
+    /// Split `total` threads across `outer_tasks` concurrent tasks.
+    pub fn split(total: usize, outer_tasks: usize) -> Self {
+        let total = total.max(1);
+        let outer = total.min(outer_tasks.max(1));
+        let inner = (total / outer).max(1);
+        ThreadBudget { outer, inner }
+    }
+
+    /// Fully sequential budget (1 × 1).
+    pub fn sequential() -> Self {
+        ThreadBudget { outer: 1, inner: 1 }
+    }
+
+    /// Threads for task-level fan-out.
+    pub fn outer(&self) -> usize {
+        self.outer
+    }
+
+    /// Threads each task may use internally.
+    pub fn inner(&self) -> usize {
+        self.inner
+    }
+}
+
+/// Run `f(i)` for every `i in 0..n` with up to `threads` participants
+/// (the caller plus pool workers). No result collection; use this when
+/// `f` writes through index-owned state of its own.
+pub fn parallel_for_each<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    pool::run_indexed(n, threads, &f);
+}
+
+/// A result slot owned by exactly one claimant (the participant that
+/// claimed its index), hence safely shared without a lock.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: the pool guarantees each index — and therefore each slot — is
+// written by at most one participant, and the caller only reads slots
+// after the job quiesced (publication via the job's completion lock).
+unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// Apply `f` to every index in `0..n`, producing a `Vec` ordered by index.
 ///
-/// Work is distributed dynamically (atomic work-stealing counter), so
-/// heterogeneous per-item costs — e.g. clients with different data volumes
-/// in FedWCM-X — balance automatically. `f` must be `Sync` because multiple
-/// worker threads share it.
+/// Work is distributed dynamically (atomic claim counter), so
+/// heterogeneous per-item costs — e.g. clients with different data
+/// volumes in FedWCM-X — balance automatically. Each result is written
+/// to a slot owned by its index's claimant: no lock, no contention, and
+/// the collected order is always `0..n` regardless of thread count.
 pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -41,30 +146,25 @@ where
         return (0..n).map(f).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    // Hand each worker a disjoint set of result slots through a mutex-free
-    // scheme: workers claim indices from the shared counter and write into
-    // a locked vector of options. The lock is held only for the write.
-    let results = Mutex::new(&mut slots);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                let mut guard = results.lock().expect("worker panicked while writing results");
-                guard[i] = Some(value);
-            });
+    let slots: Vec<Slot<T>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let slots_ref = &slots;
+    pool::run_indexed(n, threads, &|i| {
+        let value = f(i);
+        // SAFETY: index `i` is claimed exactly once, so this is the only
+        // write to slot `i`, and no read happens before quiescence.
+        unsafe {
+            *slots_ref[i].0.get() = Some(value);
         }
     });
 
     slots
         .into_iter()
-        .map(|s| s.expect("parallel_map slot left empty"))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.0.into_inner().unwrap_or_else(|| {
+                panic!("parallel_map: result slot {i} was never written (claimant failed)")
+            })
+        })
         .collect()
 }
 
@@ -100,6 +200,62 @@ pub fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// A disjoint mutable chunk handed to exactly one claimant.
+struct Chunk<T>(*mut T, usize);
+
+// SAFETY: chunks are created from non-overlapping `split_at_mut` regions
+// and each is consumed by exactly one index claimant.
+unsafe impl<T: Send> Send for Chunk<T> {}
+unsafe impl<T: Send> Sync for Chunk<T> {}
+
+/// Partition `data` — a dense `rows × row_len` buffer — into at most
+/// `threads` contiguous row chunks and run `f(row_start, row_end, chunk)`
+/// on each in parallel.
+///
+/// Every chunk is a disjoint `&mut` region owned by one claimant, so
+/// writes need no lock; because the chunking is by whole rows and `f`
+/// computes rows independently, the result is **bitwise identical** to
+/// running `f(0, rows, data)` sequentially.
+pub fn parallel_over_rows<T, F>(data: &mut [T], row_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "data must be a whole number of rows"
+    );
+    let rows = data.len() / row_len;
+    let ranges = chunk_ranges(rows, threads.max(1));
+    if ranges.len() <= 1 {
+        if rows > 0 {
+            f(0, rows, data);
+        }
+        return;
+    }
+
+    let mut chunks: Vec<Chunk<T>> = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    for &(start, end) in &ranges {
+        let (head, tail) = rest.split_at_mut((end - start) * row_len);
+        chunks.push(Chunk(head.as_mut_ptr(), head.len()));
+        rest = tail;
+    }
+
+    let chunks_ref = &chunks;
+    let ranges_ref = &ranges;
+    parallel_for_each(ranges.len(), ranges.len(), |ci| {
+        let Chunk(ptr, len) = chunks_ref[ci];
+        // SAFETY: chunk `ci` is a unique `split_at_mut` region and index
+        // `ci` is claimed exactly once, so this is the only live `&mut`.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+        let (start, end) = ranges_ref[ci];
+        f(start, end, chunk);
+    });
+}
+
 /// Parallel elementwise accumulation: `acc[i] += weight * parts[k][i]`
 /// summed over `k` in index order within each disjoint range.
 ///
@@ -110,9 +266,12 @@ pub fn weighted_sum_into(acc: &mut [f32], parts: &[(&[f32], f32)], threads: usiz
     for (p, _) in parts {
         assert_eq!(p.len(), acc.len(), "weighted_sum_into length mismatch");
     }
+    if parts.is_empty() {
+        return;
+    }
     let n = acc.len();
     let threads = threads.max(1);
-    if threads == 1 || n < 1 << 14 || parts.is_empty() {
+    if threads == 1 || n < 1 << 14 {
         for &(p, w) in parts {
             for (a, x) in acc.iter_mut().zip(p) {
                 *a += w * x;
@@ -120,28 +279,12 @@ pub fn weighted_sum_into(acc: &mut [f32], parts: &[(&[f32], f32)], threads: usiz
         }
         return;
     }
-    let ranges = chunk_ranges(n, threads);
-    // Split `acc` into disjoint mutable chunks matching `ranges`.
-    let mut chunks: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
-    let mut rest = acc;
-    let mut offset = 0;
-    for &(start, end) in &ranges {
-        let (head, tail) = rest.split_at_mut(end - start);
-        debug_assert_eq!(offset, start);
-        offset = end;
-        chunks.push(head);
-        rest = tail;
-    }
-    std::thread::scope(|scope| {
-        for (chunk, &(start, end)) in chunks.into_iter().zip(&ranges) {
-            scope.spawn(move || {
-                for &(p, w) in parts {
-                    let src = &p[start..end];
-                    for (a, x) in chunk.iter_mut().zip(src) {
-                        *a += w * x;
-                    }
-                }
-            });
+    parallel_over_rows(acc, 1, threads, |start, _end, chunk| {
+        for &(p, w) in parts {
+            let src = &p[start..start + chunk.len()];
+            for (a, x) in chunk.iter_mut().zip(src) {
+                *a += w * x;
+            }
         }
     });
 }
@@ -169,10 +312,113 @@ mod tests {
         // Floating-point fold must be identical across thread counts.
         let gold = parallel_map_reduce(1000, 1, |i| (i as f32).sqrt() * 0.1, 0.0f32, |a, x| a + x);
         for threads in [2, 3, 8] {
-            let v =
-                parallel_map_reduce(1000, threads, |i| (i as f32).sqrt() * 0.1, 0.0f32, |a, x| a + x);
+            let v = parallel_map_reduce(
+                1000,
+                threads,
+                |i| (i as f32).sqrt() * 0.1,
+                0.0f32,
+                |a, x| a + x,
+            );
             assert_eq!(v.to_bits(), gold.to_bits(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn repeated_jobs_reuse_the_pool() {
+        // The pool is persistent: many small jobs must not accumulate
+        // threads (regression guard for per-call spawning).
+        for round in 0..200 {
+            let out = parallel_map(8, 4, move |i| i + round);
+            assert_eq!(out, (0..8).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_jobs_complete() {
+        // Client-level fan-out with intra-client jobs underneath — the
+        // shape every training round has after the budget split.
+        let out = parallel_map(6, 3, |i| {
+            let inner = parallel_map(5, 2, move |j| (i + 1) * (j + 1));
+            inner.into_iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..6).map(|i| (i + 1) * 15).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at index 3")]
+    fn worker_panic_propagates_to_caller() {
+        parallel_map(16, 4, |i| {
+            if i == 3 {
+                panic!("boom at index 3");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn budget_split_never_oversubscribes() {
+        for total in 1..=16 {
+            for tasks in 1..=20 {
+                let b = ThreadBudget::split(total, tasks);
+                assert!(
+                    b.outer() * b.inner() <= total.max(1),
+                    "total={total} tasks={tasks}"
+                );
+                assert!(b.outer() >= 1 && b.inner() >= 1);
+                assert!(b.outer() <= tasks.max(1));
+            }
+        }
+        assert_eq!(
+            ThreadBudget::split(8, 3),
+            ThreadBudget { outer: 3, inner: 2 }
+        );
+        assert_eq!(
+            ThreadBudget::split(4, 100),
+            ThreadBudget { outer: 4, inner: 1 }
+        );
+        assert_eq!(
+            ThreadBudget::sequential(),
+            ThreadBudget { outer: 1, inner: 1 }
+        );
+    }
+
+    #[test]
+    fn intra_threads_scoped_and_restored() {
+        assert_eq!(intra_threads(), 1);
+        let inner = with_intra_threads(4, || {
+            let nested = with_intra_threads(2, intra_threads);
+            assert_eq!(nested, 2);
+            intra_threads()
+        });
+        assert_eq!(inner, 4);
+        assert_eq!(intra_threads(), 1);
+    }
+
+    #[test]
+    fn parallel_over_rows_matches_sequential() {
+        let rows = 37;
+        let row_len = 13;
+        let mut gold = vec![0.0f32; rows * row_len];
+        let fill = |r0: usize, _r1: usize, chunk: &mut [f32]| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                let r = r0 + off / row_len;
+                let c = off % row_len;
+                *x = (r * 31 + c) as f32 * 0.25;
+            }
+        };
+        fill(0, rows, &mut gold);
+        for threads in [1, 2, 3, 8, 64] {
+            let mut out = vec![0.0f32; rows * row_len];
+            parallel_over_rows(&mut out, row_len, threads, fill);
+            assert_eq!(out, gold, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_over_rows_empty_is_noop() {
+        let mut empty: Vec<f32> = Vec::new();
+        parallel_over_rows(&mut empty, 4, 3, |_, _, _| panic!("no rows to visit"));
     }
 
     #[test]

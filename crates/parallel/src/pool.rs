@@ -1,0 +1,250 @@
+//! The persistent worker pool behind every parallel primitive.
+//!
+//! One process-wide pool of long-lived worker threads executes *indexed
+//! jobs*: a job is "apply this task to every index in `0..n`". Indices
+//! are claimed from an atomic counter, so heterogeneous per-item costs
+//! balance dynamically, and each index is claimed by **exactly one**
+//! participant — which is what lets callers hand out disjoint mutable
+//! state per index without any lock.
+//!
+//! The pool replaces the per-call `std::thread::scope` spawning the seed
+//! used: submitting a job is a queue push + condvar wake instead of N
+//! `clone(2)` calls, which matters when the engine dispatches a job per
+//! round and each client dispatches nested GEMM jobs per layer.
+//!
+//! # Nesting
+//!
+//! Jobs may be submitted from inside pool workers (client-level training
+//! submits intra-client GEMM jobs). The submitting participant always
+//! works through its own job's indices before blocking, so a job can
+//! always finish on the thread that submitted it; idle workers join in
+//! opportunistically. There is therefore no deadlock regardless of pool
+//! size, and [`crate::ThreadBudget`] keeps total concurrency at or below
+//! the configured thread count.
+//!
+//! # Determinism
+//!
+//! The pool schedules *which thread* runs an index, never *what* an
+//! index computes or *where results land* — callers key all writes by
+//! index. Every primitive built on the pool is therefore bitwise
+//! deterministic across thread counts and scheduling orders.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on spawned pool workers (a runaway-config backstop; real
+/// budgets come from `FEDWCM_THREADS` / `FlConfig::threads`).
+const MAX_POOL_WORKERS: usize = 256;
+
+/// One indexed job: apply the erased task to every index in `0..n`.
+struct Job {
+    /// Next unclaimed index; values `>= n` mean the job is drained.
+    next: AtomicUsize,
+    /// Item count.
+    n: usize,
+    /// Maximum pool workers that may attach (the submitting caller
+    /// always participates on top of these).
+    max_workers: usize,
+    /// Pool workers that have attached so far (guarded by the queue
+    /// lock, which serialises all attach decisions).
+    attached: AtomicUsize,
+    /// Live participants: attached workers plus the submitting caller.
+    active: AtomicUsize,
+    /// Guards completion signalling (pairs with `done_cv`).
+    done_lock: Mutex<()>,
+    /// Signalled when `active` reaches zero.
+    done_cv: Condvar,
+    /// The erased task. Only valid until the submitting caller returns:
+    /// the caller removes the job from the queue and waits for
+    /// `active == 0` before its frame (and the task's real referent)
+    /// can die, so no participant observes a dangling task.
+    task: &'static (dyn Fn(usize) + Sync),
+    /// First panic payload raised by any participant, re-raised on the
+    /// submitting caller after the job quiesces.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+/// State shared between the pool handle and its worker threads.
+struct PoolShared {
+    /// Pending jobs. A job stays queued until drained (or until its
+    /// caller removes it); workers scan for the first job they may
+    /// still attach to, so FIFO submission order is respected.
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    /// Wakes idle workers when a job is pushed.
+    work_cv: Condvar,
+    /// Worker threads spawned so far.
+    workers: AtomicUsize,
+    /// Serialises worker spawning.
+    spawn_lock: Mutex<()>,
+}
+
+/// The process-wide worker pool. Workers are spawned lazily, up to the
+/// largest thread budget any job has requested, and persist for the
+/// lifetime of the process (they park on a condvar when idle).
+pub(crate) struct Pool {
+    shared: Arc<PoolShared>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// The process-wide pool.
+    pub(crate) fn global() -> &'static Pool {
+        POOL.get_or_init(|| Pool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                work_cv: Condvar::new(),
+                workers: AtomicUsize::new(0),
+                spawn_lock: Mutex::new(()),
+            }),
+        })
+    }
+
+    /// Spawn workers until at least `want` exist (capped).
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_POOL_WORKERS);
+        if self.shared.workers.load(Ordering::Relaxed) >= want {
+            return;
+        }
+        let _guard = self.shared.spawn_lock.lock().unwrap();
+        while self.shared.workers.load(Ordering::Relaxed) < want {
+            let id = self.shared.workers.load(Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("fedwcm-worker-{id}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn pool worker");
+            self.shared.workers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Run `task(i)` for every `i in 0..n` using up to `threads`
+/// participants (the calling thread plus `threads - 1` pool workers).
+///
+/// Blocks until every claimed index has finished and no participant can
+/// still observe `task`; re-raises the first panic any participant hit.
+pub(crate) fn run_indexed(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(
+        n >= 2 && threads >= 2,
+        "inline fast path belongs to the caller"
+    );
+    let pool = Pool::global();
+    pool.ensure_workers(threads - 1);
+
+    // SAFETY: the job is removed from the queue and quiesced
+    // (`active == 0`, synchronised through `done_lock`) before this frame
+    // returns, so the 'static lifetime is never actually relied upon
+    // beyond the true lifetime of `task`.
+    let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    let job = Arc::new(Job {
+        next: AtomicUsize::new(0),
+        n,
+        max_workers: threads - 1,
+        attached: AtomicUsize::new(0),
+        active: AtomicUsize::new(1), // the caller
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+        task,
+        panic: Mutex::new(None),
+    });
+
+    {
+        let mut queue = pool.shared.queue.lock().unwrap();
+        queue.push_back(Arc::clone(&job));
+    }
+    pool.shared.work_cv.notify_all();
+
+    // The caller is a full participant: it drains indices like any
+    // worker, which also guarantees nested jobs always make progress.
+    run_items(&job);
+
+    // No new workers may attach once the job leaves the queue (attaching
+    // happens only under the queue lock, only for queued jobs).
+    {
+        let mut queue = pool.shared.queue.lock().unwrap();
+        if let Some(pos) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
+            queue.remove(pos);
+        }
+    }
+    finish_participation(&job);
+
+    // Wait for attached workers to finish their in-flight items. The
+    // `done_lock` handoff also publishes their slot writes to us.
+    {
+        let mut guard = job.done_lock.lock().unwrap();
+        while job.active.load(Ordering::Acquire) != 0 {
+            guard = job.done_cv.wait(guard).unwrap();
+        }
+    }
+
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Claim and execute indices until the job is drained.
+fn run_items(job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n {
+            break;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.task)(i))) {
+            // Stop further claims and record the first failure; the
+            // submitting caller re-raises it after quiescence.
+            job.next.fetch_max(job.n, Ordering::Relaxed);
+            job.panic.lock().unwrap().get_or_insert(payload);
+        }
+    }
+}
+
+/// Drop out of a job, signalling the caller when the job quiesces.
+fn finish_participation(job: &Job) {
+    let _guard = job.done_lock.lock().unwrap();
+    if job.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+        job.done_cv.notify_all();
+    }
+}
+
+/// Body of every pool worker thread: pick an eligible job, help drain
+/// it, repeat; park on the condvar when the queue is empty.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                let mut picked = None;
+                let mut idx = 0;
+                while idx < queue.len() {
+                    let candidate = &queue[idx];
+                    if candidate.next.load(Ordering::Relaxed) >= candidate.n {
+                        // Drained; drop it from the queue.
+                        queue.remove(idx);
+                        continue;
+                    }
+                    if candidate.attached.load(Ordering::Relaxed) < candidate.max_workers {
+                        picked = Some(Arc::clone(candidate));
+                        break;
+                    }
+                    idx += 1;
+                }
+                match picked {
+                    Some(job) => {
+                        // Attach decisions are serialised by the queue
+                        // lock, so the max_workers bound is exact.
+                        job.attached.fetch_add(1, Ordering::Relaxed);
+                        job.active.fetch_add(1, Ordering::Relaxed);
+                        break job;
+                    }
+                    None => queue = shared.work_cv.wait(queue).unwrap(),
+                }
+            }
+        };
+        run_items(&job);
+        finish_participation(&job);
+    }
+}

@@ -52,7 +52,10 @@ pub fn median(xs: &[f64]) -> f64 {
 /// Gini coefficient of a non-negative vector (0 = perfectly equal,
 /// → 1 = maximally concentrated). Used to summarise client quantity skew.
 pub fn gini(xs: &[f64]) -> f64 {
-    assert!(xs.iter().all(|&x| x >= 0.0), "gini needs non-negative values");
+    assert!(
+        xs.iter().all(|&x| x >= 0.0),
+        "gini needs non-negative values"
+    );
     let n = xs.len();
     if n == 0 {
         return 0.0;
@@ -64,11 +67,7 @@ pub fn gini(xs: &[f64]) -> f64 {
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in gini input"));
     // Gini = (2 Σ i·x_(i) / (n Σ x)) − (n+1)/n, with 1-based ranks.
-    let weighted: f64 = v
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| (i + 1) as f64 * x)
-        .sum();
+    let weighted: f64 = v.iter().enumerate().map(|(i, &x)| (i + 1) as f64 * x).sum();
     (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
 }
 

@@ -21,7 +21,11 @@ impl Normal {
     /// Create a normal sampler. `std` must be finite and non-negative.
     pub fn new(mean: f64, std: f64) -> Self {
         assert!(std.is_finite() && std >= 0.0, "std must be ≥ 0, got {std}");
-        Normal { mean, std, spare: None }
+        Normal {
+            mean,
+            std,
+            spare: None,
+        }
     }
 
     /// Standard normal `N(0,1)`.
@@ -63,7 +67,10 @@ pub struct Gamma {
 impl Gamma {
     /// Create a Gamma(alpha, 1) sampler. `alpha` must be positive.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be > 0, got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha must be > 0, got {alpha}"
+        );
         Gamma { alpha }
     }
 
@@ -106,7 +113,10 @@ pub struct Beta {
 impl Beta {
     /// Create a Beta sampler; both shapes must be positive.
     pub fn new(a: f64, b: f64) -> Self {
-        Beta { ga: Gamma::new(a), gb: Gamma::new(b) }
+        Beta {
+            ga: Gamma::new(a),
+            gb: Gamma::new(b),
+        }
     }
 
     /// Draw one sample in `(0, 1)`.

@@ -28,13 +28,19 @@ pub struct ConvGeom {
 impl ConvGeom {
     /// Output height.
     pub fn oh(&self) -> usize {
-        assert!(self.h + 2 * self.pad >= self.kh, "kernel taller than padded input");
+        assert!(
+            self.h + 2 * self.pad >= self.kh,
+            "kernel taller than padded input"
+        );
         (self.h + 2 * self.pad - self.kh) / self.stride + 1
     }
 
     /// Output width.
     pub fn ow(&self) -> usize {
-        assert!(self.w + 2 * self.pad >= self.kw, "kernel wider than padded input");
+        assert!(
+            self.w + 2 * self.pad >= self.kw,
+            "kernel wider than padded input"
+        );
         (self.w + 2 * self.pad - self.kw) / self.stride + 1
     }
 
@@ -58,7 +64,11 @@ impl ConvGeom {
 /// `[patch_rows, patch_cols]` (row-major into `cols`).
 pub fn im2col(geom: &ConvGeom, input: &[f32], cols: &mut [f32]) {
     assert_eq!(input.len(), geom.input_len(), "input buffer size");
-    assert_eq!(cols.len(), geom.patch_rows() * geom.patch_cols(), "cols buffer size");
+    assert_eq!(
+        cols.len(),
+        geom.patch_rows() * geom.patch_cols(),
+        "cols buffer size"
+    );
     let (oh, ow) = (geom.oh(), geom.ow());
     let ncols = oh * ow;
     let mut row = 0usize;
@@ -97,7 +107,11 @@ pub fn im2col(geom: &ConvGeom, input: &[f32], cols: &mut [f32]) {
 /// fresh gradient is wanted — the kernel accumulates).
 pub fn col2im(geom: &ConvGeom, cols: &[f32], grad_input: &mut [f32]) {
     assert_eq!(grad_input.len(), geom.input_len(), "grad buffer size");
-    assert_eq!(cols.len(), geom.patch_rows() * geom.patch_cols(), "cols buffer size");
+    assert_eq!(
+        cols.len(),
+        geom.patch_rows() * geom.patch_cols(),
+        "cols buffer size"
+    );
     let (oh, ow) = (geom.oh(), geom.ow());
     let ncols = oh * ow;
     let mut row = 0usize;
@@ -134,7 +148,15 @@ mod tests {
     use fedwcm_stats::rng::{Rng, Xoshiro256pp};
 
     fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> ConvGeom {
-        ConvGeom { c_in: c, h, w, kh: k, kw: k, stride: s, pad: p }
+        ConvGeom {
+            c_in: c,
+            h,
+            w,
+            kh: k,
+            kw: k,
+            stride: s,
+            pad: p,
+        }
     }
 
     #[test]
@@ -191,8 +213,9 @@ mod tests {
         let g = geom(3, 7, 6, 3, 2, 1);
         let mut rng = Xoshiro256pp::seed_from(7);
         let x: Vec<f32> = (0..g.input_len()).map(|_| rng.next_f32() - 0.5).collect();
-        let y: Vec<f32> =
-            (0..g.patch_rows() * g.patch_cols()).map(|_| rng.next_f32() - 0.5).collect();
+        let y: Vec<f32> = (0..g.patch_rows() * g.patch_cols())
+            .map(|_| rng.next_f32() - 0.5)
+            .collect();
         let mut ax = vec![0.0; y.len()];
         im2col(&g, &x, &mut ax);
         let mut aty = vec![0.0; x.len()];

@@ -20,5 +20,5 @@ pub mod matmul;
 pub mod ops;
 pub mod tensor;
 
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
 pub use tensor::Tensor;

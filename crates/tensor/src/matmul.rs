@@ -1,4 +1,4 @@
-//! Cache-blocked matrix multiplication kernels.
+//! Cache-blocked, row-parallel matrix multiplication kernels.
 //!
 //! Three variants cover every GEMM the NN library needs without
 //! materialising transposes:
@@ -12,11 +12,37 @@
 //! output row) with an L1-sized k-blocking. This is not a hand-tuned BLAS,
 //! but it is within a small factor of one and — critically for the
 //! reproduction — fully deterministic.
+//!
+//! # Parallelism
+//!
+//! When the current thread carries an intra-task budget
+//! ([`fedwcm_parallel::intra_threads`] > 1, scoped by the FL engine's
+//! [`fedwcm_parallel::ThreadBudget`]) and the product is large enough to
+//! amortise dispatch, the output rows are split into disjoint contiguous
+//! chunks computed in parallel. Each output row is produced by exactly
+//! one thread using the *same* per-row accumulation order as the
+//! sequential kernel, so the result is **bitwise identical** for every
+//! thread count — verified by differential tests.
 
 use crate::tensor::Tensor;
+use fedwcm_parallel::{intra_threads, parallel_over_rows};
 
 /// Block size along k chosen so a block of B rows fits in L1.
 const KB: usize = 256;
+
+/// Minimum multiply-accumulate count before row-parallel dispatch pays
+/// for itself; below this everything runs inline on the caller.
+const PAR_FLOP_MIN: usize = 1 << 17;
+
+/// Row-parallel worker count for a kernel with `rows` independent output
+/// rows and `flops` multiply-accumulates: the scoped intra-task budget,
+/// clamped to the row count, and 1 when the product is too small.
+fn gemm_threads(rows: usize, flops: usize) -> usize {
+    if flops < PAR_FLOP_MIN {
+        return 1;
+    }
+    intra_threads().min(rows.max(1))
+}
 
 /// `C = A·B` for rank-2 tensors. Shapes: `[m,k]·[k,n] -> [m,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -33,11 +59,34 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(a.len(), m * k, "A buffer size");
     assert_eq!(b.len(), k * n, "B buffer size");
     assert_eq!(c.len(), m * n, "C buffer size");
+    let threads = gemm_threads(m, m * k * n);
+    if threads <= 1 {
+        matmul_rows(a, b, c, 0, m, k, n);
+        return;
+    }
+    parallel_over_rows(c, n, threads, |r0, r1, chunk| {
+        matmul_rows(a, b, chunk, r0, r1, k, n)
+    });
+}
+
+/// Rows `r0..r1` of `C += A·B`; `c_chunk` holds exactly those rows.
+/// Per-row accumulation order (k-blocked, k-ascending) is independent of
+/// the chunking, so any row partition reproduces the sequential result
+/// bit for bit.
+fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    c_chunk: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
     for k0 in (0..k).step_by(KB) {
         let kend = (k0 + KB).min(k);
-        for i in 0..m {
+        for i in r0..r1 {
             let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut c[i * n..(i + 1) * n];
+            let crow = &mut c_chunk[(i - r0) * n..(i - r0 + 1) * n];
             for kk in k0..kend {
                 let aik = arow[kk];
                 if aik == 0.0 {
@@ -70,9 +119,30 @@ pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     assert_eq!(a.len(), m * k, "A buffer size");
     assert_eq!(b.len(), n * k, "B buffer size");
     assert_eq!(c.len(), m * n, "C buffer size");
-    for i in 0..m {
+    let threads = gemm_threads(m, m * k * n);
+    if threads <= 1 {
+        matmul_a_bt_rows(a, b, c, 0, m, k, n);
+        return;
+    }
+    parallel_over_rows(c, n, threads, |r0, r1, chunk| {
+        matmul_a_bt_rows(a, b, chunk, r0, r1, k, n)
+    });
+}
+
+/// Rows `r0..r1` of `C += A·Bᵀ`; each output row is a series of whole
+/// dot products, so row partitioning cannot change any result bit.
+fn matmul_a_bt_rows(
+    a: &[f32],
+    b: &[f32],
+    c_chunk: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in r0..r1 {
         let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
+        let crow = &mut c_chunk[(i - r0) * n..(i - r0 + 1) * n];
         for (j, cij) in crow.iter_mut().enumerate() {
             *cij += crate::ops::dot(arow, &b[j * k..(j + 1) * k]);
         }
@@ -94,16 +164,39 @@ pub fn matmul_at_b_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     assert_eq!(a.len(), m * k, "A buffer size");
     assert_eq!(b.len(), m * n, "B buffer size");
     assert_eq!(c.len(), k * n, "C buffer size");
-    // Accumulate rank-1 updates row by row: for each sample i,
-    // C += a_i ⊗ b_i. Inner loop is unit-stride over C's rows.
+    let threads = gemm_threads(k, m * k * n);
+    if threads <= 1 {
+        matmul_at_b_rows(a, b, c, 0..k, m, k, n);
+        return;
+    }
+    parallel_over_rows(c, n, threads, |kk0, kk1, chunk| {
+        matmul_at_b_rows(a, b, chunk, kk0..kk1, m, k, n)
+    });
+}
+
+/// Output rows `kk0..kk1` of `C += Aᵀ·B`, accumulating rank-1 updates
+/// sample by sample: for each `i`, `C[kk] += a[i,kk] ⊗ b[i]`. The
+/// per-element accumulation order over `i` matches the sequential kernel
+/// (i-outer) for every row partition — bitwise identical results.
+fn matmul_at_b_rows(
+    a: &[f32],
+    b: &[f32],
+    c_chunk: &mut [f32],
+    rows: std::ops::Range<usize>,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let kk0 = rows.start;
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let brow = &b[i * n..(i + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
+        for kk in rows.clone() {
+            let aik = arow[kk];
             if aik == 0.0 {
                 continue;
             }
-            let crow = &mut c[kk * n..(kk + 1) * n];
+            let crow = &mut c_chunk[(kk - kk0) * n..(kk - kk0 + 1) * n];
             for (cj, bj) in crow.iter_mut().zip(brow) {
                 *cj += aik * bj;
             }
@@ -132,6 +225,7 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fedwcm_parallel::with_intra_threads;
     use fedwcm_stats::rng::Xoshiro256pp;
 
     #[test]
@@ -195,6 +289,53 @@ mod tests {
         let l = matmul(&matmul(&a, &b), &c);
         let r = matmul(&a, &matmul(&b, &c));
         assert!(l.max_abs_diff(&r) < 1e-3);
+    }
+
+    #[test]
+    fn row_parallel_bitwise_matches_sequential() {
+        // Shapes chosen to clear PAR_FLOP_MIN so the parallel path is
+        // genuinely active, including ragged row counts (m < threads
+        // after clamping, rows not divisible by the chunk count).
+        let mut rng = Xoshiro256pp::seed_from(6);
+        for (m, k, n) in [(64, 80, 48), (3, 512, 96), (37, 64, 101), (128, 33, 65)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let bt = Tensor::randn(&[n, k], 1.0, &mut rng);
+            let bb = Tensor::randn(&[m, n], 1.0, &mut rng);
+            let gold_ab = with_intra_threads(1, || matmul(&a, &b));
+            let gold_abt = with_intra_threads(1, || matmul_a_bt(&a, &bt));
+            let gold_atb = with_intra_threads(1, || matmul_at_b(&a, &bb));
+            for threads in [2, 3, 5, 8, 64] {
+                let (p_ab, p_abt, p_atb) = with_intra_threads(threads, || {
+                    (matmul(&a, &b), matmul_a_bt(&a, &bt), matmul_at_b(&a, &bb))
+                });
+                for (gold, par, name) in [
+                    (&gold_ab, &p_ab, "matmul"),
+                    (&gold_abt, &p_abt, "matmul_a_bt"),
+                    (&gold_atb, &p_atb, "matmul_at_b"),
+                ] {
+                    assert_eq!(gold.shape(), par.shape());
+                    for (g, p) in gold.as_slice().iter().zip(par.as_slice()) {
+                        assert_eq!(
+                            g.to_bits(),
+                            p.to_bits(),
+                            "{name} ({m},{k},{n}) threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_products_stay_inline() {
+        // Below the flop floor the kernels must not dispatch (threads=1
+        // path); the result is the same object either way — this guards
+        // the threshold arithmetic against over/underflow.
+        assert_eq!(gemm_threads(4, PAR_FLOP_MIN - 1), 1);
+        assert_eq!(with_intra_threads(8, || gemm_threads(4, PAR_FLOP_MIN)), 4);
+        assert_eq!(with_intra_threads(8, || gemm_threads(16, PAR_FLOP_MIN)), 8);
+        assert_eq!(gemm_threads(0, usize::MAX), 1);
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub fn norm(x: &[f32]) -> f32 {
 /// `out = a - b` elementwise.
 #[inline]
 pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
-    assert!(a.len() == b.len() && b.len() == out.len(), "sub length mismatch");
+    assert!(
+        a.len() == b.len() && b.len() == out.len(),
+        "sub length mismatch"
+    );
     for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
         *o = x - y;
     }
@@ -68,7 +71,10 @@ pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
 /// `out = a + b` elementwise.
 #[inline]
 pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
-    assert!(a.len() == b.len() && b.len() == out.len(), "add length mismatch");
+    assert!(
+        a.len() == b.len() && b.len() == out.len(),
+        "add length mismatch"
+    );
     for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
         *o = x + y;
     }

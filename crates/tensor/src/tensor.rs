@@ -18,13 +18,19 @@ impl Tensor {
     /// Zero-filled tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor { data: vec![0.0; len], shape: shape.to_vec() }
+        Tensor {
+            data: vec![0.0; len],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Tensor filled with a constant.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        Tensor { data: vec![value; len], shape: shape.to_vec() }
+        Tensor {
+            data: vec![value; len],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Wrap an existing buffer. Panics if `data.len()` mismatches `shape`.
@@ -37,7 +43,10 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { data, shape: shape.to_vec() }
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// Gaussian-initialised tensor `N(0, std²)` — weight initialisation.
@@ -75,14 +84,24 @@ impl Tensor {
     /// Rows of a rank-2 tensor.
     #[inline]
     pub fn rows(&self) -> usize {
-        assert_eq!(self.rank(), 2, "rows() requires rank 2, got {:?}", self.shape);
+        assert_eq!(
+            self.rank(),
+            2,
+            "rows() requires rank 2, got {:?}",
+            self.shape
+        );
         self.shape[0]
     }
 
     /// Columns of a rank-2 tensor.
     #[inline]
     pub fn cols(&self) -> usize {
-        assert_eq!(self.rank(), 2, "cols() requires rank 2, got {:?}", self.shape);
+        assert_eq!(
+            self.rank(),
+            2,
+            "cols() requires rank 2, got {:?}",
+            self.shape
+        );
         self.shape[1]
     }
 
@@ -134,7 +153,13 @@ impl Tensor {
     /// Reinterpret with a new shape of equal element count (no copy).
     pub fn reshape(mut self, shape: &[usize]) -> Self {
         let len: usize = shape.iter().product();
-        assert_eq!(self.data.len(), len, "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            self.data.len(),
+            len,
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -255,7 +280,12 @@ mod tests {
         let t = Tensor::randn(&[100, 100], 0.5, &mut rng);
         let n = t.len() as f32;
         let mean = t.sum() / n;
-        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 0.25).abs() < 0.02, "var {var}");
     }

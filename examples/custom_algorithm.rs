@@ -24,7 +24,11 @@ struct WeightedFedAvg {
 
 impl WeightedFedAvg {
     fn new() -> Self {
-        WeightedFedAvg { scores: Vec::new(), temp: 1.0, prepared: false }
+        WeightedFedAvg {
+            scores: Vec::new(),
+            temp: 1.0,
+            prepared: false,
+        }
     }
 }
 
@@ -53,12 +57,19 @@ impl FederatedAlgorithm for WeightedFedAvg {
             self.temp = temperature(&dist, &target);
             self.prepared = true;
         }
-        let sampled: Vec<f64> = input.updates.iter().map(|u| self.scores[u.client]).collect();
+        let sampled: Vec<f64> = input
+            .updates
+            .iter()
+            .map(|u| self.scores[u.client])
+            .collect();
         let w = aggregation_weights(&sampled, self.temp);
         let mut dir = vec![0.0f32; global.len()];
         weighted_average(&input.updates, &w, &mut dir);
         server_step(global, &dir, input.cfg, input.mean_batches());
-        RoundLog { alpha: None, weights: Some(w) }
+        RoundLog {
+            alpha: None,
+            weights: Some(w),
+        }
     }
 }
 

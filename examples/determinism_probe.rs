@@ -1,0 +1,56 @@
+//! Determinism smoke probe for CI.
+//!
+//! Runs a small federated simulation with `cfg.threads = 0` (i.e. the
+//! `FEDWCM_THREADS` env var decides the worker count) and prints every
+//! round metric at full bit precision. CI runs this twice — with
+//! `FEDWCM_THREADS=1` and `FEDWCM_THREADS=4` — and diffs the output:
+//! any byte of difference means the parallel hot path stopped being
+//! bitwise deterministic.
+
+use fedwcm_algos::fedavg::FedAvg;
+use fedwcm_data::longtail::longtail_counts;
+use fedwcm_data::partition::paper_partition;
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_fl::{FlConfig, Simulation};
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::Xoshiro256pp;
+
+fn main() {
+    let spec = DatasetPreset::FashionMnist.spec();
+    let counts = longtail_counts(10, 40, 0.5);
+    let train = spec.generate_train(&counts, 31);
+    let test = spec.generate_test(31);
+
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 6;
+    cfg.participation = 0.5;
+    cfg.rounds = 4;
+    cfg.eval_every = 2;
+    cfg.threads = 0; // defer to FEDWCM_THREADS
+
+    let part = paper_partition(&train, cfg.clients, 0.5, cfg.seed);
+    let views = part.views(&train);
+    let sim = Simulation::new(
+        cfg,
+        &train,
+        &test,
+        views,
+        Box::new(|| {
+            let mut rng = Xoshiro256pp::seed_from(1234);
+            mlp(64, &[32], 10, &mut rng)
+        }),
+    );
+
+    let history = sim.run(&mut FedAvg::new());
+    for r in &history.records {
+        println!(
+            "round={} loss_bits={:#018x} norm_bits={:#018x} acc_bits={}",
+            r.round,
+            r.train_loss.to_bits(),
+            r.update_norm.to_bits(),
+            r.test_acc
+                .map(|a| format!("{:#018x}", a.to_bits()))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}

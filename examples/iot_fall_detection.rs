@@ -15,8 +15,16 @@ use fedwcm_suite::analysis::per_class::head_tail_summary;
 use fedwcm_suite::prelude::*;
 
 const ACTIVITY_NAMES: [&str; 10] = [
-    "sitting", "walking", "standing", "lying", "cooking", "cleaning", "stairs", "stumble",
-    "fall", "medical-alert",
+    "sitting",
+    "walking",
+    "standing",
+    "lying",
+    "cooking",
+    "cleaning",
+    "stairs",
+    "stumble",
+    "fall",
+    "medical-alert",
 ];
 
 fn main() {
@@ -55,7 +63,10 @@ fn main() {
         }),
     );
 
-    println!("\n{:<8} {:>8} {:>8} {:>8} {:>10}", "method", "overall", "head", "tail", "fall-acc");
+    println!(
+        "\n{:<8} {:>8} {:>8} {:>8} {:>10}",
+        "method", "overall", "head", "tail", "fall-acc"
+    );
     for algo in [
         Box::new(FedAvg::new()) as Box<dyn FederatedAlgorithm>,
         Box::new(FedCm::new(0.1)),

@@ -21,9 +21,11 @@ fn main() {
     let views = partition.views(&train);
 
     // Each client's private payload: its local class-count vector.
-    let client_counts: Vec<Vec<usize>> =
-        views.iter().map(|v| v.class_counts().to_vec()).collect();
-    println!("client 0 local counts (stays private): {:?}", client_counts[0]);
+    let client_counts: Vec<Vec<usize>> = views.iter().map(|v| v.class_counts().to_vec()).collect();
+    println!(
+        "client 0 local counts (stays private): {:?}",
+        client_counts[0]
+    );
 
     // Run the protocol.
     let params = RlweParams::default_params();
@@ -39,9 +41,18 @@ fn main() {
     println!("  clients:                 {}", report.clients);
     println!("  plaintext per client:    {} B", report.plaintext_bytes);
     println!("  ciphertext per client:   {} B", report.ciphertext_bytes);
-    println!("  total upload:            {:.2} MB", report.total_upload_bytes as f64 / 1e6);
-    println!("  encrypt time per client: {:.4} ms", report.encrypt_seconds_per_client * 1e3);
-    println!("  aggregate+decrypt time:  {:.4} ms", report.aggregate_seconds * 1e3);
+    println!(
+        "  total upload:            {:.2} MB",
+        report.total_upload_bytes as f64 / 1e6
+    );
+    println!(
+        "  encrypt time per client: {:.4} ms",
+        report.encrypt_seconds_per_client * 1e3
+    );
+    println!(
+        "  aggregate+decrypt time:  {:.4} ms",
+        report.aggregate_seconds * 1e3
+    );
 
     // Feed the (privately obtained) distribution into FedWCM's scoring.
     let classes = train.classes();

@@ -15,7 +15,11 @@ fn main() {
     let counts = longtail_counts(10, 470, 0.1);
     let train = spec.generate_train(&counts, 42);
     let test = spec.generate_test(42);
-    println!("train: {} samples, class counts {:?}", train.len(), train.class_counts());
+    println!(
+        "train: {} samples, class counts {:?}",
+        train.len(),
+        train.class_counts()
+    );
 
     // 2. Partition across clients: equal quantities, Dirichlet(β=0.6)
     //    class skew, 20% participation — the regime where the paper shows

@@ -3,11 +3,7 @@
 
 use fedwcm_suite::prelude::*;
 
-fn task(
-    imbalance: f64,
-    beta: f64,
-    seed: u64,
-) -> (Dataset, Dataset, FlConfig) {
+fn task(imbalance: f64, beta: f64, seed: u64) -> (Dataset, Dataset, FlConfig) {
     let spec = DatasetPreset::FashionMnist.spec();
     let counts = longtail_counts(10, 80, imbalance);
     let train = spec.generate_train(&counts, seed);
@@ -116,7 +112,12 @@ fn fedwcm_x_handles_quantity_skew() {
             fedwcm_suite::nn::models::mlp(64, &[48], 10, &mut rng)
         }),
     );
-    let b_hat = FedWcmX::standard_batches_for(train.len(), cfg.clients, cfg.batch_size, cfg.local_epochs);
+    let b_hat =
+        FedWcmX::standard_batches_for(train.len(), cfg.clients, cfg.batch_size, cfg.local_epochs);
     let h = s.run(&mut FedWcmX::new(b_hat));
-    assert!(h.final_accuracy(3) > 0.3, "FedWCM-X acc {}", h.final_accuracy(3));
+    assert!(
+        h.final_accuracy(3) > 0.3,
+        "FedWCM-X acc {}",
+        h.final_accuracy(3)
+    );
 }

@@ -33,10 +33,7 @@ fn he_distribution_matches_cleartext_everywhere() {
     let s_clear = client_scores(&views, &clear, &target);
     let s_he = client_scores(&views, &he_dist, &target);
     assert_eq!(s_clear, s_he);
-    assert_eq!(
-        temperature(&clear, &target),
-        temperature(&he_dist, &target)
-    );
+    assert_eq!(temperature(&clear, &target), temperature(&he_dist, &target));
     assert!(imbalance_degree(&he_dist, &target) > 0.1);
 }
 
@@ -50,5 +47,8 @@ fn he_protocol_scales_to_hundred_classes() {
     let (agg, report) = aggregate_distributions(&payloads, RlweParams::default_params(), 56);
     assert_eq!(agg, train.class_counts());
     // Ciphertext size independent of class count (Table 6's key row).
-    assert_eq!(report.ciphertext_bytes, RlweParams::default_params().ciphertext_bytes());
+    assert_eq!(
+        report.ciphertext_bytes,
+        RlweParams::default_params().ciphertext_bytes()
+    );
 }

@@ -29,7 +29,10 @@ const ALL_METHODS: [Method; 18] = [
 
 #[test]
 fn every_method_runs_on_the_paper_partition() {
-    let cli = Cli { scale: Scale::Smoke, ..Cli::default() };
+    let cli = Cli {
+        scale: Scale::Smoke,
+        ..Cli::default()
+    };
     let exp = ExpConfig::new(DatasetPreset::FashionMnist, 0.1, 0.3, Scale::Smoke, 3001);
     for method in ALL_METHODS {
         let acc = run_cell(&exp, method, &cli);
@@ -46,22 +49,42 @@ fn every_method_runs_on_the_paper_partition() {
 
 #[test]
 fn core_methods_run_on_the_fedgrab_partition() {
-    let cli = Cli { scale: Scale::Smoke, ..Cli::default() };
+    let cli = Cli {
+        scale: Scale::Smoke,
+        ..Cli::default()
+    };
     let mut exp = ExpConfig::new(DatasetPreset::FashionMnist, 0.1, 0.3, Scale::Smoke, 3002);
     exp.fedgrab_partition = true;
-    for method in [Method::FedAvg, Method::FedCm, Method::FedWcm, Method::FedWcmX] {
+    for method in [
+        Method::FedAvg,
+        Method::FedCm,
+        Method::FedWcm,
+        Method::FedWcmX,
+    ] {
         let acc = run_cell(&exp, method, &cli);
-        assert!(acc.is_finite() && acc >= 0.05, "{}: accuracy {acc}", method.label());
+        assert!(
+            acc.is_finite() && acc >= 0.05,
+            "{}: accuracy {acc}",
+            method.label()
+        );
     }
 }
 
 #[test]
 fn hundred_class_preset_smoke() {
     // The CIFAR-100/ImageNet stand-ins exercise the wide-model path.
-    let cli = Cli { scale: Scale::Smoke, rounds: Some(3), ..Cli::default() };
+    let cli = Cli {
+        scale: Scale::Smoke,
+        rounds: Some(3),
+        ..Cli::default()
+    };
     let exp = ExpConfig::new(DatasetPreset::Cifar100, 0.1, 0.1, Scale::Smoke, 3003);
     for method in [Method::FedAvg, Method::FedWcm] {
         let acc = run_cell(&exp, method, &cli);
-        assert!(acc.is_finite() && (0.0..=1.0).contains(&acc), "{}", method.label());
+        assert!(
+            acc.is_finite() && (0.0..=1.0).contains(&acc),
+            "{}",
+            method.label()
+        );
     }
 }
