@@ -8,6 +8,7 @@ use fedwcm_data::dataset::{ClientView, Dataset};
 use fedwcm_nn::model::Model;
 use fedwcm_parallel::{chunk_ranges, parallel_map, with_intra_threads, ThreadBudget};
 use fedwcm_stats::rng::{Rng, Xoshiro256pp};
+use fedwcm_tensor::invariants;
 
 /// Stream label for per-round client sampling.
 const STREAM_SAMPLE: u64 = 0x5A3B;
@@ -111,6 +112,27 @@ impl<'a> Simulation<'a> {
                 with_intra_threads(budget.inner(), || algo_ref.local_train(&env, global_ref))
             });
 
+            // Loud mode: with `debug_invariants`, a malformed or poisoned
+            // update panics right here — at the server-aggregation
+            // boundary, naming the round and client — instead of being
+            // silently dropped by the containment filter below.
+            if invariants::ENABLED {
+                for u in &updates {
+                    invariants::check_len(u.delta.len(), global.len(), || {
+                        format!(
+                            "delta from client {} entering server aggregation (round {round})",
+                            u.client
+                        )
+                    });
+                    invariants::check_finite(&u.delta, || {
+                        format!(
+                            "delta from client {} entering server aggregation (round {round})",
+                            u.client
+                        )
+                    });
+                }
+            }
+
             // Failure containment: a client whose local training diverged
             // (NaN/∞, or a finite-but-astronomic delta that would poison
             // the global model on the very next step) is dropped; if the
@@ -155,6 +177,14 @@ impl<'a> Simulation<'a> {
             let train_loss = input.mean_loss() as f64;
             let before = global.clone();
             let log = algo.aggregate(&mut global, &input);
+            if invariants::ENABLED {
+                invariants::check_finite(&global, || {
+                    format!(
+                        "global parameters after {} aggregation (round {round})",
+                        algo.name()
+                    )
+                });
+            }
             let update_norm = before
                 .iter()
                 .zip(&global)
@@ -462,6 +492,10 @@ mod tests {
         }
     }
 
+    // Containment (silently dropping poisoned updates) is the release
+    // behaviour; debug_invariants builds panic at the aggregation
+    // boundary instead, which crates/fl/tests/nan_injection.rs covers.
+    #[cfg(not(feature = "debug_invariants"))]
     #[test]
     fn poisoned_updates_are_contained() {
         let spec = DatasetPreset::FashionMnist.spec();
@@ -487,6 +521,7 @@ mod tests {
         assert!(acc > 0.1, "model destroyed by poison: {acc}");
     }
 
+    #[cfg(not(feature = "debug_invariants"))]
     #[test]
     fn fully_poisoned_round_is_skipped() {
         let spec = DatasetPreset::FashionMnist.spec();

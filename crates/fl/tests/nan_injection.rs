@@ -1,0 +1,141 @@
+//! NaN-injection regression test for the `debug_invariants` feature.
+//!
+//! One client's delta is corrupted with NaN mid-round. The expected
+//! behaviour diverges by build:
+//!
+//! * **`debug_invariants`** — the engine panics at the server-aggregation
+//!   boundary, and the panic message pins the blame: which client, which
+//!   round, and that it happened entering aggregation.
+//! * **release (default)** — the containment filter silently drops the
+//!   poisoned update and the run completes with finite metrics,
+//!   unaffected by the corruption.
+//!
+//! Run both sides with:
+//! `cargo test -p fedwcm-fl --test nan_injection`
+//! `cargo test -p fedwcm-fl --test nan_injection --features debug_invariants`
+
+use fedwcm_data::dataset::Dataset;
+use fedwcm_data::longtail::longtail_counts;
+use fedwcm_data::partition::paper_partition;
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_fl::algorithm::{
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+};
+use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
+use fedwcm_fl::config::FlConfig;
+use fedwcm_fl::engine::Simulation;
+use fedwcm_nn::loss::CrossEntropy;
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::rng::Xoshiro256pp;
+
+/// Which client gets its delta corrupted.
+const POISONED_CLIENT: usize = 2;
+
+/// FedAvg whose designated client emits a NaN in its delta — the
+/// injection point sits *after* local training, so the corruption is
+/// only observable at the server side.
+struct NanInjectingFedAvg;
+
+impl FederatedAlgorithm for NanInjectingFedAvg {
+    fn name(&self) -> String {
+        "nan-injecting-fedavg".into()
+    }
+
+    fn local_train(&self, env: &ClientEnv<'_>, global: &[f32]) -> ClientUpdate {
+        let spec = LocalSgdSpec {
+            loss: &CrossEntropy,
+            balanced_sampler: false,
+            lr: env.cfg.local_lr,
+            epochs: env.cfg.local_epochs,
+        };
+        let mut upd = run_local_sgd(env, global, &spec, |_, _, _| {});
+        if env.id == POISONED_CLIENT {
+            upd.delta[0] = f32::NAN;
+        }
+        upd
+    }
+
+    fn aggregate(&mut self, global: &mut [f32], input: &RoundInput<'_>) -> RoundLog {
+        let mut dir = vec![0.0f32; global.len()];
+        uniform_average(&input.updates, &mut dir);
+        server_step(global, &dir, input.cfg, input.mean_batches());
+        RoundLog::default()
+    }
+}
+
+fn build_sim<'a>(ds: &'a Dataset, test: &'a Dataset) -> Simulation<'a> {
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 6;
+    // Full participation: the poisoned client is sampled in round 0, so
+    // the failure (or containment) is pinned to the very first round.
+    cfg.participation = 1.0;
+    cfg.rounds = 4;
+    cfg.eval_every = 2;
+    let part = paper_partition(ds, cfg.clients, 0.5, cfg.seed);
+    let views = part.views(ds);
+    Simulation::new(
+        cfg,
+        ds,
+        test,
+        views,
+        Box::new(|| {
+            let mut rng = Xoshiro256pp::seed_from(1234);
+            mlp(64, &[32], 10, &mut rng)
+        }),
+    )
+}
+
+fn make_data() -> (Dataset, Dataset) {
+    let spec = DatasetPreset::FashionMnist.spec();
+    let counts = longtail_counts(10, 50, 1.0);
+    (spec.generate_train(&counts, 21), spec.generate_test(21))
+}
+
+/// Loud mode: the debug_invariants build must panic at the aggregation
+/// site and the message must name the client and the round.
+#[cfg(feature = "debug_invariants")]
+#[test]
+fn nan_delta_panics_at_aggregation_naming_client_and_round() {
+    let (ds, test) = make_data();
+    let sim = build_sim(&ds, &test);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.run(&mut NanInjectingFedAvg)
+    }))
+    .expect_err("debug_invariants build must panic on a poisoned delta");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload should be a string");
+    assert!(msg.contains("non-finite"), "missing cause: {msg}");
+    assert!(
+        msg.contains(&format!("client {POISONED_CLIENT}")),
+        "blame not pinned to the poisoned client: {msg}"
+    );
+    assert!(
+        msg.contains("round 0"),
+        "blame not pinned to round 0: {msg}"
+    );
+    assert!(
+        msg.contains("server aggregation"),
+        "failure not pinned to the aggregation site: {msg}"
+    );
+}
+
+/// Release mode: without the feature, the same corruption is contained —
+/// the poisoned update is dropped every round and the run finishes with
+/// finite metrics.
+#[cfg(not(feature = "debug_invariants"))]
+#[test]
+fn nan_delta_is_contained_without_the_feature() {
+    let (ds, test) = make_data();
+    let sim = build_sim(&ds, &test);
+    let h = sim.run(&mut NanInjectingFedAvg);
+    assert_eq!(h.records.len(), 4);
+    for r in &h.records {
+        assert_eq!(r.dropped_updates, 1, "round {}", r.round);
+        assert!(r.train_loss.is_finite(), "round {}", r.round);
+    }
+    let acc = h.final_accuracy(1);
+    assert!(acc > 0.1, "model destroyed despite containment: {acc}");
+}

@@ -67,6 +67,8 @@ pub fn aggregate_distributions(
     let key = SecretKey::generate(params, &mut key_rng);
 
     // Step 2: per-client encryption.
+    // lint:allow(determinism-time) wall-clock here only measures cost for
+    // the report; no simulation state depends on the elapsed value.
     let t_enc = Instant::now();
     let cts: Vec<Ciphertext> = client_counts
         .iter()
@@ -80,6 +82,8 @@ pub fn aggregate_distributions(
     let encrypt_seconds_per_client = t_enc.elapsed().as_secs_f64() / client_counts.len() as f64;
 
     // Steps 3–4: homomorphic aggregation, then key-holder decryption.
+    // lint:allow(determinism-time) timing is reported, never fed back
+    // into any computation, so reproducibility is unaffected.
     let t_agg = Instant::now();
     let mut acc = cts[0].clone();
     for ct in &cts[1..] {

@@ -86,10 +86,14 @@ impl SecretKey {
         // Guarantee both signs appear (degenerate keys weaken nothing
         // functionally, but keep the distribution sane).
         if plus.is_empty() {
-            plus.push(minus.pop().expect("nonempty key"));
+            if let Some(p) = minus.pop() {
+                plus.push(p);
+            }
         }
         if minus.is_empty() {
-            minus.push(plus.pop().expect("nonempty key"));
+            if let Some(p) = plus.pop() {
+                minus.push(p);
+            }
         }
         SecretKey {
             params,

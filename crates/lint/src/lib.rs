@@ -1,0 +1,38 @@
+//! `fedwcm-lint` — zero-dependency static analysis for the FedWCM
+//! workspace.
+//!
+//! PR 1 made the repo's headline guarantee *bitwise determinism across
+//! thread counts* and introduced the workspace's only `unsafe` code
+//! (disjoint-slot writes in `fedwcm-parallel`). Those invariants used
+//! to live in comments and differential tests; this crate turns them
+//! into machine-checked gates that run in CI on every change:
+//!
+//! | rule | enforces |
+//! |------|----------|
+//! | `unsafe-safety` | every `unsafe` is immediately preceded by `// SAFETY:` |
+//! | `determinism-collections` | no `HashMap`/`HashSet` in library crates |
+//! | `determinism-time` | no `Instant::now`/`SystemTime::now` in library crates |
+//! | `determinism-env` | no `env::var` outside the blessed config module |
+//! | `determinism-threads` | no `available_parallelism` outside `fedwcm-parallel` |
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`/`unimplemented!`/`todo!` in non-test library code |
+//! | `doc-coverage` | public items in `tensor`/`fl`/`core`/`parallel` carry rustdoc |
+//!
+//! Run it locally with `cargo run -p fedwcm-lint`; see the binary's
+//! `--help` for rule toggles. Findings are suppressed — never silenced —
+//! with scoped `// lint:allow(<rule>) <reason>` markers; a marker
+//! without a reason is itself a hard error.
+//!
+//! The crate has **zero external dependencies** (this build environment
+//! has no reachable crates.io registry) and hand-rolls the lexer in
+//! [`lexer`]; rules are token-sequence patterns over its output, so
+//! they never fire inside comments, strings, raw strings, or char
+//! literals.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{
+    lint_file, lint_workspace, Diagnostic, FileCtx, LintConfig, ALL_RULES, DOC_CRATES, LIB_CRATES,
+    MARKER_RULE,
+};

@@ -1,0 +1,148 @@
+//! CLI for `fedwcm-lint`.
+//!
+//! ```text
+//! cargo run -p fedwcm-lint                     # lint the whole workspace
+//! cargo run -p fedwcm-lint -- --only panic-freedom
+//! cargo run -p fedwcm-lint -- --disable doc-coverage
+//! cargo run -p fedwcm-lint -- --root /path/to/workspace
+//! cargo run -p fedwcm-lint -- --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O error.
+
+use fedwcm_lint::engine::{count_workspace_files, ALL_RULES};
+use fedwcm_lint::{lint_workspace, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "fedwcm-lint — static analysis gates for the FedWCM workspace\n\
+     \n\
+     USAGE: fedwcm-lint [--root PATH] [--only RULE]... [--disable RULE]... [--list-rules]\n\
+     \n\
+     --root PATH      workspace root (default: walk up from cwd to the\n\
+     \u{20}                workspace Cargo.toml)\n\
+     --only RULE      run only the named rule (repeatable)\n\
+     --disable RULE   skip the named rule (repeatable)\n\
+     --list-rules     print the known rules and exit\n"
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut disable: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--list-rules" => {
+                for r in ALL_RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--only" => match it.next() {
+                Some(r) => only.push(r.clone()),
+                None => {
+                    eprintln!("--only needs a rule name\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--disable" => match it.next() {
+                Some(r) => disable.push(r.clone()),
+                None => {
+                    eprintln!("--disable needs a rule name\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = if only.is_empty() {
+        let mut cfg = LintConfig::all();
+        for r in &disable {
+            if let Err(e) = cfg.disable(r) {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+        cfg
+    } else {
+        if !disable.is_empty() {
+            eprintln!("--only and --disable are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        match LintConfig::only(only.iter().map(String::as_str)) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(find_workspace_root)) {
+        Some(r) => r,
+        None => {
+            eprintln!("could not locate the workspace root; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = match lint_workspace(&root, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("I/O error while linting: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = count_workspace_files(&root).unwrap_or(0);
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("fedwcm-lint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "fedwcm-lint: {} diagnostic{} across {files} files",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,94 @@
+//! `determinism-*`: the workspace's headline guarantee is bitwise
+//! determinism across thread counts and runs. These rules forbid the
+//! standard library's nondeterminism sources in library crates:
+//!
+//! * `determinism-collections` — `HashMap` / `HashSet`. Their default
+//!   hasher is seeded per process, so iteration order varies run to
+//!   run; a single hash-ordered fold in an aggregation path silently
+//!   breaks reproducibility. Use `BTreeMap` / `BTreeSet` / `Vec`.
+//! * `determinism-time` — `Instant::now` / `SystemTime::now`. Wall
+//!   clocks must never feed simulation state.
+//! * `determinism-env` — `env::var` outside the blessed configuration
+//!   entry points; ambient environment reads make behaviour depend on
+//!   invisible state.
+//! * `determinism-threads` — `thread::available_parallelism` outside
+//!   `fedwcm-parallel`, the single crate allowed to observe the host's
+//!   core count (everything else takes an explicit thread budget).
+//!
+//! Test code (`#[cfg(test)]` / `#[test]`) is exempt: tests may time
+//! themselves or build scratch hash maps without affecting simulation
+//! results.
+
+use crate::engine::{Diagnostic, FileCtx, LintConfig, ENV_BLESSED_FILES, THREADS_BLESSED_CRATE};
+
+/// Run the `determinism-*` family over one file.
+pub fn check_determinism(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    if !ctx.is_lib_crate() {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (k, &i) in ctx.code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != crate::lexer::TokKind::Ident || ctx.is_test_line(t.line) {
+            continue;
+        }
+        let next2_is = |a: char, b: char, name: &str| -> bool {
+            ctx.code.get(k + 1).is_some_and(|&j| toks[j].is_punct(a))
+                && ctx.code.get(k + 2).is_some_and(|&j| toks[j].is_punct(b))
+                && ctx.code.get(k + 3).is_some_and(|&j| toks[j].is_ident(name))
+        };
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if cfg.is_enabled("determinism-collections") => {
+                diags.push(ctx.diag(
+                    "determinism-collections",
+                    t.line,
+                    format!(
+                        "`{}` has per-process-seeded iteration order; use BTreeMap/BTreeSet/Vec \
+                         so aggregation and reporting stay bitwise deterministic",
+                        t.text
+                    ),
+                ));
+            }
+            "Instant" | "SystemTime"
+                if cfg.is_enabled("determinism-time") && next2_is(':', ':', "now") =>
+            {
+                diags.push(ctx.diag(
+                    "determinism-time",
+                    t.line,
+                    format!(
+                        "`{}::now` reads the wall clock; simulation state must not depend on time",
+                        t.text
+                    ),
+                ));
+            }
+            "env"
+                if cfg.is_enabled("determinism-env")
+                    && next2_is(':', ':', "var")
+                    && !ENV_BLESSED_FILES.contains(&ctx.path.as_str()) =>
+            {
+                diags.push(ctx.diag(
+                    "determinism-env",
+                    t.line,
+                    format!(
+                        "`env::var` outside the blessed config entry points ({}) makes behaviour \
+                         depend on ambient process state",
+                        ENV_BLESSED_FILES.join(", ")
+                    ),
+                ));
+            }
+            "available_parallelism"
+                if cfg.is_enabled("determinism-threads")
+                    && !ctx.in_crate(THREADS_BLESSED_CRATE) =>
+            {
+                diags.push(ctx.diag(
+                    "determinism-threads",
+                    t.line,
+                    "`thread::available_parallelism` may only be observed inside fedwcm-parallel; \
+                     take an explicit thread budget instead"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}

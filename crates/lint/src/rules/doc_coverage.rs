@@ -1,0 +1,150 @@
+//! `doc-coverage`: public items in the API-bearing crates (`tensor`,
+//! `fl`, `core`, `parallel`) must carry rustdoc. These four crates are
+//! the surface other crates build on; an undocumented public function
+//! there is an invitation to misuse the determinism and threading
+//! contracts the docs encode.
+//!
+//! A "public item" is a `pub` keyword (not `pub(crate)` / `pub(super)` /
+//! `pub(in …)`) directly followed by an item keyword (`fn`, `struct`,
+//! `enum`, `trait`, `type`, `const`, `static`, `mod`, `union`). Public
+//! fields and re-exports (`pub use`) are exempt — re-exports inherit
+//! the origin's docs. The doc comment may be any of `///`, `/** */`, or
+//! a `#[doc = …]` attribute, optionally separated from the item by
+//! other attributes.
+
+use crate::engine::{Diagnostic, FileCtx, DOC_CRATES};
+use crate::lexer::TokKind;
+
+const RULE: &str = "doc-coverage";
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union", "unsafe", "async",
+];
+
+/// Run the doc-coverage rule over one file.
+pub fn check_doc_coverage(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    if !ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| DOC_CRATES.contains(&c))
+    {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (k, &i) in ctx.code.iter().enumerate() {
+        let t = &toks[i];
+        if !t.is_ident("pub") || ctx.is_test_line(t.line) {
+            continue;
+        }
+        // Skip `pub(crate)` and friends: restricted visibility is not API.
+        if ctx.code.get(k + 1).is_some_and(|&j| toks[j].is_punct('(')) {
+            continue;
+        }
+        // The token after `pub` (skipping `unsafe`/`async`/`extern` etc.
+        // qualifiers) must be an item keyword; `pub use` and struct
+        // fields (`pub name:`) are exempt.
+        let mut m = k + 1;
+        let mut item_kw: Option<&str> = None;
+        while let Some(&j) = ctx.code.get(m) {
+            let tj = &toks[j];
+            if tj.kind != TokKind::Ident {
+                break;
+            }
+            match tj.text.as_str() {
+                "unsafe" | "async" | "extern" => m += 1,
+                kw if ITEM_KEYWORDS.contains(&kw) => {
+                    item_kw = Some(&tj.text);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let Some(item_kw) = item_kw else { continue };
+        // Out-of-line modules (`pub mod x;`) document themselves with
+        // `//!` inner docs in their own file; only inline `pub mod x {}`
+        // needs a doc comment here.
+        if item_kw == "mod" {
+            let mut n = m + 1;
+            let mut out_of_line = false;
+            while let Some(&j) = ctx.code.get(n) {
+                match toks[j].kind {
+                    TokKind::Punct(';') => {
+                        out_of_line = true;
+                        break;
+                    }
+                    TokKind::Punct('{') => break,
+                    _ => n += 1,
+                }
+            }
+            if out_of_line {
+                continue;
+            }
+        }
+        // Item name for the message (the ident after the keyword, if any).
+        let name = ctx
+            .code
+            .get(m + 1)
+            .map(|&j| &toks[j])
+            .filter(|n| n.kind == TokKind::Ident)
+            .map(|n| n.text.clone())
+            .unwrap_or_default();
+
+        if has_preceding_doc(ctx, i) {
+            continue;
+        }
+        diags.push(ctx.diag(
+            RULE,
+            t.line,
+            format!(
+                "public {item_kw} `{name}` lacks rustdoc; {} is an API crate — document the \
+                 contract (shapes, determinism, panics) before exporting it",
+                ctx.crate_name.as_deref().unwrap_or("this"),
+            ),
+        ));
+    }
+}
+
+/// Walk backwards from the token at full-stream index `i`, skipping
+/// plain comments and attribute groups, looking for a doc comment or a
+/// `#[doc…]` attribute.
+fn has_preceding_doc(ctx: &FileCtx, i: usize) -> bool {
+    let toks = &ctx.toks;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_doc_comment() {
+            return true;
+        }
+        if t.is_comment() {
+            continue;
+        }
+        if t.is_punct(']') {
+            // Scan back to the matching `[`, remembering whether the
+            // attribute is `#[doc…]`.
+            let mut depth = 1usize;
+            let mut first_ident: Option<&str> = None;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                match toks[j].kind {
+                    TokKind::Punct(']') => depth += 1,
+                    TokKind::Punct('[') => depth -= 1,
+                    TokKind::Ident => first_ident = Some(&toks[j].text),
+                    _ => {}
+                }
+            }
+            // Consume the leading `#` (or `#!`).
+            if j > 0 && toks[j - 1].is_punct('#') {
+                j -= 1;
+            } else if j > 1 && toks[j - 1].is_punct('!') && toks[j - 2].is_punct('#') {
+                j -= 2;
+            }
+            if first_ident == Some("doc") {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}

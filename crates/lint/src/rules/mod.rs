@@ -1,0 +1,32 @@
+//! The rule families.
+//!
+//! Each rule walks a [`FileCtx`](crate::engine::FileCtx) token stream
+//! and appends [`Diagnostic`](crate::engine::Diagnostic)s. Rules match
+//! **token sequences over non-comment tokens**, so nothing ever fires
+//! inside a comment, string, or char literal (the lexer guarantees it).
+
+use crate::engine::{Diagnostic, FileCtx, LintConfig};
+
+mod determinism;
+mod doc_coverage;
+mod panic_freedom;
+mod unsafe_safety;
+
+pub use determinism::check_determinism;
+pub use doc_coverage::check_doc_coverage;
+pub use panic_freedom::check_panic_freedom;
+pub use unsafe_safety::check_unsafe_safety;
+
+/// Run every enabled rule family over one file.
+pub fn run_all(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    if cfg.is_enabled("unsafe-safety") {
+        check_unsafe_safety(ctx, diags);
+    }
+    check_determinism(ctx, cfg, diags);
+    if cfg.is_enabled("panic-freedom") {
+        check_panic_freedom(ctx, diags);
+    }
+    if cfg.is_enabled("doc-coverage") {
+        check_doc_coverage(ctx, diags);
+    }
+}

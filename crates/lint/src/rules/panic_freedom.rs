@@ -1,0 +1,66 @@
+//! `panic-freedom`: non-test library code must not call
+//! `.unwrap()` / `.expect(…)` or invoke `panic!` / `unimplemented!` /
+//! `todo!`. In a federated simulation a single careless unwrap turns a
+//! dropped client or a malformed checkpoint into a process crash; the
+//! engine's containment paths exist precisely so those events degrade
+//! gracefully instead.
+//!
+//! Total alternatives (`unwrap_or`, `unwrap_or_else`, `ok_or`,
+//! `map_err`, `?`) are untouched, as are `assert!`-family macros —
+//! validated preconditions with context are a feature, bare unwraps on
+//! `Option`/`Result` are not. Contract panics that really are the right
+//! behaviour (poisoned invariants, API misuse) must carry a scoped
+//! `lint:allow(panic-freedom) <reason>` marker so the justification is
+//! reviewable where the panic lives.
+
+use crate::engine::{Diagnostic, FileCtx};
+
+const RULE: &str = "panic-freedom";
+
+/// Run the panic-freedom rule over one file.
+pub fn check_panic_freedom(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    if !ctx.is_lib_crate() {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (k, &i) in ctx.code.iter().enumerate() {
+        let t = &toks[i];
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(`
+        if t.is_punct('.') {
+            let name = match ctx.code.get(k + 1).map(|&j| &toks[j]) {
+                Some(n) if n.is_ident("unwrap") || n.is_ident("expect") => n,
+                _ => continue,
+            };
+            if ctx.code.get(k + 2).is_some_and(|&j| toks[j].is_punct('(')) {
+                diags.push(ctx.diag(
+                    RULE,
+                    name.line,
+                    format!(
+                        "`.{}()` in library code can crash the simulation; propagate an error, \
+                         use a total alternative, or justify with \
+                         `lint:allow(panic-freedom) <reason>`",
+                        name.text
+                    ),
+                ));
+            }
+            continue;
+        }
+        // `panic!` / `unimplemented!` / `todo!`
+        if matches!(t.text.as_str(), "panic" | "unimplemented" | "todo")
+            && ctx.code.get(k + 1).is_some_and(|&j| toks[j].is_punct('!'))
+        {
+            diags.push(ctx.diag(
+                RULE,
+                t.line,
+                format!(
+                    "`{}!` in library code; return an error or justify with \
+                     `lint:allow(panic-freedom) <reason>`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}

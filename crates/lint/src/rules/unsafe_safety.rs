@@ -1,0 +1,66 @@
+//! `unsafe-safety`: every `unsafe` block, function, trait, or impl must
+//! be immediately preceded by a `// SAFETY:` comment justifying it.
+//!
+//! "Immediately" is strict: the comment must sit on the same line as
+//! the `unsafe` keyword, or in the contiguous run of comment/attribute
+//! lines directly above it. A blank line between the `SAFETY:` comment
+//! and the `unsafe` keyword breaks the association and the rule fires —
+//! stale safety arguments drifting away from their code is exactly the
+//! failure mode this prevents.
+//!
+//! The rule applies to **every** crate, including test code: an
+//! unsound test can corrupt memory just as well as an unsound kernel.
+
+use crate::engine::{Diagnostic, FileCtx};
+
+const RULE: &str = "unsafe-safety";
+
+/// Check every `unsafe` keyword for an adjacent `SAFETY:` comment.
+pub fn check_unsafe_safety(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    for &i in &ctx.code {
+        let t = &ctx.toks[i];
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if has_adjacent_safety_comment(ctx, t.line) {
+            continue;
+        }
+        diags.push(
+            ctx.diag(
+                RULE,
+                t.line,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment \
+             (same line or the contiguous comment block directly above; \
+             blank lines break the association)"
+                    .to_string(),
+            ),
+        );
+    }
+}
+
+fn has_adjacent_safety_comment(ctx: &FileCtx, unsafe_line: usize) -> bool {
+    // Same-line comment (leading or trailing).
+    if ctx.lines[unsafe_line].comment_text.contains("SAFETY:") {
+        return true;
+    }
+    // Walk upwards through the contiguous block of comment-only and
+    // attribute lines.
+    let mut ln = unsafe_line.saturating_sub(1);
+    while ln >= 1 {
+        let li = &ctx.lines[ln];
+        if li.comment_text.contains("SAFETY:") {
+            return true;
+        }
+        let blank = !li.has_code && !li.has_comment;
+        if blank {
+            return false;
+        }
+        if li.has_code && !li.starts_attr {
+            // A real code line ends the candidate block.
+            return false;
+        }
+        // Comment-only line without SAFETY, or an attribute line: keep going.
+        ln -= 1;
+    }
+    false
+}

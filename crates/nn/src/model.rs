@@ -3,7 +3,7 @@
 use crate::layer::Layer;
 use crate::loss::Loss;
 use fedwcm_stats::Xoshiro256pp;
-use fedwcm_tensor::Tensor;
+use fedwcm_tensor::{invariants, Tensor};
 
 /// A sequential network: layers plus one flat parameter vector.
 ///
@@ -103,11 +103,24 @@ impl Model {
 
     /// Forward pass producing logits. `train=true` caches activations so a
     /// `backward` can follow.
+    ///
+    /// With the `debug_invariants` feature, the input and every layer
+    /// output are checked for non-finite values and the batch dimension
+    /// is verified to survive each layer; release builds skip both.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.cols(), self.in_features, "model input width mismatch");
+        let batch = input.rows();
+        input.debug_assert_finite(|| "model forward input".to_string());
         let mut x = input.clone();
-        for (l, &(off, len)) in self.layers.iter_mut().zip(&self.offsets) {
+        for (idx, (l, &(off, len))) in self.layers.iter_mut().zip(&self.offsets).enumerate() {
             x = l.forward(&self.params[off..off + len], &x, train);
+            if invariants::ENABLED {
+                let name = l.name();
+                x.debug_assert_finite(|| format!("forward output of layer {idx} ({name})"));
+                invariants::check_len(x.rows(), batch, || {
+                    format!("batch dimension after layer {idx} ({name}) in forward")
+                });
+            }
         }
         x
     }
@@ -125,15 +138,32 @@ impl Model {
     }
 
     /// Backward pass from a logits gradient; fills `grads` (accumulating).
+    ///
+    /// With the `debug_invariants` feature, the incoming logits gradient,
+    /// every propagated layer gradient, and the final parameter gradient
+    /// buffer are checked for non-finite values; release builds skip all
+    /// of it.
     pub fn backward(&mut self, grad_logits: &Tensor, grads: &mut [f32]) {
         assert_eq!(
             grads.len(),
             self.params.len(),
             "grad buffer length mismatch"
         );
+        let batch = grad_logits.rows();
+        grad_logits.debug_assert_finite(|| "logits gradient entering backward".to_string());
         let mut g = grad_logits.clone();
-        for (l, &(off, len)) in self.layers.iter_mut().zip(&self.offsets).rev() {
+        for (idx, (l, &(off, len))) in self.layers.iter_mut().zip(&self.offsets).enumerate().rev() {
             g = l.backward(&self.params[off..off + len], &mut grads[off..off + len], &g);
+            if invariants::ENABLED {
+                let name = l.name();
+                g.debug_assert_finite(|| format!("backward gradient out of layer {idx} ({name})"));
+                invariants::check_len(g.rows(), batch, || {
+                    format!("batch dimension out of layer {idx} ({name}) in backward")
+                });
+            }
+        }
+        if invariants::ENABLED {
+            invariants::check_finite(grads, || "parameter gradient buffer".to_string());
         }
     }
 

@@ -48,11 +48,13 @@ pub fn load_params(model: &mut Model, bytes: &[u8]) -> Result<(), LoadError> {
     if bytes.len() < 16 || &bytes[..4] != MAGIC {
         return Err(LoadError::BadHeader);
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
     if version != VERSION {
         return Err(LoadError::BadVersion(version));
     }
-    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
+    let count = u64::from_le_bytes([
+        bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
+    ]) as usize;
     if count != model.param_len() {
         return Err(LoadError::WrongArity {
             found: count,
@@ -65,7 +67,7 @@ pub fn load_params(model: &mut Model, bytes: &[u8]) -> Result<(), LoadError> {
     }
     let mut params = Vec::with_capacity(count);
     for chunk in body.chunks_exact(4) {
-        let v = f32::from_le_bytes(chunk.try_into().expect("sized"));
+        let v = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         if !v.is_finite() {
             return Err(LoadError::NonFinite);
         }

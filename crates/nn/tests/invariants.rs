@@ -1,0 +1,83 @@
+//! Layer-boundary checks under the `debug_invariants` feature: a NaN fed
+//! into (or produced inside) a model is caught at the first layer
+//! boundary it crosses, with the layer named in the panic; release
+//! builds run the same inputs without any checking overhead or panic.
+
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::rng::Xoshiro256pp;
+use fedwcm_tensor::{invariants, Tensor};
+
+fn tiny_mlp() -> fedwcm_nn::model::Model {
+    let mut rng = Xoshiro256pp::seed_from(7);
+    mlp(4, &[8], 3, &mut rng)
+}
+
+#[test]
+fn enabled_flag_reflects_build() {
+    assert_eq!(invariants::ENABLED, cfg!(feature = "debug_invariants"));
+}
+
+#[cfg(feature = "debug_invariants")]
+mod enabled {
+    use super::*;
+
+    fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string")
+    }
+
+    #[test]
+    fn nan_input_caught_before_the_first_layer() {
+        let mut m = tiny_mlp();
+        let x = Tensor::from_vec(vec![0.1, f32::NAN, 0.3, 0.4], &[1, 4]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.forward(&x, false)))
+            .expect_err("NaN input must trip the invariant");
+        let msg = panic_message(err);
+        assert!(msg.contains("forward input"), "{msg}");
+    }
+
+    #[test]
+    fn nan_parameter_blamed_on_its_layer() {
+        let mut m = tiny_mlp();
+        // Corrupt a first-layer weight: the NaN surfaces in that layer's
+        // output and the panic must blame layer 0, not a later one.
+        m.params_mut()[0] = f32::NAN;
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 4]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.forward(&x, false)))
+            .expect_err("NaN weight must trip the invariant");
+        let msg = panic_message(err);
+        assert!(msg.contains("layer 0"), "{msg}");
+        assert!(msg.contains("dense"), "{msg}");
+    }
+
+    #[test]
+    fn nan_logits_gradient_caught_entering_backward() {
+        let mut m = tiny_mlp();
+        let x = Tensor::from_vec(vec![0.5; 4], &[1, 4]);
+        let _ = m.forward(&x, true);
+        let g = Tensor::from_vec(vec![0.1, f32::INFINITY, -0.1], &[1, 3]);
+        let mut grads = vec![0.0; m.param_len()];
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.backward(&g, &mut grads)))
+                .expect_err("non-finite gradient must trip the invariant");
+        let msg = panic_message(err);
+        assert!(msg.contains("backward"), "{msg}");
+    }
+}
+
+#[cfg(not(feature = "debug_invariants"))]
+mod disabled {
+    use super::*;
+
+    #[test]
+    fn nan_input_flows_through_unchecked() {
+        // Release semantics: garbage in, garbage out — no panic. The FL
+        // engine's containment filter is the release-mode safety net.
+        let mut m = tiny_mlp();
+        let x = Tensor::from_vec(vec![0.1, f32::NAN, 0.3, 0.4], &[1, 4]);
+        let logits = m.forward(&x, false);
+        assert!(logits.as_slice().iter().any(|v| v.is_nan()));
+    }
+}

@@ -26,10 +26,14 @@ use std::cell::{Cell, UnsafeCell};
 use std::num::NonZeroUsize;
 
 mod pool;
+pub mod sync;
 
 /// Resolve the worker count: the `FEDWCM_THREADS` env var if set (≥1),
 /// otherwise [`std::thread::available_parallelism`].
 pub fn default_threads() -> usize {
+    // lint:allow(determinism-env) FEDWCM_THREADS only selects the worker
+    // count, and every primitive in this crate is bitwise deterministic
+    // across thread counts, so this read cannot change simulation output.
     if let Ok(v) = std::env::var("FEDWCM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);
@@ -162,6 +166,9 @@ where
         .enumerate()
         .map(|(i, slot)| {
             slot.0.into_inner().unwrap_or_else(|| {
+                // lint:allow(panic-freedom) unreachable unless the pool's
+                // exactly-once claim invariant is broken; crashing loudly
+                // beats silently returning corrupt results.
                 panic!("parallel_map: result slot {i} was never written (claimant failed)")
             })
         })
@@ -206,6 +213,9 @@ struct Chunk<T>(*mut T, usize);
 // SAFETY: chunks are created from non-overlapping `split_at_mut` regions
 // and each is consumed by exactly one index claimant.
 unsafe impl<T: Send> Send for Chunk<T> {}
+// SAFETY: sharing `&Chunk` across participants is sound for the same
+// reason — the raw region behind it is only ever turned into a `&mut`
+// by the single claimant of its index, never concurrently.
 unsafe impl<T: Send> Sync for Chunk<T> {}
 
 /// Partition `data` — a dense `rows × row_len` buffer — into at most

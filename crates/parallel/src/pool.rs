@@ -29,6 +29,7 @@
 //! index. Every primitive built on the pool is therefore bitwise
 //! deterministic across thread counts and scheduling orders.
 
+use crate::sync::{lock_recover, wait_recover};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -108,14 +109,19 @@ impl Pool {
         if self.shared.workers.load(Ordering::Relaxed) >= want {
             return;
         }
-        let _guard = self.shared.spawn_lock.lock().unwrap();
+        let _guard = lock_recover(&self.shared.spawn_lock);
         while self.shared.workers.load(Ordering::Relaxed) < want {
             let id = self.shared.workers.load(Ordering::Relaxed);
             let shared = Arc::clone(&self.shared);
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("fedwcm-worker-{id}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("failed to spawn pool worker");
+                .spawn(move || worker_loop(&shared));
+            if spawned.is_err() {
+                // Out of OS threads: degrade gracefully. The submitting
+                // caller always participates in its own job, so every
+                // job still completes — just with fewer helpers.
+                break;
+            }
             self.shared.workers.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -152,7 +158,7 @@ pub(crate) fn run_indexed(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync
     });
 
     {
-        let mut queue = pool.shared.queue.lock().unwrap();
+        let mut queue = lock_recover(&pool.shared.queue);
         queue.push_back(Arc::clone(&job));
     }
     pool.shared.work_cv.notify_all();
@@ -164,7 +170,7 @@ pub(crate) fn run_indexed(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync
     // No new workers may attach once the job leaves the queue (attaching
     // happens only under the queue lock, only for queued jobs).
     {
-        let mut queue = pool.shared.queue.lock().unwrap();
+        let mut queue = lock_recover(&pool.shared.queue);
         if let Some(pos) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
             queue.remove(pos);
         }
@@ -174,13 +180,13 @@ pub(crate) fn run_indexed(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync
     // Wait for attached workers to finish their in-flight items. The
     // `done_lock` handoff also publishes their slot writes to us.
     {
-        let mut guard = job.done_lock.lock().unwrap();
+        let mut guard = lock_recover(&job.done_lock);
         while job.active.load(Ordering::Acquire) != 0 {
-            guard = job.done_cv.wait(guard).unwrap();
+            guard = wait_recover(&job.done_cv, guard);
         }
     }
 
-    let payload = job.panic.lock().unwrap().take();
+    let payload = lock_recover(&job.panic).take();
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
@@ -197,14 +203,14 @@ fn run_items(job: &Job) {
             // Stop further claims and record the first failure; the
             // submitting caller re-raises it after quiescence.
             job.next.fetch_max(job.n, Ordering::Relaxed);
-            job.panic.lock().unwrap().get_or_insert(payload);
+            lock_recover(&job.panic).get_or_insert(payload);
         }
     }
 }
 
 /// Drop out of a job, signalling the caller when the job quiesces.
 fn finish_participation(job: &Job) {
-    let _guard = job.done_lock.lock().unwrap();
+    let _guard = lock_recover(&job.done_lock);
     if job.active.fetch_sub(1, Ordering::AcqRel) == 1 {
         job.done_cv.notify_all();
     }
@@ -215,7 +221,7 @@ fn finish_participation(job: &Job) {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 let mut picked = None;
                 let mut idx = 0;
@@ -240,7 +246,7 @@ fn worker_loop(shared: &PoolShared) {
                         job.active.fetch_add(1, Ordering::Relaxed);
                         break job;
                     }
-                    None => queue = shared.work_cv.wait(queue).unwrap(),
+                    None => queue = wait_recover(&shared.work_cv, queue),
                 }
             }
         };

@@ -1,0 +1,74 @@
+//! Poison-tolerant locking helpers shared by the pool internals.
+//!
+//! The standard library poisons a `Mutex` when a holder panics, and
+//! every subsequent `lock()` returns `Err` forever after. For the pool
+//! that policy is strictly worse than recovery: worker panics are
+//! already caught with `catch_unwind` inside [`crate::pool`] and
+//! re-raised on the submitting caller, and no lock-held critical
+//! section leaves its guarded state half-updated (queue pushes/removes
+//! and counter updates are single atomic operations on the structure).
+//! Recovering the guard therefore cannot observe a broken invariant —
+//! whereas unwrapping the poison error would turn one contained client
+//! panic into a cascading crash of every later round.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Acquire `m`, recovering the guard if a previous holder panicked.
+///
+/// Sound for pool state because every critical section keeps its
+/// guarded data structurally valid at all times (see the module docs);
+/// a poisoned lock only records that *some* participant panicked, which
+/// the pool already tracks and re-raises through the job's panic slot.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Block on `cv`, recovering the reacquired guard if the mutex was
+/// poisoned while this thread slept.
+///
+/// Same soundness argument as [`lock_recover`]: recovery only skips the
+/// poison bookkeeping, never exposes torn state.
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = Mutex::new(7usize);
+        // Poison the mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 9;
+        assert_eq!(*lock_recover(&m), 9);
+    }
+
+    #[test]
+    fn wait_recover_roundtrip() {
+        use std::sync::{Arc, Condvar};
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            *lock_recover(&pair2.0) = true;
+            pair2.1.notify_all();
+        });
+        let (m, cv) = (&pair.0, &pair.1);
+        let mut guard = lock_recover(m);
+        while !*guard {
+            guard = wait_recover(cv, guard);
+        }
+        drop(guard);
+        t.join().unwrap();
+    }
+}

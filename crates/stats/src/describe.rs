@@ -27,12 +27,14 @@ pub fn stddev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
 }
 
-/// Linear-interpolation quantile, `q ∈ [0, 1]`. Panics on empty input.
+/// Linear-interpolation quantile, `q ∈ [0, 1]`. Panics on empty or
+/// NaN-bearing input.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    assert!(xs.iter().all(|x| !x.is_nan()), "NaN in quantile input");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(f64::total_cmp);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -64,8 +66,11 @@ pub fn gini(xs: &[f64]) -> f64 {
     if total == 0.0 {
         return 0.0;
     }
+    // NaN is impossible here: the `x >= 0.0` assert above rejects it
+    // (comparisons with NaN are false), so `total_cmp` is a pure
+    // drop-in for the partial comparison.
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in gini input"));
+    v.sort_by(f64::total_cmp);
     // Gini = (2 Σ i·x_(i) / (n Σ x)) − (n+1)/n, with 1-based ranks.
     let weighted: f64 = v.iter().enumerate().map(|(i, &x)| (i + 1) as f64 * x).sum();
     (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64

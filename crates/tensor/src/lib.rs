@@ -12,10 +12,15 @@
 //!   can reuse them without copies;
 //! * all shape errors are programmer errors and panic with context rather
 //!   than returning `Result`, matching ndarray-style numerical libraries.
+//!
+//! With `--features debug_invariants`, the [`invariants`] module adds
+//! runtime finiteness/shape checks that higher layers (`fedwcm-nn`,
+//! `fedwcm-fl`) hook into; without the feature they cost nothing.
 
 #![warn(missing_docs)]
 
 pub mod im2col;
+pub mod invariants;
 pub mod matmul;
 pub mod ops;
 pub mod tensor;
