@@ -1,7 +1,7 @@
 //! FedAvg (McMahan et al., 2017): local SGD + model averaging.
 
 use fedwcm_fl::algorithm::{
-    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog, StateError,
 };
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::{CrossEntropy, Loss};
@@ -54,6 +54,19 @@ impl FederatedAlgorithm for FedAvg {
         uniform_average(&input.updates, &mut dir);
         server_step(global, &dir, input.cfg, input.mean_batches());
         RoundLog::default()
+    }
+
+    // FedAvg carries no cross-round state; an empty blob is the whole of it.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(StateError::Malformed)
+        }
     }
 }
 

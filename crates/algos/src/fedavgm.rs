@@ -3,7 +3,8 @@
 //! heavy-ball update over the aggregated deltas.
 
 use fedwcm_fl::algorithm::{
-    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+    server_step, state_from_vec, state_to_vec, uniform_average, FederatedAlgorithm, RoundInput,
+    RoundLog, StateError,
 };
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::CrossEntropy;
@@ -53,6 +54,17 @@ impl FederatedAlgorithm for FedAvgM {
         let step_dir: Vec<f32> = self.buffer.iter().map(|&m| m * (1.0 - self.beta)).collect();
         server_step(global, &step_dir, input.cfg, input.mean_batches());
         RoundLog::default()
+    }
+
+    // β is construction-time configuration; the heavy-ball buffer is the
+    // only cross-round state.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(state_from_vec(&self.buffer))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        self.buffer = state_to_vec(bytes)?;
+        Ok(())
     }
 }
 

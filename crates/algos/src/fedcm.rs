@@ -8,7 +8,8 @@
 //! [`FedCm::with_balanced_sampler`].
 
 use fedwcm_fl::algorithm::{
-    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+    server_step, state_from_vec, state_to_vec, uniform_average, FederatedAlgorithm, RoundInput,
+    RoundLog, StateError,
 };
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::{CrossEntropy, Loss};
@@ -100,6 +101,17 @@ impl FederatedAlgorithm for FedCm {
             alpha: Some(self.alpha as f64),
             weights: None,
         }
+    }
+
+    // α, loss, and sampler are construction-time configuration; the global
+    // momentum buffer is the only cross-round state.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(state_from_vec(&self.momentum))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        self.momentum = state_to_vec(bytes)?;
+        Ok(())
     }
 }
 

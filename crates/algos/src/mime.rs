@@ -15,7 +15,8 @@
 //! `ClientUpdate::extra`).
 
 use fedwcm_fl::algorithm::{
-    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+    server_step, state_from_vec, state_to_vec, uniform_average, FederatedAlgorithm, RoundInput,
+    RoundLog, StateError,
 };
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::CrossEntropy;
@@ -102,6 +103,17 @@ impl FederatedAlgorithm for MimeLite {
             alpha: Some(self.a as f64),
             weights: None,
         }
+    }
+
+    // β and a are construction-time configuration; the frozen server
+    // momentum is the only cross-round state.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(state_from_vec(&self.momentum))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        self.momentum = state_to_vec(bytes)?;
+        Ok(())
     }
 }
 

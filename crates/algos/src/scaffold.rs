@@ -8,10 +8,11 @@
 //! weighted mean control change.
 
 use fedwcm_fl::algorithm::{
-    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog,
+    server_step, uniform_average, FederatedAlgorithm, RoundInput, RoundLog, StateError,
 };
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::CrossEntropy;
+use fedwcm_nn::serialize::{put_f32s, put_u64, ByteReader};
 
 /// SCAFFOLD with option-II control updates.
 pub struct Scaffold {
@@ -107,6 +108,36 @@ impl FederatedAlgorithm for Scaffold {
             old.copy_from_slice(new_control);
         }
         RoundLog::default()
+    }
+
+    // Cross-round state: the server control and every client control.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        put_f32s(&mut out, &self.server_control);
+        put_u64(&mut out, self.client_controls.len() as u64);
+        for c in &self.client_controls {
+            put_f32s(&mut out, c);
+        }
+        Some(out)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = ByteReader::new(bytes);
+        let server_control = r.f32s().ok_or(StateError::Malformed)?;
+        let n = r.u64().ok_or(StateError::Malformed)? as usize;
+        if n != self.num_clients {
+            return Err(StateError::Malformed);
+        }
+        let mut client_controls = Vec::with_capacity(n);
+        for _ in 0..n {
+            client_controls.push(r.f32s().ok_or(StateError::Malformed)?);
+        }
+        if !r.is_exhausted() {
+            return Err(StateError::Malformed);
+        }
+        self.server_control = server_control;
+        self.client_controls = client_controls;
+        Ok(())
     }
 }
 

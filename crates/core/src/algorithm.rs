@@ -5,6 +5,7 @@ use crate::score::{client_scores, global_distribution, imbalance_degree, tempera
 use crate::weighting::aggregation_weights;
 use fedwcm_fl::algorithm::{
     server_step, uniform_average, weighted_average, FederatedAlgorithm, RoundInput, RoundLog,
+    StateError,
 };
 use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
 use fedwcm_nn::loss::{CrossEntropy, Loss};
@@ -211,6 +212,29 @@ impl FederatedAlgorithm for FedWcm {
             alpha: Some(used_alpha),
             weights,
         }
+    }
+
+    // Cross-round state is the momentum buffer and the adapted α. The
+    // `GlobalInfo` cache is a pure function of the client views and is
+    // recomputed lazily on the first post-resume aggregation, so it is
+    // deliberately not serialized.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(12 + self.momentum.len() * 4);
+        fedwcm_nn::serialize::put_f32(&mut out, self.alpha);
+        fedwcm_nn::serialize::put_f32s(&mut out, &self.momentum);
+        Some(out)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = fedwcm_nn::serialize::ByteReader::new(bytes);
+        let alpha = r.f32().ok_or(StateError::Malformed)?;
+        let momentum = r.f32s().ok_or(StateError::Malformed)?;
+        if !r.is_exhausted() {
+            return Err(StateError::Malformed);
+        }
+        self.alpha = alpha;
+        self.momentum = momentum;
+        Ok(())
     }
 }
 

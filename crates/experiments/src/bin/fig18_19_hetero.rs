@@ -29,7 +29,10 @@ fn main() {
     for r in 0..rounds {
         print!("{r}");
         for h in &histories {
-            print!(",{:.4}", h.records[r].train_loss);
+            match h.records[r].train_loss {
+                Some(loss) => print!(",{loss:.4}"),
+                None => print!(",-"),
+            }
         }
         println!();
     }

@@ -144,11 +144,12 @@ mod tests {
         use fedwcm_fl::RoundRecord;
         let rec = |round: usize, acc: Option<f64>| RoundRecord {
             round,
-            train_loss: 0.0,
+            train_loss: None,
             update_norm: 0.0,
             test_acc: acc,
             alpha: None,
             dropped_updates: 0,
+            faults: fedwcm_fl::RoundFaults::default(),
         };
         // Two methods evaluated at *different* rounds: pairing by index
         // would misattribute h2's round-2 accuracy to round 1.

@@ -120,6 +120,7 @@ impl ExpConfig {
             seed: self.seed,
             threads: 0,
             eval_every: (self.rounds / 20).max(1),
+            ..FlConfig::default_sim()
         };
         PreparedTask {
             exp: self.clone(),

@@ -46,6 +46,17 @@ pub struct RoundLog {
     pub weights: Option<Vec<f64>>,
 }
 
+/// Why an algorithm state blob could not be restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// The algorithm does not implement state capture, so a checkpointed
+    /// run cannot be resumed with it.
+    Unsupported,
+    /// The blob does not parse as this algorithm's state (truncated,
+    /// wrong version, or produced by a different algorithm).
+    Malformed,
+}
+
 /// A federated-learning algorithm: local training + server aggregation.
 ///
 /// `local_train` is called concurrently for the round's sampled clients
@@ -62,6 +73,44 @@ pub trait FederatedAlgorithm: Send + Sync {
     /// Aggregate the round's updates into the global parameters and update
     /// internal state. Returns diagnostics for the history.
     fn aggregate(&mut self, global: &mut [f32], input: &RoundInput<'_>) -> RoundLog;
+
+    /// Serialize every piece of internal state that influences future
+    /// rounds (momentum buffers, control variates, adaptive parameters),
+    /// such that a fresh instance fed this blob via
+    /// [`FederatedAlgorithm::load_state`] continues the run **bitwise
+    /// identically**. Returns `None` when the algorithm does not support
+    /// state capture — the conservative default, so checkpointing an
+    /// unprepared algorithm fails loudly instead of resuming from a
+    /// silently reset state. Stateless algorithms return an empty blob.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state captured by [`FederatedAlgorithm::save_state`].
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), StateError> {
+        Err(StateError::Unsupported)
+    }
+}
+
+/// Serialize a single `f32` buffer as an algorithm-state blob — the whole
+/// cross-round state of the momentum-buffer family (FedCM, FedAvgM,
+/// Mime-lite, …). Bit patterns are preserved exactly.
+pub fn state_from_vec(v: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + v.len() * 4);
+    fedwcm_nn::serialize::put_f32s(&mut out, v);
+    out
+}
+
+/// Parse a blob written by [`state_from_vec`]. Rejects trailing bytes, so
+/// a blob from a richer algorithm cannot silently load as a plain buffer.
+pub fn state_to_vec(bytes: &[u8]) -> Result<Vec<f32>, StateError> {
+    let mut r = fedwcm_nn::serialize::ByteReader::new(bytes);
+    let v = r.f32s().ok_or(StateError::Malformed)?;
+    if r.is_exhausted() {
+        Ok(v)
+    } else {
+        Err(StateError::Malformed)
+    }
 }
 
 /// Uniform average of update deltas (the FedAvg aggregation), written into
@@ -149,6 +198,24 @@ mod tests {
         for (g, l) in global.iter().zip(&local_final) {
             assert!((g - l).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn state_blob_roundtrip_and_rejection() {
+        let v = vec![1.5f32, f32::NAN, -0.0];
+        let blob = state_from_vec(&v);
+        let back = state_to_vec(&blob).expect("roundtrip");
+        let bits: Vec<u32> = back.iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bits, want, "bit patterns must survive");
+        // Trailing garbage and truncation are both malformed.
+        let mut long = blob.clone();
+        long.push(0);
+        assert_eq!(state_to_vec(&long), Err(StateError::Malformed));
+        assert_eq!(
+            state_to_vec(&blob[..blob.len() - 1]),
+            Err(StateError::Malformed)
+        );
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Server-state checkpointing: crash a long run at round `r`, restart
+//! from the round-`r` checkpoint, and finish with a bitwise-identical
+//! history and global model.
+//!
+//! A [`ServerCheckpoint`] captures everything the engine needs to
+//! continue a run: the round counter, global parameters, the full
+//! round-by-round history, the algorithm's internal state (via
+//! [`FederatedAlgorithm::save_state`]), and the resilience machinery —
+//! the straggler buffer and the replay cache — so even a chaos run
+//! resumes exactly.
+//!
+//! # Wire format
+//!
+//! Magic `b"FWCK"`, version (u32 LE), then length-prefixed fields in a
+//! fixed order, all little-endian, built on the byte helpers in
+//! `fedwcm_nn::serialize`. Float bit patterns are preserved exactly, so
+//! serialize → deserialize → serialize is the identity on bytes.
+
+use crate::algorithm::{FederatedAlgorithm, StateError};
+use crate::client::ClientUpdate;
+use crate::engine::{PendingUpdate, RunState, Simulation};
+use crate::metrics::{History, RoundFaults, RoundRecord};
+use fedwcm_nn::serialize::{
+    put_bytes, put_f32, put_f32s, put_f64, put_str, put_u32, put_u64, ByteReader,
+};
+
+const MAGIC: &[u8; 4] = b"FWCK";
+const VERSION: u32 = 1;
+
+/// Why a checkpoint could not be captured, parsed, or restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The algorithm does not implement state capture
+    /// ([`FederatedAlgorithm::save_state`] returned `None`), so resuming
+    /// it would silently reset momentum/variates. Refused loudly instead.
+    AlgorithmStateUnsupported,
+    /// The checkpoint was produced by a different algorithm than the one
+    /// resuming it.
+    AlgorithmMismatch {
+        /// Algorithm name recorded in the checkpoint.
+        expected: String,
+        /// Name of the algorithm attempting to resume.
+        found: String,
+    },
+    /// The simulation's configuration fingerprint (seed, client count,
+    /// round count, parameter arity) does not match the checkpoint's.
+    ConfigMismatch,
+    /// The byte buffer does not parse as a checkpoint (bad magic,
+    /// unsupported version, truncation, or corrupt lengths).
+    Malformed,
+    /// The algorithm rejected the recorded state blob.
+    State(StateError),
+}
+
+impl core::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointError::AlgorithmStateUnsupported => {
+                write!(f, "algorithm does not support state capture")
+            }
+            CheckpointError::AlgorithmMismatch { expected, found } => {
+                write!(f, "checkpoint is for '{expected}', not '{found}'")
+            }
+            CheckpointError::ConfigMismatch => {
+                write!(f, "simulation configuration does not match the checkpoint")
+            }
+            CheckpointError::Malformed => write!(f, "malformed checkpoint bytes"),
+            CheckpointError::State(e) => write!(f, "algorithm state rejected: {e:?}"),
+        }
+    }
+}
+
+/// A captured server state: the full resumable snapshot of a run after
+/// some prefix of its rounds.
+#[derive(Clone, Debug)]
+pub struct ServerCheckpoint {
+    /// Next round to execute on resume.
+    next_round: usize,
+    /// Global model parameters.
+    global: Vec<f32>,
+    /// Display name of the algorithm that produced the state blob.
+    algo_name: String,
+    /// Opaque algorithm state from [`FederatedAlgorithm::save_state`].
+    algo_state: Vec<u8>,
+    /// History of the executed rounds.
+    history: History,
+    /// Buffered straggler uploads not yet merged.
+    pending: Vec<PendingUpdate>,
+    /// Per-client last-received uploads (replay-fault machinery).
+    replay_cache: Vec<Option<Vec<f32>>>,
+    /// Fingerprint of the producing simulation: seed, clients, rounds,
+    /// parameter arity.
+    fingerprint: [u64; 4],
+}
+
+impl ServerCheckpoint {
+    /// The round a resume would execute next.
+    pub fn next_round(&self) -> usize {
+        self.next_round
+    }
+
+    /// The recorded global parameters.
+    pub fn global(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// The algorithm name recorded at capture time.
+    pub fn algo_name(&self) -> &str {
+        &self.algo_name
+    }
+
+    /// The history of the rounds executed before capture.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    fn fingerprint_of(sim: &Simulation<'_>, param_len: usize) -> [u64; 4] {
+        [
+            sim.cfg.seed,
+            sim.cfg.clients as u64,
+            sim.cfg.rounds as u64,
+            param_len as u64,
+        ]
+    }
+
+    /// Capture the current server state of `sim` (internal; reached via
+    /// [`Simulation::run_until`]).
+    pub(crate) fn capture(
+        sim: &Simulation<'_>,
+        algo: &dyn FederatedAlgorithm,
+        state: &RunState,
+    ) -> Result<Self, CheckpointError> {
+        let algo_state = algo
+            .save_state()
+            .ok_or(CheckpointError::AlgorithmStateUnsupported)?;
+        Ok(ServerCheckpoint {
+            next_round: state.next_round,
+            global: state.global.clone(),
+            algo_name: algo.name(),
+            algo_state,
+            history: state.history.clone(),
+            pending: state.pending.clone(),
+            replay_cache: state.replay_cache.clone(),
+            fingerprint: Self::fingerprint_of(sim, state.global.len()),
+        })
+    }
+
+    /// Validate against `sim`, load the algorithm state, and rebuild the
+    /// engine's run state (internal; reached via [`Simulation::resume`]).
+    pub(crate) fn restore(
+        &self,
+        sim: &Simulation<'_>,
+        algo: &mut dyn FederatedAlgorithm,
+    ) -> Result<RunState, CheckpointError> {
+        if algo.name() != self.algo_name {
+            return Err(CheckpointError::AlgorithmMismatch {
+                expected: self.algo_name.clone(),
+                found: algo.name(),
+            });
+        }
+        if Self::fingerprint_of(sim, self.global.len()) != self.fingerprint {
+            return Err(CheckpointError::ConfigMismatch);
+        }
+        algo.load_state(&self.algo_state)
+            .map_err(CheckpointError::State)?;
+        Ok(RunState {
+            next_round: self.next_round,
+            global: self.global.clone(),
+            history: self.history.clone(),
+            pending: self.pending.clone(),
+            replay_cache: self.replay_cache.clone(),
+        })
+    }
+
+    /// Serialize to the `FWCK` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        for &f in &self.fingerprint {
+            put_u64(&mut out, f);
+        }
+        put_u64(&mut out, self.next_round as u64);
+        put_f32s(&mut out, &self.global);
+        put_str(&mut out, &self.algo_name);
+        put_bytes(&mut out, &self.algo_state);
+
+        // History.
+        put_str(&mut out, &self.history.name);
+        put_u64(&mut out, self.history.records.len() as u64);
+        for r in &self.history.records {
+            put_u64(&mut out, r.round as u64);
+            put_opt_f64(&mut out, r.train_loss);
+            put_f64(&mut out, r.update_norm);
+            put_opt_f64(&mut out, r.test_acc);
+            put_opt_f64(&mut out, r.alpha);
+            put_u64(&mut out, r.dropped_updates as u64);
+            put_u32(&mut out, r.faults.dropouts);
+            put_u32(&mut out, r.faults.stragglers);
+            put_u32(&mut out, r.faults.late_merged);
+            put_u32(&mut out, r.faults.corruptions);
+            put_u32(&mut out, r.faults.replays);
+            put_u32(&mut out, r.faults.quorum_failed as u32);
+        }
+
+        // Straggler buffer.
+        put_u64(&mut out, self.pending.len() as u64);
+        for p in &self.pending {
+            put_u64(&mut out, p.arrival_round as u64);
+            put_u64(&mut out, p.staleness as u64);
+            put_update(&mut out, &p.update);
+        }
+
+        // Replay cache.
+        put_u64(&mut out, self.replay_cache.len() as u64);
+        for slot in &self.replay_cache {
+            match slot {
+                Some(delta) => {
+                    put_u32(&mut out, 1);
+                    put_f32s(&mut out, delta);
+                }
+                None => put_u32(&mut out, 0),
+            }
+        }
+        out
+    }
+
+    /// Parse a checkpoint serialized by [`ServerCheckpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let body = bytes
+            .strip_prefix(MAGIC.as_slice())
+            .ok_or(CheckpointError::Malformed)?;
+        let mut r = ByteReader::new(body);
+        let version = r.u32().ok_or(CheckpointError::Malformed)?;
+        if version != VERSION {
+            return Err(CheckpointError::Malformed);
+        }
+        let mut fingerprint = [0u64; 4];
+        for f in fingerprint.iter_mut() {
+            *f = r.u64().ok_or(CheckpointError::Malformed)?;
+        }
+        let next_round = read_usize(&mut r)?;
+        let global = r.f32s().ok_or(CheckpointError::Malformed)?;
+        let algo_name = r.str().ok_or(CheckpointError::Malformed)?;
+        let algo_state = r.bytes().ok_or(CheckpointError::Malformed)?;
+
+        let mut history = History::new(r.str().ok_or(CheckpointError::Malformed)?);
+        let n_records = read_usize(&mut r)?;
+        for _ in 0..n_records {
+            let round = read_usize(&mut r)?;
+            let train_loss = read_opt_f64(&mut r)?;
+            let update_norm = r.f64().ok_or(CheckpointError::Malformed)?;
+            let test_acc = read_opt_f64(&mut r)?;
+            let alpha = read_opt_f64(&mut r)?;
+            let dropped_updates = read_usize(&mut r)?;
+            let faults = RoundFaults {
+                dropouts: r.u32().ok_or(CheckpointError::Malformed)?,
+                stragglers: r.u32().ok_or(CheckpointError::Malformed)?,
+                late_merged: r.u32().ok_or(CheckpointError::Malformed)?,
+                corruptions: r.u32().ok_or(CheckpointError::Malformed)?,
+                replays: r.u32().ok_or(CheckpointError::Malformed)?,
+                quorum_failed: r.u32().ok_or(CheckpointError::Malformed)? != 0,
+            };
+            history.records.push(RoundRecord {
+                round,
+                train_loss,
+                update_norm,
+                test_acc,
+                alpha,
+                dropped_updates,
+                faults,
+            });
+        }
+
+        let n_pending = read_usize(&mut r)?;
+        let mut pending = Vec::with_capacity(n_pending.min(1 << 16));
+        for _ in 0..n_pending {
+            let arrival_round = read_usize(&mut r)?;
+            let staleness = read_usize(&mut r)?;
+            let update = read_update(&mut r)?;
+            pending.push(PendingUpdate {
+                arrival_round,
+                staleness,
+                update,
+            });
+        }
+
+        let n_cache = read_usize(&mut r)?;
+        let mut replay_cache = Vec::with_capacity(n_cache.min(1 << 16));
+        for _ in 0..n_cache {
+            let tag = r.u32().ok_or(CheckpointError::Malformed)?;
+            replay_cache.push(match tag {
+                0 => None,
+                1 => Some(r.f32s().ok_or(CheckpointError::Malformed)?),
+                _ => return Err(CheckpointError::Malformed),
+            });
+        }
+
+        if !r.is_exhausted() {
+            return Err(CheckpointError::Malformed);
+        }
+        Ok(ServerCheckpoint {
+            next_round,
+            global,
+            algo_name,
+            algo_state,
+            history,
+            pending,
+            replay_cache,
+            fingerprint,
+        })
+    }
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            put_u32(out, 1);
+            put_f64(out, x);
+        }
+        None => put_u32(out, 0),
+    }
+}
+
+fn read_opt_f64(r: &mut ByteReader<'_>) -> Result<Option<f64>, CheckpointError> {
+    match r.u32().ok_or(CheckpointError::Malformed)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.f64().ok_or(CheckpointError::Malformed)?)),
+        _ => Err(CheckpointError::Malformed),
+    }
+}
+
+fn read_usize(r: &mut ByteReader<'_>) -> Result<usize, CheckpointError> {
+    usize::try_from(r.u64().ok_or(CheckpointError::Malformed)?)
+        .map_err(|_| CheckpointError::Malformed)
+}
+
+fn put_update(out: &mut Vec<u8>, u: &ClientUpdate) {
+    put_u64(out, u.client as u64);
+    put_u64(out, u.num_samples as u64);
+    put_u64(out, u.num_batches as u64);
+    put_f32(out, u.avg_loss);
+    put_f32s(out, &u.delta);
+    match &u.extra {
+        Some(extra) => {
+            put_u32(out, 1);
+            put_f32s(out, extra);
+        }
+        None => put_u32(out, 0),
+    }
+}
+
+fn read_update(r: &mut ByteReader<'_>) -> Result<ClientUpdate, CheckpointError> {
+    let client = read_usize(r)?;
+    let num_samples = read_usize(r)?;
+    let num_batches = read_usize(r)?;
+    let avg_loss = r.f32().ok_or(CheckpointError::Malformed)?;
+    let delta = r.f32s().ok_or(CheckpointError::Malformed)?;
+    let extra = match r.u32().ok_or(CheckpointError::Malformed)? {
+        0 => None,
+        1 => Some(r.f32s().ok_or(CheckpointError::Malformed)?),
+        _ => return Err(CheckpointError::Malformed),
+    };
+    Ok(ClientUpdate {
+        client,
+        num_samples,
+        num_batches,
+        avg_loss,
+        delta,
+        extra,
+    })
+}

@@ -3,31 +3,45 @@
 //! Appendix C argues the HE distribution-exchange cost is "negligible
 //! compared to model transmission overhead in a typical federated
 //! learning round"; this module quantifies that model-transmission side
-//! so the comparison (and any bandwidth budgeting) is concrete.
+//! so the comparison (and any bandwidth budgeting) is concrete. All
+//! counters are `u64`: a paper-scale run (hundreds of clients, ResNet-18
+//! parameters, hundreds of rounds) overflows 32-bit byte counts.
 
 use crate::config::FlConfig;
+use crate::engine::sampled_clients_for;
+use fedwcm_faults::{FaultKind, FaultPlan};
 
 /// Bytes moved in one direction for one client exchanging a full model
 /// (f32 parameters).
-pub fn model_bytes(param_len: usize) -> usize {
-    param_len * 4
+pub fn model_bytes(param_len: usize) -> u64 {
+    param_len as u64 * 4
 }
 
 /// Per-round and full-run communication volumes for a configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CommReport {
     /// Clients sampled per round.
-    pub sampled_per_round: usize,
-    /// Download bytes per round (server → sampled clients: the global
-    /// model, plus the global momentum for momentum methods).
-    pub down_bytes_per_round: usize,
-    /// Upload bytes per round (clients → server: one delta each).
-    pub up_bytes_per_round: usize,
-    /// Total bytes over the whole run.
-    pub total_bytes: usize,
+    pub sampled_per_round: u64,
+    /// Nominal download bytes per round (server → sampled clients: the
+    /// global model, plus the global momentum for momentum methods).
+    pub down_bytes_per_round: u64,
+    /// Nominal upload bytes per round (clients → server: one delta each,
+    /// before any injected faults).
+    pub up_bytes_per_round: u64,
+    /// Total bytes over the whole run. Under a fault plan this is the
+    /// *actual* volume: dropped uploads never transit, straggler
+    /// retransmissions transit twice.
+    pub total_bytes: u64,
+    /// Upload bytes that arrived stale — straggler retransmissions
+    /// delivered rounds late, plus replayed duplicate deltas. Zero
+    /// without a fault plan.
+    pub stale_upload_bytes: u64,
+    /// Upload bytes that never transited because the client dropped out.
+    /// Zero without a fault plan.
+    pub dropped_upload_bytes: u64,
 }
 
-/// Compute the communication profile of a run.
+/// Compute the fault-free communication profile of a run.
 ///
 /// `momentum_broadcast` adds one extra model-sized download per client
 /// per round (FedCM/FedWCM ship `Δ_r` alongside the parameters).
@@ -36,7 +50,7 @@ pub fn communication_report(
     param_len: usize,
     momentum_broadcast: bool,
 ) -> CommReport {
-    let sampled = cfg.sampled_per_round();
+    let sampled = cfg.sampled_per_round() as u64;
     let model = model_bytes(param_len);
     let down_per_client = model * if momentum_broadcast { 2 } else { 1 };
     let down = down_per_client * sampled;
@@ -45,13 +59,55 @@ pub fn communication_report(
         sampled_per_round: sampled,
         down_bytes_per_round: down,
         up_bytes_per_round: up,
-        total_bytes: (down + up) * cfg.rounds,
+        total_bytes: (down + up) * cfg.rounds as u64,
+        stale_upload_bytes: 0,
+        dropped_upload_bytes: 0,
     }
+}
+
+/// Like [`communication_report`], but walks the fault plan's actual
+/// schedule round by round (via [`sampled_clients_for`], so the
+/// accounting agrees exactly with what the engine injects):
+///
+/// * a **dropout** never uploads — its bytes move from the total into
+///   `dropped_upload_bytes`;
+/// * a **straggler** uploads twice — the timed-out original plus the late
+///   retransmission, which also counts as stale;
+/// * a **replay** uploads a duplicate stale delta (same size, stale);
+/// * **corruption** damages bytes in transit without changing volume.
+pub fn communication_report_with_faults(
+    cfg: &FlConfig,
+    param_len: usize,
+    momentum_broadcast: bool,
+    plan: &FaultPlan,
+) -> CommReport {
+    let mut report = communication_report(cfg, param_len, momentum_broadcast);
+    let model = model_bytes(param_len);
+    let mut total = report.down_bytes_per_round * cfg.rounds as u64;
+    for round in 0..cfg.rounds {
+        for client in sampled_clients_for(cfg, round) {
+            match plan.fault_for(round, client) {
+                Some(FaultKind::Dropout) => report.dropped_upload_bytes += model,
+                Some(FaultKind::Straggler { .. }) => {
+                    total += 2 * model;
+                    report.stale_upload_bytes += model;
+                }
+                Some(FaultKind::Replay) => {
+                    total += model;
+                    report.stale_upload_bytes += model;
+                }
+                Some(FaultKind::Corrupt(_)) | None => total += model,
+            }
+        }
+    }
+    report.total_bytes = total;
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fedwcm_faults::FaultConfig;
 
     #[test]
     fn fedavg_round_volume() {
@@ -64,6 +120,22 @@ mod tests {
         assert_eq!(r.up_bytes_per_round, 10 * 44_000_000);
         assert_eq!(r.down_bytes_per_round, r.up_bytes_per_round);
         assert_eq!(r.total_bytes, 500 * 2 * 10 * 44_000_000);
+    }
+
+    #[test]
+    fn counters_survive_paper_scale_volumes() {
+        // 500 clients × full participation × ResNet-18 × 1000 rounds is
+        // ~88 TB — far past u32 (and past usize on 32-bit targets).
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 500;
+        cfg.participation = 1.0;
+        cfg.rounds = 1000;
+        let r = communication_report(&cfg, 11_000_000, true);
+        assert!(r.total_bytes > u64::from(u32::MAX));
+        assert_eq!(
+            r.total_bytes,
+            (r.down_bytes_per_round + r.up_bytes_per_round) * 1000
+        );
     }
 
     #[test]
@@ -88,12 +160,66 @@ mod tests {
         cfg.clients = 100;
         cfg.participation = 1.0;
         let round = communication_report(&cfg, 11_000_000, false);
-        let he_total = 100 * 65_536usize;
+        let he_total = 100 * 65_536u64;
         assert!(
             (he_total as f64) < 0.01 * round.up_bytes_per_round as f64,
             "HE {} vs round {}",
             he_total,
             round.up_bytes_per_round
+        );
+    }
+
+    #[test]
+    fn zero_rate_plan_matches_plain_report() {
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 20;
+        cfg.participation = 0.5;
+        cfg.rounds = 30;
+        let plain = communication_report(&cfg, 5000, true);
+        let faulted =
+            communication_report_with_faults(&cfg, 5000, true, &FaultPlan::zero(cfg.seed));
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn fault_plan_accounting_balances() {
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 20;
+        cfg.participation = 0.5;
+        cfg.rounds = 40;
+        let plan = FaultPlan::new(FaultConfig {
+            dropout: 0.3,
+            straggler: 0.2,
+            replay: 0.1,
+            corruption: 0.1,
+            ..FaultConfig::zero(7)
+        });
+        let model = model_bytes(5000);
+        let plain = communication_report(&cfg, 5000, false);
+        let r = communication_report_with_faults(&cfg, 5000, false, &plan);
+
+        // Count the schedule independently and check the books balance:
+        // total = nominal − dropped + one extra transit per straggler.
+        let (mut dropouts, mut stragglers, mut replays) = (0u64, 0u64, 0u64);
+        for round in 0..cfg.rounds {
+            for client in sampled_clients_for(&cfg, round) {
+                match plan.fault_for(round, client) {
+                    Some(FaultKind::Dropout) => dropouts += 1,
+                    Some(FaultKind::Straggler { .. }) => stragglers += 1,
+                    Some(FaultKind::Replay) => replays += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            dropouts > 0 && stragglers > 0 && replays > 0,
+            "schedule too sparse to exercise accounting"
+        );
+        assert_eq!(r.dropped_upload_bytes, dropouts * model);
+        assert_eq!(r.stale_upload_bytes, (stragglers + replays) * model);
+        assert_eq!(
+            r.total_bytes,
+            plain.total_bytes - dropouts * model + stragglers * model
         );
     }
 }

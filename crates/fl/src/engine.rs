@@ -1,10 +1,13 @@
-//! The simulation round loop.
+//! The simulation round loop: sampling, parallel local training, fault
+//! injection, straggler-aware aggregation, and checkpoint/resume.
 
 use crate::algorithm::{FederatedAlgorithm, RoundInput};
-use crate::client::{ClientEnv, ModelFactory};
+use crate::checkpoint::{CheckpointError, ServerCheckpoint};
+use crate::client::{ClientEnv, ClientUpdate, ModelFactory};
 use crate::config::FlConfig;
-use crate::metrics::{History, RoundRecord};
+use crate::metrics::{History, RoundFaults, RoundRecord};
 use fedwcm_data::dataset::{ClientView, Dataset};
+use fedwcm_faults::{corrupt_delta, staleness_discount, FaultKind, FaultPlan};
 use fedwcm_nn::model::Model;
 use fedwcm_parallel::{chunk_ranges, parallel_map, with_intra_threads, ThreadBudget};
 use fedwcm_stats::rng::{Rng, Xoshiro256pp};
@@ -16,13 +19,44 @@ const STREAM_SAMPLE: u64 = 0x5A3B;
 /// Evaluation batch size (memory bound, not a hyper-parameter).
 const EVAL_BATCH: usize = 256;
 
-/// Containment threshold: a (gradient-scale) client delta whose norm
-/// exceeds this is treated as a diverged client and dropped. Healthy
-/// deltas have single-digit norms; 1e6 only triggers on true blow-ups.
-const MAX_UPDATE_NORM: f32 = 1e6;
+/// The client ids sampled in round `round` under `cfg` (a pure function
+/// of `(cfg.seed, round)`, so sampling, fault accounting, and
+/// communication reports all agree without sharing state).
+pub fn sampled_clients_for(cfg: &FlConfig, round: usize) -> Vec<usize> {
+    let mut rng = Xoshiro256pp::stream(cfg.seed, &[STREAM_SAMPLE, round as u64]);
+    rng.sample_indices(cfg.clients, cfg.sampled_per_round())
+}
+
+/// A late upload waiting in the server's straggler buffer.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingUpdate {
+    /// Round at which the buffered upload is merged.
+    pub(crate) arrival_round: usize,
+    /// Rounds of lateness (the staleness discount is `1/(1+staleness)`).
+    pub(crate) staleness: usize,
+    /// The buffered client update.
+    pub(crate) update: ClientUpdate,
+}
+
+/// Mutable server-side state of a run: everything a checkpoint captures
+/// besides the algorithm's own internals.
+pub(crate) struct RunState {
+    /// Next round to execute.
+    pub(crate) next_round: usize,
+    /// Current global parameters.
+    pub(crate) global: Vec<f32>,
+    /// Records of the rounds executed so far.
+    pub(crate) history: History,
+    /// Straggler buffer (insertion order — deterministic).
+    pub(crate) pending: Vec<PendingUpdate>,
+    /// Per-client copy of the last upload the server received; maintained
+    /// only when the fault plan can schedule replays.
+    pub(crate) replay_cache: Vec<Option<Vec<f32>>>,
+}
 
 /// A configured federated simulation: data, partition views, model
-/// factory, and hyper-parameters. Run any [`FederatedAlgorithm`] on it.
+/// factory, hyper-parameters, and (optionally) a fault-injection plan.
+/// Run any [`FederatedAlgorithm`] on it.
 pub struct Simulation<'a> {
     /// Simulation hyper-parameters.
     pub cfg: FlConfig,
@@ -34,6 +68,11 @@ pub struct Simulation<'a> {
     pub views: Vec<ClientView>,
     /// Model constructor (same architecture + init for every use).
     pub factory: Box<ModelFactory>,
+    /// Deterministic fault-injection plan applied between local training
+    /// and aggregation. `None` (and any all-zero-rate plan) reproduces
+    /// the fault-free trajectory bit for bit: the plan draws from its own
+    /// RNG streams and never touches sampling or training streams.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl<'a> Simulation<'a> {
@@ -61,13 +100,19 @@ impl<'a> Simulation<'a> {
             test,
             views,
             factory,
+            fault_plan: None,
         }
+    }
+
+    /// Attach a fault-injection plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// The client ids sampled in round `r` (deterministic per seed).
     pub fn sampled_clients(&self, round: usize) -> Vec<usize> {
-        let mut rng = Xoshiro256pp::stream(self.cfg.seed, &[STREAM_SAMPLE, round as u64]);
-        rng.sample_indices(self.cfg.clients, self.cfg.sampled_per_round())
+        sampled_clients_for(&self.cfg, round)
     }
 
     /// Run the full federated loop for `cfg.rounds` rounds.
@@ -83,12 +128,82 @@ impl<'a> Simulation<'a> {
         algo: &mut dyn FederatedAlgorithm,
         mut observer: impl FnMut(usize, &[f32]),
     ) -> History {
+        let mut state = self.fresh_state(algo);
+        self.drive(algo, &mut state, self.cfg.rounds, &mut observer);
+        state.history
+    }
+
+    /// Run rounds `0..stop_round` from a fresh start and capture a
+    /// checkpoint of the resulting server state. Fails if the algorithm
+    /// does not implement state capture ([`FederatedAlgorithm::save_state`]).
+    pub fn run_until(
+        &self,
+        algo: &mut dyn FederatedAlgorithm,
+        stop_round: usize,
+    ) -> Result<ServerCheckpoint, CheckpointError> {
+        let mut state = self.fresh_state(algo);
+        let stop = stop_round.min(self.cfg.rounds);
+        self.drive(algo, &mut state, stop, &mut |_, _| {});
+        ServerCheckpoint::capture(self, algo, &state)
+    }
+
+    /// Resume a run from a checkpoint captured by
+    /// [`Simulation::run_until`] (possibly in a different process — the
+    /// checkpoint round-trips through bytes) and drive it to
+    /// `cfg.rounds`. The returned history covers the **whole** run,
+    /// checkpointed rounds included, and is bitwise identical to an
+    /// uninterrupted run's.
+    pub fn resume(
+        &self,
+        algo: &mut dyn FederatedAlgorithm,
+        ckpt: &ServerCheckpoint,
+    ) -> Result<History, CheckpointError> {
+        self.resume_with_observer(algo, ckpt, |_, _| {})
+    }
+
+    /// [`Simulation::resume`] with a per-round observer over the resumed
+    /// rounds.
+    pub fn resume_with_observer(
+        &self,
+        algo: &mut dyn FederatedAlgorithm,
+        ckpt: &ServerCheckpoint,
+        mut observer: impl FnMut(usize, &[f32]),
+    ) -> Result<History, CheckpointError> {
+        let mut state = ckpt.restore(self, algo)?;
+        self.drive(algo, &mut state, self.cfg.rounds, &mut observer);
+        Ok(state.history)
+    }
+
+    /// Fresh pre-round-0 server state.
+    fn fresh_state(&self, algo: &dyn FederatedAlgorithm) -> RunState {
+        let model = (self.factory)();
+        let replay_cache = if self.fault_plan.as_ref().is_some_and(|p| p.has_replay()) {
+            vec![None; self.cfg.clients]
+        } else {
+            Vec::new()
+        };
+        RunState {
+            next_round: 0,
+            global: model.params().to_vec(),
+            history: History::new(algo.name()),
+            pending: Vec::new(),
+            replay_cache,
+        }
+    }
+
+    /// Execute rounds `state.next_round..until_round`, mutating `state`.
+    fn drive(
+        &self,
+        algo: &mut dyn FederatedAlgorithm,
+        state: &mut RunState,
+        until_round: usize,
+        observer: &mut dyn FnMut(usize, &[f32]),
+    ) {
         let mut model = (self.factory)();
-        let mut global = model.params().to_vec();
-        let mut history = History::new(algo.name());
         let threads = self.cfg.resolved_threads();
 
-        for round in 0..self.cfg.rounds {
+        while state.next_round < until_round {
+            let round = state.next_round;
             let sampled = self.sampled_clients(round);
 
             // Parallel local training: results are collected in sampled-id
@@ -98,7 +213,7 @@ impl<'a> Simulation<'a> {
             // exceeds `threads`.
             let budget = ThreadBudget::split(threads, sampled.len());
             let algo_ref: &dyn FederatedAlgorithm = algo;
-            let global_ref = &global;
+            let global_ref = &state.global;
             let mut updates = parallel_map(sampled.len(), budget.outer(), |i| {
                 let id = sampled[i];
                 let env = ClientEnv {
@@ -113,12 +228,16 @@ impl<'a> Simulation<'a> {
             });
 
             // Loud mode: with `debug_invariants`, a malformed or poisoned
-            // update panics right here — at the server-aggregation
-            // boundary, naming the round and client — instead of being
-            // silently dropped by the containment filter below.
+            // update panics right here — at the client-emission boundary,
+            // naming the round and client — instead of being silently
+            // dropped by the containment filter below. Injected faults are
+            // applied *after* this check: they model transport/storage
+            // damage to a delta that was healthy when the client emitted
+            // it, so chaos runs stay panic-free under debug_invariants
+            // while still exercising the containment filter.
             if invariants::ENABLED {
                 for u in &updates {
-                    invariants::check_len(u.delta.len(), global.len(), || {
+                    invariants::check_len(u.delta.len(), state.global.len(), || {
                         format!(
                             "delta from client {} entering server aggregation (round {round})",
                             u.client
@@ -133,38 +252,59 @@ impl<'a> Simulation<'a> {
                 }
             }
 
-            // Failure containment: a client whose local training diverged
-            // (NaN/∞, or a finite-but-astronomic delta that would poison
-            // the global model on the very next step) is dropped; if the
-            // whole round is poisoned, skip the aggregation entirely.
+            // Fault hook: apply the plan's scheduled faults to the
+            // collected uploads, buffer stragglers, and merge late
+            // arrivals due this round.
+            let mut faults = RoundFaults::default();
+            if let Some(plan) = &self.fault_plan {
+                updates = self.apply_faults(plan, round, updates, state, &mut faults);
+            }
+
+            // Failure containment: a delta that arrived non-finite (or
+            // finite but astronomic — it would poison the global model on
+            // the very next step) is dropped; if the whole round is
+            // poisoned, skip the aggregation entirely.
             let before_filter = updates.len();
             updates.retain(|u| {
                 u.avg_loss.is_finite()
                     && u.delta.iter().all(|d| d.is_finite())
-                    && fedwcm_tensor::ops::norm(&u.delta) < MAX_UPDATE_NORM
+                    && fedwcm_tensor::ops::norm(&u.delta) < self.cfg.max_update_norm
             });
             let dropped_updates = before_filter - updates.len();
+
+            // Quorum rule: aggregating a sliver of the sampled cohort
+            // yields a biased direction; below quorum the round reuses
+            // the previous momentum (by skipping the update) instead.
+            let quorum_failed = self.cfg.quorum_frac > 0.0
+                && (updates.len() as f64) < self.cfg.quorum_frac * sampled.len() as f64;
+            faults.quorum_failed = quorum_failed;
 
             // Evaluation cadence is a property of the round number alone:
             // an empty (fully-dropped) round still evaluates the unchanged
             // global model on eval boundaries, so accuracy series keep
             // their cadence regardless of failures.
-            let eval_now = (round + 1) % self.cfg.eval_every == 0 || round + 1 == self.cfg.rounds;
+            let eval_now =
+                (round + 1).is_multiple_of(self.cfg.eval_every) || round + 1 == self.cfg.rounds;
 
-            if updates.is_empty() {
+            if updates.is_empty() || quorum_failed {
+                let train_loss = (!updates.is_empty()).then(|| {
+                    updates.iter().map(|u| u.avg_loss).sum::<f32>() as f64 / updates.len() as f64
+                });
                 let test_acc = eval_now.then(|| {
-                    model.set_params(&global);
+                    model.set_params(&state.global);
                     evaluate_accuracy_threads(&mut model, self.test, threads)
                 });
-                history.records.push(RoundRecord {
+                state.history.records.push(RoundRecord {
                     round,
-                    train_loss: f64::NAN,
+                    train_loss,
                     update_norm: 0.0,
                     test_acc,
                     alpha: None,
                     dropped_updates,
+                    faults,
                 });
-                observer(round, &global);
+                observer(round, &state.global);
+                state.next_round = round + 1;
                 continue;
             }
 
@@ -174,11 +314,11 @@ impl<'a> Simulation<'a> {
                 updates,
                 views: &self.views,
             };
-            let train_loss = input.mean_loss() as f64;
-            let before = global.clone();
-            let log = algo.aggregate(&mut global, &input);
+            let train_loss = Some(input.mean_loss() as f64);
+            let before = state.global.clone();
+            let log = algo.aggregate(&mut state.global, &input);
             if invariants::ENABLED {
-                invariants::check_finite(&global, || {
+                invariants::check_finite(&state.global, || {
                     format!(
                         "global parameters after {} aggregation (round {round})",
                         algo.name()
@@ -187,7 +327,7 @@ impl<'a> Simulation<'a> {
             }
             let update_norm = before
                 .iter()
-                .zip(&global)
+                .zip(&state.global)
                 .map(|(a, b)| {
                     let d = (a - b) as f64;
                     d * d
@@ -196,21 +336,106 @@ impl<'a> Simulation<'a> {
                 .sqrt();
 
             let test_acc = eval_now.then(|| {
-                model.set_params(&global);
+                model.set_params(&state.global);
                 evaluate_accuracy_threads(&mut model, self.test, threads)
             });
 
-            history.records.push(RoundRecord {
+            state.history.records.push(RoundRecord {
                 round,
                 train_loss,
                 update_norm,
                 test_acc,
                 alpha: log.alpha,
                 dropped_updates,
+                faults,
             });
-            observer(round, &global);
+            observer(round, &state.global);
+            state.next_round = round + 1;
         }
-        history
+    }
+
+    /// Apply the plan's faults for `round` to the freshly collected
+    /// uploads, returning the set the server actually receives this
+    /// round (surviving fresh uploads plus discounted late arrivals, in
+    /// client-id order).
+    fn apply_faults(
+        &self,
+        plan: &FaultPlan,
+        round: usize,
+        updates: Vec<ClientUpdate>,
+        state: &mut RunState,
+        faults: &mut RoundFaults,
+    ) -> Vec<ClientUpdate> {
+        let mut received: Vec<ClientUpdate> = Vec::with_capacity(updates.len());
+        for mut u in updates {
+            match plan.fault_for(round, u.client) {
+                Some(FaultKind::Dropout) => {
+                    faults.dropouts += 1;
+                }
+                Some(FaultKind::Straggler { delay }) => {
+                    faults.stragglers += 1;
+                    state.pending.push(PendingUpdate {
+                        arrival_round: round + delay,
+                        staleness: delay,
+                        update: u,
+                    });
+                }
+                Some(FaultKind::Corrupt(kind)) => {
+                    faults.corruptions += 1;
+                    corrupt_delta(&mut u.delta, kind);
+                    received.push(u);
+                }
+                Some(FaultKind::Replay) => {
+                    // A stale duplicate of the client's previous upload
+                    // arrives instead of the fresh delta. A client with no
+                    // prior upload has nothing to replay; the fresh delta
+                    // goes through (the fault is still accounted).
+                    faults.replays += 1;
+                    if let Some(prev) = state.replay_cache.get(u.client).and_then(|p| p.as_deref())
+                    {
+                        u.delta = prev.to_vec();
+                    }
+                    received.push(u);
+                }
+                None => received.push(u),
+            }
+        }
+
+        // Merge buffered uploads due this round, each discounted by its
+        // staleness: a delta computed against an s-round-old global is
+        // still signal, but weaker. Algorithm payloads (`extra`) ride
+        // along undiscounted — they are not step directions.
+        let mut still_pending = Vec::with_capacity(state.pending.len());
+        for p in state.pending.drain(..) {
+            if p.arrival_round <= round {
+                faults.late_merged += 1;
+                let mut u = p.update;
+                let discount = staleness_discount(p.staleness);
+                for d in u.delta.iter_mut() {
+                    *d *= discount;
+                }
+                received.push(u);
+            } else {
+                still_pending.push(p);
+            }
+        }
+        state.pending = still_pending;
+
+        // Aggregation sees uploads in client-id order regardless of which
+        // path (fresh, corrupted, replayed, late) produced them; the sort
+        // is stable, so same-client duplicates keep a deterministic order.
+        received.sort_by_key(|u| u.client);
+
+        // The replay cache holds what the server most recently received
+        // from each client (only maintained when replays are possible).
+        if plan.has_replay() {
+            for u in &received {
+                if let Some(slot) = state.replay_cache.get_mut(u.client) {
+                    *slot = Some(u.delta.clone());
+                }
+            }
+        }
+        received
     }
 
     /// Run the loop and also return the final global model.
@@ -513,7 +738,7 @@ mod tests {
         // Every round drops exactly the poisoned client and still trains.
         for r in &h.records {
             assert_eq!(r.dropped_updates, 1, "round {}", r.round);
-            assert!(r.train_loss.is_finite());
+            assert!(r.train_loss.expect("healthy clients reported").is_finite());
             assert!(r.update_norm > 0.0);
         }
         // The global model never absorbed a NaN.
@@ -592,8 +817,8 @@ mod tests {
         assert_eq!(h1.records.len(), h4.records.len());
         for (a, b) in h1.records.iter().zip(&h4.records) {
             assert_eq!(
-                a.train_loss.to_bits(),
-                b.train_loss.to_bits(),
+                a.train_loss.map(f64::to_bits),
+                b.train_loss.map(f64::to_bits),
                 "round {}",
                 a.round
             );

@@ -25,12 +25,14 @@
 //!
 //! Modules: [`config`], [`client`] (local-training helpers),
 //! [`algorithm`] (the [`algorithm::FederatedAlgorithm`] trait),
-//! [`engine`] (the round loop), [`metrics`] (histories), and
+//! [`engine`] (the round loop), [`checkpoint`] (crash/resume snapshots),
+//! [`metrics`] (histories and resilience reports), and
 //! [`quadratic`] (a convex testbed for the Theorem 6.1 rate check).
 
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod checkpoint;
 pub mod client;
 pub mod comms;
 pub mod config;
@@ -38,11 +40,12 @@ pub mod engine;
 pub mod metrics;
 pub mod quadratic;
 
-pub use algorithm::{FederatedAlgorithm, RoundInput, RoundLog};
+pub use algorithm::{FederatedAlgorithm, RoundInput, RoundLog, StateError};
+pub use checkpoint::{CheckpointError, ServerCheckpoint};
 pub use client::{ClientEnv, ClientUpdate, LocalSgdSpec};
 pub use config::FlConfig;
 pub use engine::{
     evaluate_accuracy, evaluate_accuracy_threads, per_class_accuracy, per_class_accuracy_threads,
-    Simulation,
+    sampled_clients_for, Simulation,
 };
-pub use metrics::{History, RoundRecord};
+pub use metrics::{History, ResilienceReport, RoundFaults, RoundRecord};

@@ -1,21 +1,52 @@
-//! Round-by-round histories and summary statistics.
+//! Round-by-round histories, fault accounting, and summary statistics.
+
+/// Per-round tally of injected faults and their handling (all zero on a
+/// fault-free run; see `fedwcm-faults` for the taxonomy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundFaults {
+    /// Uploads lost to injected dropout.
+    pub dropouts: u32,
+    /// Uploads delayed this round (buffered for a later round).
+    pub stragglers: u32,
+    /// Buffered late uploads merged into this round (with their
+    /// staleness discount applied).
+    pub late_merged: u32,
+    /// Uploads corrupted in transit this round.
+    pub corruptions: u32,
+    /// Uploads replaced by a stale replayed duplicate this round.
+    pub replays: u32,
+    /// True if fewer than `quorum_frac` of the sampled clients reported a
+    /// healthy update, so the round skipped aggregation.
+    pub quorum_failed: bool,
+}
+
+impl RoundFaults {
+    /// Total faults injected this round (late merges are the *handling*
+    /// of an earlier straggler injection, so they are not re-counted).
+    pub fn injected(&self) -> u32 {
+        self.dropouts + self.stragglers + self.corruptions + self.replays
+    }
+}
 
 /// One round's record.
 #[derive(Clone, Debug)]
 pub struct RoundRecord {
     /// Round index.
     pub round: usize,
-    /// Mean local training loss across sampled clients.
-    pub train_loss: f64,
+    /// Mean local training loss across the clients that reported this
+    /// round; `None` when no client reported (fully dropped round).
+    pub train_loss: Option<f64>,
     /// L2 norm of the applied server direction.
     pub update_norm: f64,
     /// Test accuracy, if this round was evaluated.
     pub test_acc: Option<f64>,
     /// Momentum value α used (momentum methods only).
     pub alpha: Option<f64>,
-    /// Client updates discarded this round for containing non-finite
-    /// values (failure containment; see `engine`).
+    /// Client updates discarded this round by the containment filter
+    /// (non-finite values or a norm past `max_update_norm`; see `engine`).
     pub dropped_updates: usize,
+    /// Injected-fault tally for this round.
+    pub faults: RoundFaults,
 }
 
 /// A full training trajectory for one algorithm run.
@@ -72,6 +103,47 @@ impl History {
             .map(|&(r, _)| r)
     }
 
+    /// Mean training loss over the rounds that observed one. Rounds where
+    /// every upload was lost carry `train_loss: None` and are skipped, so
+    /// the mean can never silently absorb a NaN sentinel. Returns `None`
+    /// if no round observed a loss.
+    pub fn mean_train_loss(&self) -> Option<f64> {
+        let observed: Vec<f64> = self.records.iter().filter_map(|r| r.train_loss).collect();
+        if observed.is_empty() {
+            return None;
+        }
+        Some(observed.iter().sum::<f64>() / observed.len() as f64)
+    }
+
+    /// Summarize this run's injected faults and, against an optional
+    /// fault-free baseline, the accuracy cost they exacted.
+    pub fn resilience_report(&self, baseline: Option<&History>) -> ResilienceReport {
+        let mut totals = RoundFaults::default();
+        let mut quorum_failures = 0usize;
+        let mut contained = 0usize;
+        for r in &self.records {
+            totals.dropouts += r.faults.dropouts;
+            totals.stragglers += r.faults.stragglers;
+            totals.late_merged += r.faults.late_merged;
+            totals.corruptions += r.faults.corruptions;
+            totals.replays += r.faults.replays;
+            if r.faults.quorum_failed {
+                quorum_failures += 1;
+            }
+            contained += r.dropped_updates;
+        }
+        let final_accuracy = self.final_accuracy(1);
+        ResilienceReport {
+            rounds: self.records.len(),
+            totals,
+            quorum_failures,
+            contained_updates: contained,
+            final_accuracy,
+            baseline_accuracy: baseline.map(|b| b.final_accuracy(1)),
+            accuracy_delta: baseline.map(|b| final_accuracy - b.final_accuracy(1)),
+        }
+    }
+
     /// Standard deviation of accuracy over the last `window` evaluations —
     /// large values indicate the oscillation/non-convergence signature the
     /// paper reports for FedCM under long tails.
@@ -89,6 +161,53 @@ impl History {
     }
 }
 
+/// Whole-run fault summary produced by [`History::resilience_report`]:
+/// what was injected, how the server coped, and (against a fault-free
+/// baseline) what the faults cost in accuracy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceReport {
+    /// Rounds in the run.
+    pub rounds: usize,
+    /// Per-fault-type totals over all rounds.
+    pub totals: RoundFaults,
+    /// Rounds that failed quorum and skipped aggregation.
+    pub quorum_failures: usize,
+    /// Updates discarded by the containment filter (includes the
+    /// corrupted uploads it absorbed).
+    pub contained_updates: usize,
+    /// Final accuracy of this (faulted) run.
+    pub final_accuracy: f64,
+    /// Final accuracy of the baseline run, when one was supplied.
+    pub baseline_accuracy: Option<f64>,
+    /// `final_accuracy − baseline_accuracy`, when a baseline was supplied.
+    pub accuracy_delta: Option<f64>,
+}
+
+impl core::fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "resilience report over {} rounds", self.rounds)?;
+        writeln!(
+            f,
+            "  injected: {} dropouts, {} stragglers ({} merged late), {} corruptions, {} replays",
+            self.totals.dropouts,
+            self.totals.stragglers,
+            self.totals.late_merged,
+            self.totals.corruptions,
+            self.totals.replays
+        )?;
+        writeln!(
+            f,
+            "  handled:  {} quorum failures, {} updates contained",
+            self.quorum_failures, self.contained_updates
+        )?;
+        write!(f, "  final accuracy: {:.4}", self.final_accuracy)?;
+        if let (Some(base), Some(delta)) = (self.baseline_accuracy, self.accuracy_delta) {
+            write!(f, " (baseline {base:.4}, delta {delta:+.4})")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,11 +217,12 @@ mod tests {
         for &(round, acc) in accs {
             h.records.push(RoundRecord {
                 round,
-                train_loss: 1.0,
+                train_loss: Some(1.0),
                 update_norm: 0.5,
                 test_acc: Some(acc),
                 alpha: None,
                 dropped_updates: 0,
+                faults: RoundFaults::default(),
             });
         }
         h
@@ -136,12 +256,73 @@ mod tests {
         let mut h = History::new("x");
         h.records.push(RoundRecord {
             round: 0,
-            train_loss: 1.0,
+            train_loss: Some(1.0),
             update_norm: 0.1,
             test_acc: None,
             alpha: None,
             dropped_updates: 0,
+            faults: RoundFaults::default(),
         });
         assert!(h.accuracy_series().is_empty());
+    }
+
+    #[test]
+    fn mean_train_loss_skips_dropped_rounds() {
+        // A fully-dropped round records no loss; the mean must skip it
+        // rather than propagate a NaN sentinel (regression for the old
+        // `train_loss: f64::NAN` encoding).
+        let mut h = history_with(&[(0, 0.5), (1, 0.6)]);
+        h.records[0].train_loss = Some(2.0);
+        h.records[1].train_loss = Some(4.0);
+        h.records.push(RoundRecord {
+            round: 2,
+            train_loss: None,
+            update_norm: 0.0,
+            test_acc: None,
+            alpha: None,
+            dropped_updates: 1,
+            faults: RoundFaults::default(),
+        });
+        let mean = h.mean_train_loss().expect("two observed losses");
+        assert_eq!(mean, 3.0);
+        assert!(mean.is_finite(), "NaN leaked into the mean");
+        assert_eq!(History::new("empty").mean_train_loss(), None);
+    }
+
+    #[test]
+    fn resilience_report_totals_and_delta() {
+        let mut faulted = history_with(&[(0, 0.4), (1, 0.6)]);
+        faulted.records[0].faults = RoundFaults {
+            dropouts: 2,
+            stragglers: 1,
+            late_merged: 0,
+            corruptions: 1,
+            replays: 0,
+            quorum_failed: true,
+        };
+        faulted.records[1].faults = RoundFaults {
+            dropouts: 1,
+            stragglers: 0,
+            late_merged: 1,
+            corruptions: 0,
+            replays: 1,
+            quorum_failed: false,
+        };
+        faulted.records[1].dropped_updates = 1;
+        let baseline = history_with(&[(0, 0.5), (1, 0.7)]);
+        let rep = faulted.resilience_report(Some(&baseline));
+        assert_eq!(rep.totals.dropouts, 3);
+        assert_eq!(rep.totals.stragglers, 1);
+        assert_eq!(rep.totals.late_merged, 1);
+        assert_eq!(rep.totals.corruptions, 1);
+        assert_eq!(rep.totals.replays, 1);
+        assert_eq!(rep.totals.injected(), 6);
+        assert_eq!(rep.quorum_failures, 1);
+        assert_eq!(rep.contained_updates, 1);
+        assert!((rep.accuracy_delta.expect("baseline given") + 0.1).abs() < 1e-12);
+        // Display formatting shouldn't panic and mentions the counts.
+        let text = rep.to_string();
+        assert!(text.contains("3 dropouts"));
+        assert!(text.contains("1 quorum failures"));
     }
 }

@@ -134,7 +134,11 @@ fn nan_delta_is_contained_without_the_feature() {
     assert_eq!(h.records.len(), 4);
     for r in &h.records {
         assert_eq!(r.dropped_updates, 1, "round {}", r.round);
-        assert!(r.train_loss.is_finite(), "round {}", r.round);
+        assert!(
+            r.train_loss.expect("healthy clients reported").is_finite(),
+            "round {}",
+            r.round
+        );
     }
     let acc = h.final_accuracy(1);
     assert!(acc > 0.1, "model destroyed despite containment: {acc}");

@@ -1,10 +1,17 @@
-//! Property-based tests for the FL engine: aggregation algebra and
-//! convention invariants under arbitrary inputs.
+//! Property-based tests for the FL engine: aggregation algebra,
+//! convention invariants, and fault-plan determinism under arbitrary
+//! inputs.
 
+use fedwcm_data::longtail::longtail_counts;
+use fedwcm_data::partition::paper_partition;
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_faults::{FaultConfig, FaultPlan};
 use fedwcm_fl::algorithm::{server_step, uniform_average, weighted_average};
 use fedwcm_fl::client::ClientUpdate;
 use fedwcm_fl::quadratic::{run_quadratic_fedcm, QuadRunConfig, QuadraticProblem};
-use fedwcm_fl::FlConfig;
+use fedwcm_fl::{FlConfig, Simulation};
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::Xoshiro256pp;
 use proptest::prelude::*;
 
 fn updates(deltas: Vec<Vec<f32>>) -> Vec<ClientUpdate> {
@@ -97,5 +104,171 @@ proptest! {
         let head: f64 = norms[..5].iter().sum::<f64>() / 5.0;
         let tail: f64 = norms[25..].iter().sum::<f64>() / 5.0;
         prop_assert!(tail <= head * 2.0 + 1.0, "head {head} tail {tail}");
+    }
+}
+
+fn plan_from(seed: u64, dropout: f64, straggler: f64, corruption: f64, replay: f64) -> FaultPlan {
+    FaultPlan::new(FaultConfig {
+        seed,
+        dropout,
+        straggler,
+        max_delay: 3,
+        corruption,
+        replay,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A fault plan is a pure function: the schedule for any round is the
+    /// same however and whenever it is queried, and the batch
+    /// [`FaultPlan::schedule`] agrees element-wise with per-client
+    /// [`FaultPlan::fault_for`] calls.
+    #[test]
+    fn fault_schedule_is_pure_and_consistent(
+        seed in any::<u64>(),
+        dropout in 0.0f64..0.35, straggler in 0.0f64..0.3,
+        corruption in 0.0f64..0.2, replay in 0.0f64..0.1,
+        round in 0usize..200, clients in 1usize..40,
+    ) {
+        let plan = plan_from(seed, dropout, straggler, corruption, replay);
+        let ids: Vec<usize> = (0..clients).collect();
+        let batch = plan.schedule(round, &ids);
+        let singles: Vec<_> = ids
+            .iter()
+            .filter_map(|&c| plan.fault_for(round, c).map(|f| (c, f)))
+            .collect();
+        prop_assert_eq!(&batch, &singles, "batch vs per-client queries");
+        prop_assert_eq!(&batch, &plan.schedule(round, &ids), "repeat query");
+        // And a clone built from the same config agrees too.
+        let again = plan_from(seed, dropout, straggler, corruption, replay);
+        prop_assert_eq!(&batch, &again.schedule(round, &ids));
+    }
+}
+
+/// Shared tiny federated task for the (expensive) end-to-end properties.
+fn tiny_sim<'a>(
+    train: &'a fedwcm_data::Dataset,
+    test: &'a fedwcm_data::Dataset,
+    threads: usize,
+) -> Simulation<'a> {
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 4;
+    cfg.participation = 0.5;
+    cfg.rounds = 3;
+    cfg.local_epochs = 1;
+    cfg.batch_size = 16;
+    cfg.eval_every = 3;
+    cfg.seed = 55;
+    cfg.threads = threads;
+    let views = paper_partition(train, cfg.clients, 0.5, cfg.seed).views(train);
+    Simulation::new(
+        cfg,
+        train,
+        test,
+        views,
+        Box::new(|| {
+            let mut rng = Xoshiro256pp::seed_from(808);
+            mlp(64, &[16], 10, &mut rng)
+        }),
+    )
+}
+
+fn tiny_data() -> (fedwcm_data::Dataset, fedwcm_data::Dataset) {
+    let spec = DatasetPreset::FashionMnist.spec();
+    let counts = longtail_counts(10, 40, 0.5);
+    (spec.generate_train(&counts, 91), spec.generate_test(91))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any fault plan yields a bitwise-identical `History` at 1 and 4
+    /// worker threads (the per-thread-count determinism the engine
+    /// guarantees extends to the fault hook).
+    #[test]
+    fn faulted_history_identical_across_thread_counts(
+        seed in any::<u64>(),
+        dropout in 0.0f64..0.35, straggler in 0.0f64..0.3, corruption in 0.0f64..0.15,
+    ) {
+        let (train, test) = tiny_data();
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let sim = tiny_sim(&train, &test, threads)
+                .with_fault_plan(plan_from(seed, dropout, straggler, corruption, 0.0));
+            let mut algo = fedwcm_algos_stub::StubAvg;
+            runs.push(sim.run(&mut algo));
+        }
+        let (a, b) = (&runs[0], &runs[1]);
+        prop_assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            prop_assert_eq!(x.train_loss.map(f64::to_bits), y.train_loss.map(f64::to_bits));
+            prop_assert_eq!(x.update_norm.to_bits(), y.update_norm.to_bits());
+            prop_assert_eq!(x.test_acc.map(f64::to_bits), y.test_acc.map(f64::to_bits));
+            prop_assert_eq!(x.faults, y.faults);
+        }
+    }
+
+    /// The all-zero-rate plan is byte-identical to no plan at all: the
+    /// serialized end-of-run server checkpoints match byte for byte.
+    #[test]
+    fn zero_rate_plan_checkpoint_bytes_match_no_plan(plan_seed in any::<u64>()) {
+        let (train, test) = tiny_data();
+        let without = tiny_sim(&train, &test, 1)
+            .run_until(&mut fedwcm_algos_stub::StubAvg, 3)
+            .expect("capture")
+            .to_bytes();
+        let with_zero = tiny_sim(&train, &test, 1)
+            .with_fault_plan(FaultPlan::zero(plan_seed))
+            .run_until(&mut fedwcm_algos_stub::StubAvg, 3)
+            .expect("capture")
+            .to_bytes();
+        prop_assert_eq!(without, with_zero);
+    }
+}
+
+/// Minimal FedAvg used by the engine-level properties (the real one lives
+/// in `fedwcm-algos`, which `fedwcm-fl` cannot depend on).
+mod fedwcm_algos_stub {
+    use fedwcm_fl::algorithm::{
+        server_step, state_from_vec, state_to_vec, uniform_average, FederatedAlgorithm, RoundInput,
+        RoundLog, StateError,
+    };
+    use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
+    use fedwcm_nn::loss::CrossEntropy;
+
+    pub struct StubAvg;
+
+    impl FederatedAlgorithm for StubAvg {
+        fn name(&self) -> String {
+            "stub-avg".into()
+        }
+
+        fn local_train(&self, env: &ClientEnv<'_>, global: &[f32]) -> ClientUpdate {
+            let spec = LocalSgdSpec {
+                loss: &CrossEntropy,
+                balanced_sampler: false,
+                lr: env.cfg.local_lr,
+                epochs: env.cfg.local_epochs,
+            };
+            run_local_sgd(env, global, &spec, |_, _, _| {})
+        }
+
+        fn aggregate(&mut self, global: &mut [f32], input: &RoundInput<'_>) -> RoundLog {
+            let mut dir = vec![0.0f32; global.len()];
+            uniform_average(&input.updates, &mut dir);
+            server_step(global, &dir, input.cfg, input.mean_batches());
+            RoundLog::default()
+        }
+
+        fn save_state(&self) -> Option<Vec<u8>> {
+            Some(state_from_vec(&[]))
+        }
+
+        fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+            state_to_vec(bytes)?;
+            Ok(())
+        }
     }
 }

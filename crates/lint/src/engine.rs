@@ -44,11 +44,11 @@ pub const MARKER_RULE: &str = "lint-marker";
 /// (`experiments`, `bench`, the shims, this linter) are exempt.
 pub const LIB_CRATES: &[&str] = &[
     "tensor", "nn", "fl", "core", "algos", "data", "he", "longtail", "stats", "parallel",
-    "analysis",
+    "analysis", "faults",
 ];
 
 /// Crates whose public items must carry rustdoc.
-pub const DOC_CRATES: &[&str] = &["tensor", "fl", "core", "parallel"];
+pub const DOC_CRATES: &[&str] = &["tensor", "fl", "core", "parallel", "faults"];
 
 /// Files (workspace-relative, `/`-separated) blessed to read process
 /// environment variables.

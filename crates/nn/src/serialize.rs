@@ -1,5 +1,7 @@
 //! Flat parameter (de)serialization — checkpointing for trained global
-//! models without external dependencies.
+//! models without external dependencies — plus the little-endian byte
+//! helpers ([`put_u32`], [`put_f32s`], [`ByteReader`], …) that the
+//! server-state checkpoint format in `fedwcm-fl` builds on.
 //!
 //! Wire format: magic `b"FWCM"`, format version (u32 LE), parameter count
 //! (u64 LE), then raw little-endian f32 parameters.
@@ -9,15 +11,142 @@ use crate::model::Model;
 const MAGIC: &[u8; 4] = b"FWCM";
 const VERSION: u32 = 1;
 
+/// Append a little-endian u32.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian u64.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian f32 (bit pattern preserved exactly, NaN
+/// payloads included).
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian f64 (bit pattern preserved exactly).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed (u64 count) little-endian f32 slice.
+pub fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    put_u64(out, vs.len() as u64);
+    out.reserve(vs.len() * 4);
+    for &v in vs {
+        put_f32(out, v);
+    }
+}
+
+/// Append a length-prefixed (u64 count) UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a length-prefixed (u64 count) opaque byte blob.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// Sequential reader over a serialized byte buffer.
+///
+/// Every accessor returns `None` on exhaustion (or malformed UTF-8 for
+/// [`ByteReader::str`]) instead of panicking, so deserializers can
+/// surface truncation as a typed error.
+#[derive(Clone, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader starting at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a little-endian f32 (any bit pattern, NaNs included).
+    pub fn f32(&mut self) -> Option<f32> {
+        let b = self.take(4)?;
+        Some(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian f64.
+    pub fn f64(&mut self) -> Option<f64> {
+        let b = self.take(8)?;
+        Some(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a length-prefixed f32 slice written by [`put_f32s`].
+    pub fn f32s(&mut self) -> Option<Vec<f32>> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        // Guard against a corrupt length before allocating.
+        if n.checked_mul(4)? > self.buf.len() - self.pos {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f32()?);
+        }
+        Some(out)
+    }
+
+    /// Read a length-prefixed UTF-8 string written by [`put_str`].
+    pub fn str(&mut self) -> Option<String> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+
+    /// Read a length-prefixed opaque byte blob written by [`put_bytes`].
+    pub fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        Some(self.take(n)?.to_vec())
+    }
+}
+
 /// Serialize a model's parameters to the checkpoint format.
 pub fn save_params(model: &Model) -> Vec<u8> {
     let params = model.params();
     let mut out = Vec::with_capacity(16 + params.len() * 4);
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, params.len() as u64);
     for &p in params {
-        out.extend_from_slice(&p.to_le_bytes());
+        put_f32(&mut out, p);
     }
     out
 }
@@ -124,6 +253,44 @@ mod tests {
         let mut truncated = save_params(&m);
         truncated.pop();
         assert_eq!(load_params(&mut m, &truncated), Err(LoadError::Truncated));
+    }
+
+    #[test]
+    fn byte_helpers_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_f32(&mut buf, f32::NAN);
+        put_f64(&mut buf, -0.0);
+        put_f32s(&mut buf, &[1.5, -2.5]);
+        put_str(&mut buf, "Δ-résilience");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32(), Some(7));
+        assert_eq!(r.u64(), Some(u64::MAX - 3));
+        assert_eq!(r.f32().map(f32::to_bits), Some(f32::NAN.to_bits()));
+        assert_eq!(r.f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(r.f32s(), Some(vec![1.5, -2.5]));
+        assert_eq!(r.str().as_deref(), Some("Δ-résilience"));
+        assert!(r.is_exhausted());
+        assert_eq!(r.u32(), None, "reads past the end return None");
+        let mut blob = Vec::new();
+        put_bytes(&mut blob, &[0xde, 0xad]);
+        let mut r = ByteReader::new(&blob);
+        assert_eq!(r.bytes(), Some(vec![0xde, 0xad]));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn byte_reader_rejects_corrupt_lengths() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // absurd element count
+        put_f32(&mut buf, 1.0);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.f32s(), None);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.str(), None);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.bytes(), None);
     }
 
     #[test]

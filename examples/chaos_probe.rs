@@ -1,0 +1,62 @@
+//! Chaos smoke probe for CI.
+//!
+//! Runs a short federated simulation under an aggressive fault plan —
+//! 30% dropout, 15% stragglers, 5% corruption, 5% replay — and prints the
+//! resilience report. CI runs this in release *and* with
+//! `--features debug_invariants`: the latter must not panic, because
+//! injected faults model transport damage applied *after* the
+//! client-emission invariant boundary (see `fedwcm_fl::engine`), and the
+//! containment filter absorbs the corrupted uploads before aggregation.
+
+use fedwcm_suite::faults::FaultConfig;
+use fedwcm_suite::prelude::*;
+
+fn main() {
+    let spec = DatasetPreset::Cifar10.spec();
+    let counts = longtail_counts(10, 50, 0.1);
+    let train = spec.generate_train(&counts, 47);
+    let test = spec.generate_test(47);
+
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 6;
+    cfg.participation = 0.5;
+    cfg.rounds = 8;
+    cfg.local_epochs = 1;
+    cfg.batch_size = 20;
+    cfg.eval_every = 4;
+    cfg.seed = 47;
+    cfg.threads = 0; // defer to FEDWCM_THREADS
+
+    let plan = FaultPlan::new(FaultConfig {
+        dropout: 0.3,
+        straggler: 0.15,
+        max_delay: 3,
+        corruption: 0.15,
+        replay: 0.05,
+        ..FaultConfig::zero(0xC405)
+    });
+
+    let views = paper_partition(&train, cfg.clients, 0.3, cfg.seed).views(&train);
+    let sim = Simulation::new(
+        cfg,
+        &train,
+        &test,
+        views,
+        Box::new(|| {
+            let mut rng = Xoshiro256pp::seed_from(31);
+            fedwcm_suite::nn::models::mlp(192, &[24], 10, &mut rng)
+        }),
+    )
+    .with_fault_plan(plan);
+
+    let history = sim.run(&mut FedWcm::new());
+    println!("{}", history.resilience_report(None));
+    let injected: u32 = history.records.iter().map(|r| r.faults.injected()).sum();
+    let corruptions: u32 = history.records.iter().map(|r| r.faults.corruptions).sum();
+    assert!(injected > 0, "chaos probe injected no faults");
+    assert!(
+        corruptions > 0,
+        "chaos probe never exercised the corruption/containment path"
+    );
+    println!("chaos probe ok: {injected} faults injected, run completed");
+}

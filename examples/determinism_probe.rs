@@ -44,9 +44,11 @@ fn main() {
     let history = sim.run(&mut FedAvg::new());
     for r in &history.records {
         println!(
-            "round={} loss_bits={:#018x} norm_bits={:#018x} acc_bits={}",
+            "round={} loss_bits={} norm_bits={:#018x} acc_bits={}",
             r.round,
-            r.train_loss.to_bits(),
+            r.train_loss
+                .map(|l| format!("{:#018x}", l.to_bits()))
+                .unwrap_or_else(|| "-".into()),
             r.update_norm.to_bits(),
             r.test_acc
                 .map(|a| format!("{:#018x}", a.to_bits()))

@@ -37,6 +37,7 @@ pub use fedwcm_algos as algos;
 pub use fedwcm_analysis as analysis;
 pub use fedwcm_core as core;
 pub use fedwcm_data as data;
+pub use fedwcm_faults as faults;
 pub use fedwcm_fl as fl;
 pub use fedwcm_he as he;
 pub use fedwcm_longtail as longtail;
@@ -53,7 +54,8 @@ pub mod prelude {
     pub use fedwcm_data::partition::{fedgrab_partition, paper_partition};
     pub use fedwcm_data::synth::DatasetPreset;
     pub use fedwcm_data::Dataset;
-    pub use fedwcm_fl::{FederatedAlgorithm, FlConfig, History, Simulation};
+    pub use fedwcm_faults::{FaultConfig, FaultPlan};
+    pub use fedwcm_fl::{FederatedAlgorithm, FlConfig, History, ServerCheckpoint, Simulation};
     pub use fedwcm_longtail::{BalanceFl, FedGrab};
     pub use fedwcm_stats::{Rng, Xoshiro256pp};
     pub use fedwcm_tensor::Tensor;

@@ -1,0 +1,166 @@
+//! Chaos acceptance tests (ISSUE 3): FedWCM under realistic client
+//! unreliability — 30% dropout plus 10% stragglers on the CIFAR-10-preset
+//! synthetic task — must still converge, landing within 5 accuracy points
+//! of the fault-free run; and checkpoint/resume must be bitwise exact for
+//! the real algorithms, not just test stubs.
+
+use fedwcm_suite::faults::FaultConfig;
+use fedwcm_suite::prelude::*;
+
+fn cifar_task(seed: u64) -> (Dataset, Dataset, FlConfig) {
+    let spec = DatasetPreset::Cifar10.spec();
+    let counts = longtail_counts(10, 60, 0.1);
+    let train = spec.generate_train(&counts, seed);
+    let test = spec.generate_test(seed);
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 8;
+    cfg.participation = 0.5;
+    cfg.rounds = 15;
+    cfg.local_epochs = 2;
+    cfg.batch_size = 20;
+    cfg.eval_every = 5;
+    cfg.seed = seed;
+    (train, test, cfg)
+}
+
+fn sim<'a>(train: &'a Dataset, test: &'a Dataset, cfg: &FlConfig) -> Simulation<'a> {
+    let views = paper_partition(train, cfg.clients, 0.3, cfg.seed).views(train);
+    Simulation::new(
+        cfg.clone(),
+        train,
+        test,
+        views,
+        Box::new(|| {
+            let mut rng = Xoshiro256pp::seed_from(20_25);
+            // 3×8×8 synthetic CIFAR-10 images, flattened.
+            fedwcm_suite::nn::models::mlp(192, &[32], 10, &mut rng)
+        }),
+    )
+}
+
+/// 30% dropout + 10% stragglers (up to 3 rounds late).
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(FaultConfig {
+        dropout: 0.3,
+        straggler: 0.1,
+        max_delay: 3,
+        ..FaultConfig::zero(seed)
+    })
+}
+
+#[test]
+fn fedwcm_converges_under_dropout_and_stragglers() {
+    let (train, test, cfg) = cifar_task(2001);
+    let clean = sim(&train, &test, &cfg).run(&mut FedWcm::new());
+    let chaotic = sim(&train, &test, &cfg)
+        .with_fault_plan(chaos_plan(0xC0A7))
+        .run(&mut FedWcm::new());
+
+    let clean_acc = clean.final_accuracy(2);
+    let chaos_acc = chaotic.final_accuracy(2);
+    assert!(
+        chaos_acc > clean_acc - 0.05,
+        "chaos run collapsed: {chaos_acc:.4} vs fault-free {clean_acc:.4}"
+    );
+
+    // The report must show the faults actually landed.
+    let report = chaotic.resilience_report(Some(&clean));
+    assert!(report.totals.dropouts > 0, "no dropouts injected");
+    assert!(report.totals.stragglers > 0, "no stragglers injected");
+    assert!(
+        report.totals.late_merged > 0,
+        "no straggler upload ever merged late"
+    );
+    assert!(report.baseline_accuracy.is_some());
+    // And the fault-free run reports an all-zero tally.
+    let clean_report = clean.resilience_report(None);
+    assert_eq!(clean_report.totals.injected(), 0);
+    assert_eq!(clean_report.quorum_failures, 0);
+}
+
+#[test]
+fn fedwcm_crash_resume_matches_uninterrupted_run() {
+    let (train, test, mut cfg) = cifar_task(2002);
+    cfg.rounds = 8;
+    cfg.eval_every = 2;
+    let s = sim(&train, &test, &cfg).with_fault_plan(chaos_plan(0x5EED));
+
+    let full = s.run(&mut FedWcm::new());
+
+    // Kill at round 4, serialize, restart from bytes.
+    let ckpt = s
+        .run_until(&mut FedWcm::new(), 4)
+        .expect("FedWCM checkpoints");
+    let bytes = ckpt.to_bytes();
+    let restored = ServerCheckpoint::from_bytes(&bytes).expect("parse");
+    let resumed = s.resume(&mut FedWcm::new(), &restored).expect("resume");
+
+    assert_eq!(full.records.len(), resumed.records.len());
+    for (a, b) in full.records.iter().zip(&resumed.records) {
+        assert_eq!(
+            a.train_loss.map(f64::to_bits),
+            b.train_loss.map(f64::to_bits),
+            "round {}",
+            a.round
+        );
+        assert_eq!(
+            a.update_norm.to_bits(),
+            b.update_norm.to_bits(),
+            "round {}",
+            a.round
+        );
+        assert_eq!(
+            a.test_acc.map(f64::to_bits),
+            b.test_acc.map(f64::to_bits),
+            "round {}",
+            a.round
+        );
+        assert_eq!(
+            a.alpha.map(f64::to_bits),
+            b.alpha.map(f64::to_bits),
+            "round {} (adapted alpha must survive the resume)",
+            a.round
+        );
+        assert_eq!(a.faults, b.faults, "round {}", a.round);
+    }
+}
+
+#[test]
+fn momentum_baselines_checkpoint_too() {
+    // Crash/resume bitwise equality for the baseline algorithms with
+    // cross-round server state.
+    let (train, test, mut cfg) = cifar_task(2003);
+    cfg.rounds = 6;
+    cfg.eval_every = 3;
+    let s = sim(&train, &test, &cfg);
+
+    type MakeAlgo = Box<dyn Fn() -> Box<dyn FederatedAlgorithm>>;
+    let algos: Vec<(MakeAlgo, &str)> = vec![
+        (Box::new(|| Box::new(FedAvg::new())), "FedAvg"),
+        (Box::new(|| Box::new(FedCm::new(0.1))), "FedCM"),
+        (Box::new(|| Box::new(Scaffold::new(8))), "SCAFFOLD"),
+    ];
+    for (make, label) in algos {
+        let full = s.run(make().as_mut());
+        let ckpt = s
+            .run_until(make().as_mut(), 3)
+            .unwrap_or_else(|e| panic!("{label} checkpoint failed: {e}"));
+        let resumed = s
+            .resume(make().as_mut(), &ckpt)
+            .unwrap_or_else(|e| panic!("{label} resume failed: {e}"));
+        for (a, b) in full.records.iter().zip(&resumed.records) {
+            assert_eq!(
+                a.update_norm.to_bits(),
+                b.update_norm.to_bits(),
+                "{label} round {}",
+                a.round
+            );
+            assert_eq!(
+                a.test_acc.map(f64::to_bits),
+                b.test_acc.map(f64::to_bits),
+                "{label} round {}",
+                a.round
+            );
+        }
+    }
+}

@@ -92,7 +92,11 @@ fn all_main_methods_produce_finite_trajectories() {
         let h = s.run(algo.as_mut());
         assert_eq!(h.records.len(), 6, "{}", h.name);
         for r in &h.records {
-            assert!(r.train_loss.is_finite(), "{} loss diverged", h.name);
+            assert!(
+                r.train_loss.expect("every round reported").is_finite(),
+                "{} loss diverged",
+                h.name
+            );
             assert!(r.update_norm.is_finite(), "{} update diverged", h.name);
         }
     }
