@@ -45,6 +45,7 @@ fn variants() -> Vec<(&'static str, FedWcmOptions)> {
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let ifs = [0.1, 0.05];
     let headers: Vec<String> = ifs.iter().map(|v| format!("IF={v}")).collect();
     let mut rows = Vec::new();
@@ -67,7 +68,7 @@ fn main() {
             }
             values.push(acc / cli.trials as f64);
         }
-        eprintln!("[ablation] {label} done");
+        console.info(format!("[ablation] {label} done"));
         rows.push((label.to_string(), values));
     }
     print_table("FedWCM ablations (beta=0.6)", &headers, &rows);

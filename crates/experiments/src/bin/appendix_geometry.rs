@@ -12,6 +12,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let mut exp = ExpConfig::new(DatasetPreset::Cifar10, 0.05, 0.6, cli.scale, cli.seed);
     if let Some(r) = cli.rounds {
         exp.rounds = r;
@@ -54,7 +55,7 @@ fn main() {
             geom.mean_cosine_within(&tail)
         );
         println!("mean within-class variability: {:.4}", mean_var);
-        eprintln!("[geometry] {} done", method.label());
+        console.info(format!("[geometry] {} done", method.label()));
     }
     println!(
         "\nReading: momentum bias inflates the head/tail norm ratio and\n\

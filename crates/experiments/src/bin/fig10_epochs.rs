@@ -7,6 +7,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method, Scale};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let methods = [Method::FedAvg, Method::FedCm, Method::FedWcm];
     let headers: Vec<String> = methods.iter().map(|m| m.label().to_string()).collect();
     let epochs: &[usize] = match cli.scale {
@@ -18,7 +19,7 @@ fn main() {
         let mut exp = ExpConfig::new(DatasetPreset::Cifar10, 0.1, 0.6, cli.scale, cli.seed);
         exp.local_epochs = e;
         let values: Vec<f64> = methods.iter().map(|&m| run_cell(&exp, m, &cli)).collect();
-        eprintln!("[fig10] epochs={e} done");
+        console.info(format!("[fig10] epochs={e} done"));
         rows.push((format!("E={e}"), values));
     }
     print_table("Fig.10 — accuracy vs local epochs", &headers, &rows);

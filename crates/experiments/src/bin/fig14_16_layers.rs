@@ -8,6 +8,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let exp = ExpConfig::new(DatasetPreset::Cifar10, 0.1, 0.1, cli.scale, cli.seed);
     for (fig, method) in [
         (14, Method::FedAvg),
@@ -20,7 +21,7 @@ fn main() {
             &trace.layer_names,
             &trace.per_layer,
         );
-        eprintln!("[fig14-16] {} done", method.label());
+        console.info(format!("[fig14-16] {} done", method.label()));
     }
     println!(
         "\nExpected shape (paper Figs. 14–16): FedAvg's layers decline\n\

@@ -9,6 +9,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let ifs = [0.5, 0.1, 0.06, 0.04, 0.01];
     for imbalance in ifs {
         let exp = ExpConfig::new(DatasetPreset::Cifar10, imbalance, 0.1, cli.scale, cli.seed);
@@ -37,7 +38,7 @@ fn main() {
         let conc: Vec<f64> = trace.mean_concentration.iter().map(|&(_, c)| c).collect();
         let spikes = detect_spikes(&conc, 2.0, 0.02);
         println!("# IF={imbalance}: concentration spikes at rounds {spikes:?}");
-        eprintln!("[fig17] IF={imbalance} done");
+        console.info(format!("[fig17] IF={imbalance} done"));
     }
     println!(
         "\nExpected shape (paper Fig. 17): concentration spikes coincide\n\

@@ -7,6 +7,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let exp = ExpConfig::new(DatasetPreset::Cifar10, 0.1, 0.6, cli.scale, cli.seed);
     let methods = [
         Method::FedAvg,
@@ -21,7 +22,7 @@ fn main() {
     let mut histories = Vec::new();
     for m in methods {
         histories.push(run_history(&exp, m, &cli));
-        eprintln!("[fig7] {} done", m.label());
+        console.info(format!("[fig7] {} done", m.label()));
     }
     print_series("Fig.7 accuracy curves (beta=0.6, IF=0.1)", &histories);
     println!("\n# rounds to reach 60% of best-method accuracy:");

@@ -8,6 +8,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let mut exp = ExpConfig::new(DatasetPreset::Cifar10, 0.1, 0.6, cli.scale, cli.seed);
     if let Some(r) = cli.rounds {
         exp.rounds = r;
@@ -26,7 +27,7 @@ fn main() {
         let mut algo = build_method(method, &task);
         let (_, mut model) = sim.run_returning_model(algo.as_mut());
         summaries.push(head_tail_summary(&mut model, &task.test, &counts));
-        eprintln!("[fig8] {} done", method.label());
+        console.info(format!("[fig8] {} done", method.label()));
     }
     for label in 0..task.test.classes() {
         println!(

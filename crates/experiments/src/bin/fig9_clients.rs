@@ -8,6 +8,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method, Scale};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let methods = [Method::FedAvg, Method::FedCm, Method::FedWcm];
     let headers: Vec<String> = methods.iter().map(|m| m.label().to_string()).collect();
     let client_counts: &[usize] = match cli.scale {
@@ -23,7 +24,7 @@ fn main() {
         // fixed 10% of 100 does) so only per-client data volume varies.
         exp.participation = (5.0 / k as f64).clamp(0.05, 1.0);
         let values: Vec<f64> = methods.iter().map(|&m| run_cell(&exp, m, &cli)).collect();
-        eprintln!("[fig9] clients={k} done");
+        console.info(format!("[fig9] clients={k} done"));
         rows.push((format!("K={k}"), values));
     }
     print_table("Fig.9 — accuracy vs total client count", &headers, &rows);

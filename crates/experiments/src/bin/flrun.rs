@@ -7,7 +7,7 @@
 //! ```
 
 use fedwcm_data::synth::DatasetPreset;
-use fedwcm_experiments::report::run_history;
+use fedwcm_experiments::report::{print_metrics, run_history};
 use fedwcm_experiments::{Cli, ExpConfig, Method, Scale};
 
 fn parse_method(name: &str) -> Option<Method> {
@@ -107,4 +107,5 @@ fn main() {
     if let Some(r) = h.rounds_to_reach(h.best_accuracy() * 0.9) {
         println!("rounds to 90% of best:       {r}");
     }
+    print_metrics(&h);
 }

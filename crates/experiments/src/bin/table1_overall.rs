@@ -10,6 +10,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let methods = [
         Method::FedAvg,
         Method::BalanceFl,
@@ -36,7 +37,7 @@ fn main() {
                 let exp = ExpConfig::new(preset, imbalance, beta, cli.scale, cli.seed);
                 let values: Vec<f64> = methods.iter().map(|&m| run_cell(&exp, m, &cli)).collect();
                 rows.push((format!("IF={imbalance}"), values));
-                eprintln!("[table1] {name} beta={beta} IF={imbalance} done");
+                console.info(format!("[table1] {name} beta={beta} IF={imbalance} done"));
             }
             print_table(&format!("Table 1/7 — {name}, beta={beta}"), &headers, &rows);
         }

@@ -7,6 +7,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let methods = [Method::FedAvg, Method::FedGrab, Method::FedWcm];
     let ifs = [1.0, 0.5, 0.1, 0.05, 0.01];
     let mut headers = Vec::new();
@@ -25,7 +26,7 @@ fn main() {
                 values.push(run_cell(&exp, m, &cli));
             }
         }
-        eprintln!("[table2] IF={imbalance} done");
+        console.info(format!("[table2] IF={imbalance} done"));
         rows.push((format!("IF={imbalance}"), values));
     }
     print_table(

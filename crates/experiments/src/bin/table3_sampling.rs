@@ -7,6 +7,7 @@ use fedwcm_experiments::{parse_args, Cli, ExpConfig, Method, Scale};
 
 fn main() {
     let cli: Cli = parse_args(std::env::args());
+    let console = cli.console();
     let methods = [Method::FedAvg, Method::FedCm, Method::FedWcm];
     let headers: Vec<String> = methods.iter().map(|m| m.label().to_string()).collect();
     let rates = [0.05f64, 0.1, 0.2, 0.4, 0.8];
@@ -19,7 +20,7 @@ fn main() {
         }
         exp.participation = rate;
         let values: Vec<f64> = methods.iter().map(|&m| run_cell(&exp, m, &cli)).collect();
-        eprintln!("[table3] rate={rate} done");
+        console.info(format!("[table3] rate={rate} done"));
         rows.push((format!("{}%", (rate * 100.0) as usize), values));
     }
     print_table("Table 3 — client sampling rate sweep", &headers, &rows);

@@ -7,6 +7,7 @@ use fedwcm_experiments::{parse_args, ExpConfig, Method};
 
 fn main() {
     let cli = parse_args(std::env::args());
+    let console = cli.console();
     let methods = [Method::FedAvg, Method::FedCm, Method::FedWcmX];
     let ifs = [1.0, 0.4, 0.1, 0.06, 0.04, 0.01];
     let headers: Vec<String> = ifs.iter().map(|v| format!("IF={v}")).collect();
@@ -20,7 +21,7 @@ fn main() {
                 run_cell(&exp, m, &cli)
             })
             .collect();
-        eprintln!("[table5] {} done", m.label());
+        console.info(format!("[table5] {} done", m.label()));
         rows.push((m.label().to_string(), values));
     }
     print_table("Table 5 — FedGrab partition, beta=0.1", &headers, &rows);

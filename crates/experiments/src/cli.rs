@@ -1,6 +1,9 @@
 //! Minimal CLI parsing shared by the experiment binaries (no external
 //! argument-parsing dependency).
 
+use fedwcm_trace::{ConsoleSink, Tracer, WallClock};
+use std::sync::Arc;
+
 /// Experiment scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -25,6 +28,9 @@ pub struct Cli {
     pub dataset: Option<String>,
     /// Optional round-count override.
     pub rounds: Option<usize>,
+    /// Console verbosity: 0 (`--quiet`) silences progress, 1 (default)
+    /// prints progress lines, 2 (`--verbose`) echoes every trace event.
+    pub verbosity: u8,
 }
 
 impl Default for Cli {
@@ -35,6 +41,25 @@ impl Default for Cli {
             trials: 1,
             dataset: None,
             rounds: None,
+            verbosity: 1,
+        }
+    }
+}
+
+impl Cli {
+    /// The single console for experiment progress: a wall-clock tracer
+    /// writing to stderr through [`ConsoleSink`], or a disabled tracer
+    /// under `--quiet`. Binaries report progress with `.info(...)` so
+    /// verbosity is decided in one place; artifact rows (tables, CSV)
+    /// stay on stdout untouched.
+    pub fn console(&self) -> Tracer {
+        if self.verbosity == 0 {
+            Tracer::disabled()
+        } else {
+            Tracer::new(
+                Box::new(WallClock::new()),
+                Arc::new(ConsoleSink::new(self.verbosity)),
+            )
         }
     }
 }
@@ -71,6 +96,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Cli {
             "--dataset" => {
                 cli.dataset = Some(it.next().unwrap_or_else(|| usage("--dataset needs a name")));
             }
+            "--quiet" | "-q" => cli.verbosity = 0,
+            "--verbose" | "-v" => cli.verbosity = 2,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -85,7 +112,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--smoke|--quick|--paper-scale] [--seed N] \
-         [--trials N] [--rounds N] [--dataset NAME]"
+         [--trials N] [--rounds N] [--dataset NAME] [--quiet|-q] [--verbose|-v]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -132,5 +159,20 @@ mod tests {
     #[test]
     fn paper_scale_flag() {
         assert_eq!(parse(&["--paper-scale"]).scale, Scale::Paper);
+    }
+
+    #[test]
+    fn verbosity_flags() {
+        assert_eq!(parse(&[]).verbosity, 1);
+        assert_eq!(parse(&["--quiet"]).verbosity, 0);
+        assert_eq!(parse(&["-q"]).verbosity, 0);
+        assert_eq!(parse(&["--verbose"]).verbosity, 2);
+        assert_eq!(parse(&["-v"]).verbosity, 2);
+    }
+
+    #[test]
+    fn quiet_console_is_disabled() {
+        assert!(!parse(&["--quiet"]).console().enabled());
+        assert!(parse(&[]).console().enabled());
     }
 }

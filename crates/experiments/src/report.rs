@@ -4,6 +4,8 @@ use crate::cli::Cli;
 use crate::methods::{build_method, Method};
 use crate::setup::ExpConfig;
 use fedwcm_fl::History;
+use fedwcm_trace::{MetricValue, MetricsRegistry, MetricsSnapshot};
+use std::sync::Arc;
 
 /// Run one `(condition, method)` cell, averaging final accuracy over
 /// `cli.trials` seeds (the paper reports 3-seed means).
@@ -26,13 +28,20 @@ pub fn run_cell(exp: &ExpConfig, method: Method, cli: &Cli) -> f64 {
 
 /// Run one cell and return the full history of the **first** trial
 /// (figures need the trajectory, not just the endpoint).
+///
+/// A metrics registry is attached so [`History::metrics`] carries the
+/// run's counters/gauges/histograms (bytes up/down, update-norm
+/// distribution, α trajectory, per-class accuracy); registries never
+/// feed back into simulation state, so results are unchanged.
 pub fn run_history(exp: &ExpConfig, method: Method, cli: &Cli) -> History {
     let mut e = exp.clone();
     if let Some(r) = cli.rounds {
         e.rounds = r;
     }
     let task = e.prepare();
-    let sim = task.simulation();
+    let sim = task
+        .simulation()
+        .with_metrics(Arc::new(MetricsRegistry::new()));
     let mut algo = build_method(method, &task);
     sim.run(algo.as_mut())
 }
@@ -109,6 +118,72 @@ pub fn accuracy_row(label: impl Into<String>, values: Vec<f64>) -> (String, Vec<
     (label.into(), values)
 }
 
+/// Markdown table of the per-phase timing histograms (`fl.phase.*` and
+/// `fl.round_ticks`): observation count, mean ticks, total ticks.
+/// Empty string when the snapshot holds no phase histograms (e.g. the
+/// run had no tracer attached, so phase boundaries were never stamped).
+pub fn phase_time_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for e in &snap.entries {
+        let is_phase = e.name.starts_with("fl.phase.") || e.name == "fl.round_ticks";
+        if !is_phase {
+            continue;
+        }
+        let MetricValue::Histogram(h) = &e.value else {
+            continue;
+        };
+        if out.is_empty() {
+            out.push_str("| phase                  |      count |  mean ticks | total ticks |\n");
+            out.push_str("|------------------------|------------|-------------|-------------|\n");
+        }
+        out.push_str(&format!(
+            "| {:<22} | {:>10} | {:>11.1} | {:>11.0} |\n",
+            e.name,
+            h.total,
+            h.mean().unwrap_or(0.0),
+            h.sum
+        ));
+    }
+    out
+}
+
+/// One line per metric in the snapshot: counters and gauges with their
+/// value, histograms with count/mean. Empty string for an empty
+/// snapshot, so binaries can print it unconditionally.
+pub fn metrics_summary(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for e in &snap.entries {
+        match &e.value {
+            MetricValue::Counter(v) => out.push_str(&format!("{} = {v}\n", e.name)),
+            MetricValue::Gauge(v) => out.push_str(&format!("{} = {v:.6}\n", e.name)),
+            MetricValue::Histogram(h) => out.push_str(&format!(
+                "{}: n={} mean={:.3} nan_rejected={}\n",
+                e.name,
+                h.total,
+                h.mean().unwrap_or(0.0),
+                h.nan_rejected
+            )),
+        }
+    }
+    out
+}
+
+/// Print the metrics carried by a history (summary plus phase table)
+/// under a `## metrics` heading; prints nothing when the history has no
+/// metrics, so every binary can call this unconditionally.
+pub fn print_metrics(history: &History) {
+    if history.metrics.is_empty() {
+        return;
+    }
+    println!("\n## metrics: {}\n", history.name);
+    let phases = phase_time_table(&history.metrics);
+    if !phases.is_empty() {
+        print!("{phases}");
+        println!();
+    }
+    print!("{}", metrics_summary(&history.metrics));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +241,62 @@ mod tests {
     fn format_series_empty_histories() {
         assert_eq!(format_series(&[]), "");
         assert_eq!(format_series(&[History::new("a")]), "");
+    }
+
+    #[test]
+    fn run_history_carries_metrics() {
+        let exp = ExpConfig::new(DatasetPreset::FashionMnist, 1.0, 0.6, Scale::Smoke, 4);
+        let cli = Cli {
+            scale: Scale::Smoke,
+            ..Cli::default()
+        };
+        let h = run_history(&exp, Method::FedAvg, &cli);
+        assert!(
+            !h.metrics.is_empty(),
+            "registry snapshot should land in History"
+        );
+        assert!(h.metrics.get("fl.rounds").is_some());
+        let summary = metrics_summary(&h.metrics);
+        assert!(summary.contains("fl.bytes.up"), "{summary}");
+        assert!(summary.contains("fl.update_norm"), "{summary}");
+    }
+
+    #[test]
+    fn phase_table_renders_phase_histograms_only() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("fl.rounds", 3);
+        reg.observe("fl.phase.aggregate", &[10.0, 100.0], 5.0);
+        reg.observe("fl.phase.aggregate", &[10.0, 100.0], 7.0);
+        reg.observe("fl.update_norm", &[1.0], 0.5);
+        let snap = reg.snapshot();
+        let table = phase_time_table(&snap);
+        assert!(table.contains("fl.phase.aggregate"), "{table}");
+        assert!(!table.contains("fl.update_norm"), "{table}");
+        assert!(!table.contains("fl.rounds"), "{table}");
+        // count 2, mean 6.0, total 12
+        assert!(table.contains("| fl.phase.aggregate"), "{table}");
+        assert!(table.contains("6.0"), "{table}");
+    }
+
+    #[test]
+    fn phase_table_empty_without_phase_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("fl.rounds", 1);
+        assert!(phase_time_table(&reg.snapshot()).is_empty());
+        assert!(phase_time_table(&MetricsSnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn metrics_summary_covers_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", 4);
+        reg.gauge_set("g", 0.25);
+        reg.observe("h", &[1.0], 0.5);
+        let s = metrics_summary(&reg.snapshot());
+        assert!(s.contains("c = 4"), "{s}");
+        assert!(s.contains("g = 0.250000"), "{s}");
+        assert!(s.contains("h: n=1 mean=0.500"), "{s}");
+        assert!(metrics_summary(&MetricsSnapshot::default()).is_empty());
     }
 
     #[test]

@@ -23,9 +23,11 @@ use crate::metrics::{History, RoundFaults, RoundRecord};
 use fedwcm_nn::serialize::{
     put_bytes, put_f32, put_f32s, put_f64, put_str, put_u32, put_u64, ByteReader,
 };
+use fedwcm_trace::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
 
 const MAGIC: &[u8; 4] = b"FWCK";
-const VERSION: u32 = 1;
+// Version 2 added the metrics snapshot after the history records.
+const VERSION: u32 = 2;
 
 /// Why a checkpoint could not be captured, parsed, or restored.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -163,6 +165,11 @@ impl ServerCheckpoint {
         }
         algo.load_state(&self.algo_state)
             .map_err(CheckpointError::State)?;
+        // Reload the attached registry so resumed accumulation continues
+        // exactly where the checkpointed run stopped.
+        if let Some(reg) = &sim.obs.metrics {
+            reg.load(&self.history.metrics);
+        }
         Ok(RunState {
             next_round: self.next_round,
             global: self.global.clone(),
@@ -202,6 +209,7 @@ impl ServerCheckpoint {
             put_u32(&mut out, r.faults.replays);
             put_u32(&mut out, r.faults.quorum_failed as u32);
         }
+        put_metrics(&mut out, &self.history.metrics);
 
         // Straggler buffer.
         put_u64(&mut out, self.pending.len() as u64);
@@ -271,6 +279,7 @@ impl ServerCheckpoint {
                 faults,
             });
         }
+        history.metrics = read_metrics(&mut r)?;
 
         let n_pending = read_usize(&mut r)?;
         let mut pending = Vec::with_capacity(n_pending.min(1 << 16));
@@ -333,6 +342,74 @@ fn read_opt_f64(r: &mut ByteReader<'_>) -> Result<Option<f64>, CheckpointError> 
 fn read_usize(r: &mut ByteReader<'_>) -> Result<usize, CheckpointError> {
     usize::try_from(r.u64().ok_or(CheckpointError::Malformed)?)
         .map_err(|_| CheckpointError::Malformed)
+}
+
+fn put_metrics(out: &mut Vec<u8>, snap: &MetricsSnapshot) {
+    put_u64(out, snap.entries.len() as u64);
+    for e in &snap.entries {
+        put_str(out, &e.name);
+        match &e.value {
+            MetricValue::Counter(c) => {
+                put_u32(out, 0);
+                put_u64(out, *c);
+            }
+            MetricValue::Gauge(g) => {
+                put_u32(out, 1);
+                put_f64(out, *g);
+            }
+            MetricValue::Histogram(h) => {
+                put_u32(out, 2);
+                put_u64(out, h.bounds.len() as u64);
+                for &b in &h.bounds {
+                    put_f64(out, b);
+                }
+                put_u64(out, h.counts.len() as u64);
+                for &c in &h.counts {
+                    put_u64(out, c);
+                }
+                put_u64(out, h.total);
+                put_f64(out, h.sum);
+                put_u64(out, h.nan_rejected);
+            }
+        }
+    }
+}
+
+fn read_metrics(r: &mut ByteReader<'_>) -> Result<MetricsSnapshot, CheckpointError> {
+    let n = read_usize(r)?;
+    let mut entries = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let name = r.str().ok_or(CheckpointError::Malformed)?;
+        let value = match r.u32().ok_or(CheckpointError::Malformed)? {
+            0 => MetricValue::Counter(r.u64().ok_or(CheckpointError::Malformed)?),
+            1 => MetricValue::Gauge(r.f64().ok_or(CheckpointError::Malformed)?),
+            2 => {
+                let n_bounds = read_usize(r)?;
+                let mut bounds = Vec::with_capacity(n_bounds.min(1 << 16));
+                for _ in 0..n_bounds {
+                    bounds.push(r.f64().ok_or(CheckpointError::Malformed)?);
+                }
+                let n_counts = read_usize(r)?;
+                if n_counts != n_bounds + 1 {
+                    return Err(CheckpointError::Malformed);
+                }
+                let mut counts = Vec::with_capacity(n_counts.min(1 << 16));
+                for _ in 0..n_counts {
+                    counts.push(r.u64().ok_or(CheckpointError::Malformed)?);
+                }
+                MetricValue::Histogram(HistogramSnapshot {
+                    bounds,
+                    counts,
+                    total: r.u64().ok_or(CheckpointError::Malformed)?,
+                    sum: r.f64().ok_or(CheckpointError::Malformed)?,
+                    nan_rejected: r.u64().ok_or(CheckpointError::Malformed)?,
+                })
+            }
+            _ => return Err(CheckpointError::Malformed),
+        };
+        entries.push(MetricEntry { name, value });
+    }
+    Ok(MetricsSnapshot { entries })
 }
 
 fn put_update(out: &mut Vec<u8>, u: &ClientUpdate) {

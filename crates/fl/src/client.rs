@@ -13,6 +13,7 @@ use fedwcm_data::sampler::{BalanceSampler, BatchSampler};
 use fedwcm_nn::loss::Loss;
 use fedwcm_nn::model::Model;
 use fedwcm_stats::rng::Xoshiro256pp;
+use fedwcm_trace::{local, Value};
 
 /// Stream label for per-client sampling RNGs.
 const STREAM_LOCAL: u64 = 0xC11E;
@@ -111,32 +112,42 @@ pub fn run_local_sgd(
     let mut grads = vec![0.0f32; model.param_len()];
     let mut loss_acc = 0.0f64;
 
+    // Both sampler paths run the same epochs × batches/epoch nest (the
+    // balanced sampler draws a flat stream, so the epoch boundary is
+    // only a bookkeeping notion there — the batch sequence is unchanged).
+    // Each epoch is wrapped in a `local_epoch` span recorded into the
+    // thread-local buffer the engine installs for traced runs; without a
+    // buffer the span calls are no-ops.
     let mut step = 0usize;
+    let mut run_epochs =
+        |next_batch: &mut dyn FnMut() -> Vec<usize>, model: &mut Model, loss_acc: &mut f64| {
+            for epoch in 0..spec.epochs {
+                let _span = local::span(
+                    "local_epoch",
+                    vec![
+                        ("client", Value::U64(env.id as u64)),
+                        ("epoch", Value::U64(epoch as u64)),
+                        ("batches", Value::U64(batches_per_epoch as u64)),
+                    ],
+                );
+                for _ in 0..batches_per_epoch {
+                    let idx = next_batch();
+                    let (x, y) = env.dataset.gather(&idx);
+                    let l = model.loss_grad(&x, &y, spec.loss, &mut grads);
+                    *loss_acc += l as f64;
+                    direction(&mut grads, model.params(), step);
+                    fedwcm_nn::opt::sgd_step(model.params_mut(), &grads, spec.lr);
+                    step += 1;
+                }
+            }
+        };
     if spec.balanced_sampler {
         let mut sampler =
             BalanceSampler::new(env.view.indices(), env.dataset, env.cfg.batch_size, rng);
-        for _ in 0..total_steps {
-            let idx = sampler.next_batch();
-            let (x, y) = env.dataset.gather(&idx);
-            let l = model.loss_grad(&x, &y, spec.loss, &mut grads);
-            loss_acc += l as f64;
-            direction(&mut grads, model.params(), step);
-            fedwcm_nn::opt::sgd_step(model.params_mut(), &grads, spec.lr);
-            step += 1;
-        }
+        run_epochs(&mut || sampler.next_batch(), &mut model, &mut loss_acc);
     } else {
         let mut sampler = BatchSampler::new(env.view.indices(), env.cfg.batch_size, rng.clone());
-        for _ in 0..spec.epochs {
-            for _ in 0..batches_per_epoch {
-                let idx = sampler.next_batch();
-                let (x, y) = env.dataset.gather(&idx);
-                let l = model.loss_grad(&x, &y, spec.loss, &mut grads);
-                loss_acc += l as f64;
-                direction(&mut grads, model.params(), step);
-                fedwcm_nn::opt::sgd_step(model.params_mut(), &grads, spec.lr);
-                step += 1;
-            }
-        }
+        run_epochs(&mut || sampler.next_batch(), &mut model, &mut loss_acc);
     }
 
     // delta = (x_r − x_B) / (lr · B_k): gradient-scale direction.

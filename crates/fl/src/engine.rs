@@ -12,12 +12,45 @@ use fedwcm_nn::model::Model;
 use fedwcm_parallel::{chunk_ranges, parallel_map, with_intra_threads, ThreadBudget};
 use fedwcm_stats::rng::{Rng, Xoshiro256pp};
 use fedwcm_tensor::invariants;
+use fedwcm_trace::{local, MetricsRegistry, SpanBuffer, Tracer, Value};
+use std::sync::Arc;
 
 /// Stream label for per-round client sampling.
 const STREAM_SAMPLE: u64 = 0x5A3B;
 
 /// Evaluation batch size (memory bound, not a hyper-parameter).
 const EVAL_BATCH: usize = 256;
+
+/// Tick-delta buckets for the `fl.phase.*` / `fl.round_ticks`
+/// histograms. Wide on purpose: a [`fedwcm_trace::LogicalClock`] yields
+/// a handful of ticks per phase, a [`fedwcm_trace::WallClock`] yields
+/// nanoseconds.
+const PHASE_BOUNDS: [f64; 10] = [1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Buckets for the per-round global-update-norm histogram.
+const UPDATE_NORM_BOUNDS: [f64; 8] = [0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0];
+
+/// Buckets for the α-trajectory histogram (α ∈ (0, 1]).
+const ALPHA_BOUNDS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Observability attachments for a [`Simulation`]: both default to off,
+/// and an unattached simulation behaves (and performs) exactly as
+/// before.
+///
+/// The tracer's clock is only ever ticked from the engine's serialized
+/// round loop; client-local work records into per-task
+/// [`SpanBuffer`]s that the engine replays in sampled-index order, so
+/// traces are byte-identical across thread counts under a
+/// [`fedwcm_trace::LogicalClock`].
+#[derive(Default)]
+pub struct Observability {
+    /// Structured span/event stream (disabled tracer by default).
+    pub tracer: Tracer,
+    /// Metrics registry; its snapshot is merged into
+    /// [`History::metrics`] at the end of every drive and restored on
+    /// checkpoint resume.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
 
 /// The client ids sampled in round `round` under `cfg` (a pure function
 /// of `(cfg.seed, round)`, so sampling, fault accounting, and
@@ -73,6 +106,8 @@ pub struct Simulation<'a> {
     /// the fault-free trajectory bit for bit: the plan draws from its own
     /// RNG streams and never touches sampling or training streams.
     pub fault_plan: Option<FaultPlan>,
+    /// Tracing and metrics attachments (off by default).
+    pub obs: Observability,
 }
 
 impl<'a> Simulation<'a> {
@@ -101,12 +136,29 @@ impl<'a> Simulation<'a> {
             views,
             factory,
             fault_plan: None,
+            obs: Observability::default(),
         }
     }
 
     /// Attach a fault-injection plan (builder style).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attach a tracer (builder style). Pair a
+    /// [`fedwcm_trace::LogicalClock`] with any sink for deterministic
+    /// traces, or a [`fedwcm_trace::WallClock`] in binaries for real
+    /// timings.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.obs.tracer = tracer;
+        self
+    }
+
+    /// Attach a metrics registry (builder style); its snapshot lands in
+    /// [`History::metrics`].
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.obs.metrics = Some(registry);
         self
     }
 
@@ -144,6 +196,10 @@ impl<'a> Simulation<'a> {
         let mut state = self.fresh_state(algo);
         let stop = stop_round.min(self.cfg.rounds);
         self.drive(algo, &mut state, stop, &mut |_, _| {});
+        let _g = self.obs.tracer.span(
+            "checkpoint",
+            vec![("round", Value::U64(state.next_round as u64))],
+        );
         ServerCheckpoint::capture(self, algo, &state)
     }
 
@@ -201,10 +257,20 @@ impl<'a> Simulation<'a> {
     ) {
         let mut model = (self.factory)();
         let threads = self.cfg.resolved_threads();
+        let tracer = self.obs.tracer.clone();
+        let registry = self.obs.metrics.as_deref();
 
         while state.next_round < until_round {
             let round = state.next_round;
             let sampled = self.sampled_clients(round);
+            let round_t0 = tracer.now();
+            let round_span = tracer.span(
+                "round",
+                vec![
+                    ("round", Value::U64(round as u64)),
+                    ("sampled", Value::U64(sampled.len() as u64)),
+                ],
+            );
 
             // Parallel local training: results are collected in sampled-id
             // order, so aggregation is deterministic across thread counts.
@@ -214,7 +280,10 @@ impl<'a> Simulation<'a> {
             let budget = ThreadBudget::split(threads, sampled.len());
             let algo_ref: &dyn FederatedAlgorithm = algo;
             let global_ref = &state.global;
-            let mut updates = parallel_map(sampled.len(), budget.outer(), |i| {
+            let traced = tracer.enabled();
+            let tracer_ref = &tracer;
+            let local_t0 = tracer.now();
+            let results = parallel_map(sampled.len(), budget.outer(), |i| {
                 let id = sampled[i];
                 let env = ClientEnv {
                     id,
@@ -224,8 +293,55 @@ impl<'a> Simulation<'a> {
                     cfg: &self.cfg,
                     factory: self.factory.as_ref(),
                 };
-                with_intra_threads(budget.inner(), || algo_ref.local_train(&env, global_ref))
+                if traced {
+                    // Client-local spans go into a per-task buffer with a
+                    // forked clock; the main clock stays untouched by
+                    // workers, and the buffers are replayed in sampled
+                    // order below — so the trace stream is identical at
+                    // every thread count.
+                    let buf = Arc::new(SpanBuffer::new(tracer_ref.fork_clock()));
+                    let update = local::with_buffer(&buf, || {
+                        with_intra_threads(budget.inner(), || {
+                            algo_ref.local_train(&env, global_ref)
+                        })
+                    });
+                    let events = buf.drain();
+                    (update, events)
+                } else {
+                    let update = with_intra_threads(budget.inner(), || {
+                        algo_ref.local_train(&env, global_ref)
+                    });
+                    (update, Vec::new())
+                }
             });
+            let mut updates = Vec::with_capacity(results.len());
+            for (update, events) in results {
+                if traced {
+                    let _g = tracer.span(
+                        "client_update",
+                        vec![
+                            ("round", Value::U64(round as u64)),
+                            ("client", Value::U64(update.client as u64)),
+                            ("batches", Value::U64(update.num_batches as u64)),
+                            ("loss", Value::F64(f64::from(update.avg_loss))),
+                        ],
+                    );
+                    tracer.replay(events);
+                }
+                updates.push(update);
+            }
+            self.observe_phase(registry, "fl.phase.local_train", local_t0);
+            if let Some(reg) = registry {
+                let up: u64 = updates
+                    .iter()
+                    .map(|u| 4 * (u.delta.len() + u.extra.as_ref().map_or(0, Vec::len)) as u64)
+                    .sum();
+                reg.counter_add("fl.bytes.up", up);
+                reg.counter_add(
+                    "fl.bytes.down",
+                    4 * (sampled.len() * state.global.len()) as u64,
+                );
+            }
 
             // Loud mode: with `debug_invariants`, a malformed or poisoned
             // update panics right here — at the client-emission boundary,
@@ -257,7 +373,15 @@ impl<'a> Simulation<'a> {
             // arrivals due this round.
             let mut faults = RoundFaults::default();
             if let Some(plan) = &self.fault_plan {
-                updates = self.apply_faults(plan, round, updates, state, &mut faults);
+                let _g = tracer.span("fault_inject", vec![("round", Value::U64(round as u64))]);
+                updates = self.apply_faults(plan, round, updates, state, &mut faults, &tracer);
+            }
+            if let Some(reg) = registry {
+                reg.counter_add("fl.faults.dropouts", u64::from(faults.dropouts));
+                reg.counter_add("fl.faults.stragglers", u64::from(faults.stragglers));
+                reg.counter_add("fl.faults.late_merged", u64::from(faults.late_merged));
+                reg.counter_add("fl.faults.corruptions", u64::from(faults.corruptions));
+                reg.counter_add("fl.faults.replays", u64::from(faults.replays));
             }
 
             // Failure containment: a delta that arrived non-finite (or
@@ -271,6 +395,10 @@ impl<'a> Simulation<'a> {
                     && fedwcm_tensor::ops::norm(&u.delta) < self.cfg.max_update_norm
             });
             let dropped_updates = before_filter - updates.len();
+            if let Some(reg) = registry {
+                reg.counter_add("fl.updates.received", before_filter as u64);
+                reg.counter_add("fl.updates.dropped", dropped_updates as u64);
+            }
 
             // Quorum rule: aggregating a sliver of the sampled cohort
             // yields a biased direction; below quorum the round reuses
@@ -278,6 +406,11 @@ impl<'a> Simulation<'a> {
             let quorum_failed = self.cfg.quorum_frac > 0.0
                 && (updates.len() as f64) < self.cfg.quorum_frac * sampled.len() as f64;
             faults.quorum_failed = quorum_failed;
+            if quorum_failed {
+                if let Some(reg) = registry {
+                    reg.counter_add("fl.rounds.quorum_failed", 1);
+                }
+            }
 
             // Evaluation cadence is a property of the round number alone:
             // an empty (fully-dropped) round still evaluates the unchanged
@@ -286,15 +419,21 @@ impl<'a> Simulation<'a> {
             let eval_now =
                 (round + 1).is_multiple_of(self.cfg.eval_every) || round + 1 == self.cfg.rounds;
 
-            if updates.is_empty() || quorum_failed {
+            let record = if updates.is_empty() || quorum_failed {
                 let train_loss = (!updates.is_empty()).then(|| {
                     updates.iter().map(|u| u.avg_loss).sum::<f32>() as f64 / updates.len() as f64
                 });
                 let test_acc = eval_now.then(|| {
-                    model.set_params(&state.global);
-                    evaluate_accuracy_threads(&mut model, self.test, threads)
+                    self.evaluate_phase(
+                        &mut model,
+                        &state.global,
+                        round,
+                        threads,
+                        registry,
+                        &tracer,
+                    )
                 });
-                state.history.records.push(RoundRecord {
+                RoundRecord {
                     round,
                     train_loss,
                     update_norm: 0.0,
@@ -302,56 +441,141 @@ impl<'a> Simulation<'a> {
                     alpha: None,
                     dropped_updates,
                     faults,
-                });
-                observer(round, &state.global);
-                state.next_round = round + 1;
-                continue;
-            }
+                }
+            } else {
+                let input = RoundInput {
+                    round,
+                    cfg: &self.cfg,
+                    updates,
+                    views: &self.views,
+                };
+                let train_loss = Some(input.mean_loss() as f64);
+                let before = state.global.clone();
+                let agg_t0 = tracer.now();
+                let log = {
+                    let _g = tracer.span(
+                        "aggregate",
+                        vec![
+                            ("round", Value::U64(round as u64)),
+                            ("updates", Value::U64(input.updates.len() as u64)),
+                        ],
+                    );
+                    algo.aggregate(&mut state.global, &input)
+                };
+                self.observe_phase(registry, "fl.phase.aggregate", agg_t0);
+                if invariants::ENABLED {
+                    invariants::check_finite(&state.global, || {
+                        format!(
+                            "global parameters after {} aggregation (round {round})",
+                            algo.name()
+                        )
+                    });
+                }
+                let update_norm = before
+                    .iter()
+                    .zip(&state.global)
+                    .map(|(a, b)| {
+                        let d = (a - b) as f64;
+                        d * d
+                    })
+                    .sum::<f64>()
+                    .sqrt();
+                if let Some(reg) = registry {
+                    reg.observe("fl.update_norm", &UPDATE_NORM_BOUNDS, update_norm);
+                    if let Some(a) = log.alpha {
+                        reg.gauge_set("fl.alpha", a);
+                        reg.observe("fl.alpha.trajectory", &ALPHA_BOUNDS, a);
+                    }
+                }
 
-            let input = RoundInput {
-                round,
-                cfg: &self.cfg,
-                updates,
-                views: &self.views,
-            };
-            let train_loss = Some(input.mean_loss() as f64);
-            let before = state.global.clone();
-            let log = algo.aggregate(&mut state.global, &input);
-            if invariants::ENABLED {
-                invariants::check_finite(&state.global, || {
-                    format!(
-                        "global parameters after {} aggregation (round {round})",
-                        algo.name()
+                let test_acc = eval_now.then(|| {
+                    self.evaluate_phase(
+                        &mut model,
+                        &state.global,
+                        round,
+                        threads,
+                        registry,
+                        &tracer,
                     )
                 });
+
+                RoundRecord {
+                    round,
+                    train_loss,
+                    update_norm,
+                    test_acc,
+                    alpha: log.alpha,
+                    dropped_updates,
+                    faults,
+                }
+            };
+            state.history.records.push(record);
+            if let Some(reg) = registry {
+                reg.counter_add("fl.rounds", 1);
             }
-            let update_norm = before
-                .iter()
-                .zip(&state.global)
-                .map(|(a, b)| {
-                    let d = (a - b) as f64;
-                    d * d
-                })
-                .sum::<f64>()
-                .sqrt();
-
-            let test_acc = eval_now.then(|| {
-                model.set_params(&state.global);
-                evaluate_accuracy_threads(&mut model, self.test, threads)
-            });
-
-            state.history.records.push(RoundRecord {
-                round,
-                train_loss,
-                update_norm,
-                test_acc,
-                alpha: log.alpha,
-                dropped_updates,
-                faults,
-            });
             observer(round, &state.global);
+            drop(round_span);
+            self.observe_phase(registry, "fl.round_ticks", round_t0);
             state.next_round = round + 1;
         }
+
+        // The run's metric state rides along in the history, so reports
+        // and checkpoints see it without extra plumbing.
+        if let Some(reg) = registry {
+            state.history.metrics = reg.snapshot();
+        }
+    }
+
+    /// Record the tick delta since `t0` into the named phase histogram.
+    /// The clock is read whenever the tracer is enabled (keeping tick
+    /// sequences registry-independent); the observation lands only when
+    /// a registry is attached.
+    fn observe_phase(&self, registry: Option<&MetricsRegistry>, name: &str, t0: Option<u64>) {
+        if let (Some(t0), Some(t1)) = (t0, self.obs.tracer.now()) {
+            if let Some(reg) = registry {
+                reg.observe(name, &PHASE_BOUNDS, t1.saturating_sub(t0) as f64);
+            }
+        }
+    }
+
+    /// Evaluate the global model: `evaluate` span, overall accuracy,
+    /// and — with a registry attached — per-class gauges plus the
+    /// tail-mean gauge (the long-tail synthesis orders classes head to
+    /// tail by frequency, so the final third of class ids is the tail).
+    fn evaluate_phase(
+        &self,
+        model: &mut Model,
+        global: &[f32],
+        round: usize,
+        threads: usize,
+        registry: Option<&MetricsRegistry>,
+        tracer: &Tracer,
+    ) -> f64 {
+        let t0 = tracer.now();
+        let acc = {
+            let _g = tracer.span("evaluate", vec![("round", Value::U64(round as u64))]);
+            model.set_params(global);
+            let acc = evaluate_accuracy_threads(model, self.test, threads);
+            if let Some(reg) = registry {
+                reg.gauge_set("fl.acc.overall", acc);
+                let pc = per_class_accuracy_threads(model, self.test, threads);
+                let tail_len = pc.len() / 3;
+                let tail_from = pc.len() - tail_len;
+                let mut tail_sum = 0.0;
+                for (c, &a) in pc.iter().enumerate() {
+                    reg.gauge_set(&format!("fl.acc.class.{c:02}"), a);
+                    if c >= tail_from {
+                        tail_sum += a;
+                    }
+                }
+                if tail_len > 0 {
+                    reg.gauge_set("fl.acc.tail", tail_sum / tail_len as f64);
+                }
+            }
+            acc
+        };
+        self.observe_phase(registry, "fl.phase.evaluate", t0);
+        acc
     }
 
     /// Apply the plan's faults for `round` to the freshly collected
@@ -365,15 +589,31 @@ impl<'a> Simulation<'a> {
         updates: Vec<ClientUpdate>,
         state: &mut RunState,
         faults: &mut RoundFaults,
+        tracer: &Tracer,
     ) -> Vec<ClientUpdate> {
+        let fault_point = |kind: &str, client: usize, detail: Option<(&'static str, u64)>| {
+            if tracer.enabled() {
+                let mut fields = vec![
+                    ("round", Value::U64(round as u64)),
+                    ("client", Value::U64(client as u64)),
+                    ("kind", Value::Str(kind.to_string())),
+                ];
+                if let Some((k, v)) = detail {
+                    fields.push((k, Value::U64(v)));
+                }
+                tracer.point("fault", fields);
+            }
+        };
         let mut received: Vec<ClientUpdate> = Vec::with_capacity(updates.len());
         for mut u in updates {
             match plan.fault_for(round, u.client) {
                 Some(FaultKind::Dropout) => {
                     faults.dropouts += 1;
+                    fault_point("dropout", u.client, None);
                 }
                 Some(FaultKind::Straggler { delay }) => {
                     faults.stragglers += 1;
+                    fault_point("straggler", u.client, Some(("delay", delay as u64)));
                     state.pending.push(PendingUpdate {
                         arrival_round: round + delay,
                         staleness: delay,
@@ -382,6 +622,7 @@ impl<'a> Simulation<'a> {
                 }
                 Some(FaultKind::Corrupt(kind)) => {
                     faults.corruptions += 1;
+                    fault_point("corrupt", u.client, None);
                     corrupt_delta(&mut u.delta, kind);
                     received.push(u);
                 }
@@ -391,6 +632,7 @@ impl<'a> Simulation<'a> {
                     // prior upload has nothing to replay; the fresh delta
                     // goes through (the fault is still accounted).
                     faults.replays += 1;
+                    fault_point("replay", u.client, None);
                     if let Some(prev) = state.replay_cache.get(u.client).and_then(|p| p.as_deref())
                     {
                         u.delta = prev.to_vec();
@@ -409,6 +651,11 @@ impl<'a> Simulation<'a> {
         for p in state.pending.drain(..) {
             if p.arrival_round <= round {
                 faults.late_merged += 1;
+                fault_point(
+                    "late_merge",
+                    p.update.client,
+                    Some(("staleness", p.staleness as u64)),
+                );
                 let mut u = p.update;
                 let discount = staleness_discount(p.staleness);
                 for d in u.delta.iter_mut() {

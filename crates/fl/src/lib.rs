@@ -46,6 +46,6 @@ pub use client::{ClientEnv, ClientUpdate, LocalSgdSpec};
 pub use config::FlConfig;
 pub use engine::{
     evaluate_accuracy, evaluate_accuracy_threads, per_class_accuracy, per_class_accuracy_threads,
-    sampled_clients_for, Simulation,
+    sampled_clients_for, Observability, Simulation,
 };
 pub use metrics::{History, ResilienceReport, RoundFaults, RoundRecord};

@@ -1,5 +1,7 @@
 //! Round-by-round histories, fault accounting, and summary statistics.
 
+use fedwcm_trace::MetricsSnapshot;
+
 /// Per-round tally of injected faults and their handling (all zero on a
 /// fault-free run; see `fedwcm-faults` for the taxonomy).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -56,6 +58,10 @@ pub struct History {
     pub name: String,
     /// Per-round records.
     pub records: Vec<RoundRecord>,
+    /// Snapshot of the run's metrics registry (empty unless a registry
+    /// was attached via `Simulation::with_metrics`). Checkpoints carry
+    /// it, so a resumed run's counters continue where they left off.
+    pub metrics: MetricsSnapshot,
 }
 
 impl History {
@@ -64,6 +70,7 @@ impl History {
         History {
             name: name.into(),
             records: Vec::new(),
+            metrics: MetricsSnapshot::default(),
         }
     }
 

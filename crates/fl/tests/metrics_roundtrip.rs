@@ -1,0 +1,196 @@
+//! Metrics survive checkpoint/resume: a run interrupted at round `r`
+//! and resumed from the serialized checkpoint finishes with a metrics
+//! snapshot identical to the uninterrupted run's. Counters, gauges, and
+//! histograms all accumulate across the resume boundary because
+//! [`ServerCheckpoint`] carries `History::metrics` (format v2) and
+//! `restore` reloads it into the attached registry.
+//!
+//! No tracer is attached: phase-tick histograms need clock reads, and a
+//! wall clock would differ run to run. The registry-only metrics
+//! (bytes, update norms, α, counters, per-class accuracy) are pure
+//! functions of the simulation and must round-trip exactly.
+
+use fedwcm_data::dataset::Dataset;
+use fedwcm_data::longtail::longtail_counts;
+use fedwcm_data::partition::paper_partition;
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_fl::algorithm::{
+    server_step, state_from_vec, state_to_vec, uniform_average, RoundInput, RoundLog, StateError,
+};
+use fedwcm_fl::client::{run_local_sgd, ClientEnv, ClientUpdate, LocalSgdSpec};
+use fedwcm_fl::{FederatedAlgorithm, FlConfig, ServerCheckpoint, Simulation};
+use fedwcm_nn::loss::CrossEntropy;
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::Xoshiro256pp;
+use fedwcm_trace::MetricsRegistry;
+use std::sync::Arc;
+
+/// Minimal averaging algorithm with (trivial) state capture so
+/// `run_until` can checkpoint it.
+struct AvgWithState {
+    rounds_seen: Vec<f32>,
+}
+
+impl AvgWithState {
+    fn new() -> Self {
+        AvgWithState {
+            rounds_seen: vec![0.0],
+        }
+    }
+}
+
+impl FederatedAlgorithm for AvgWithState {
+    fn name(&self) -> String {
+        "avg-with-state".into()
+    }
+
+    fn local_train(&self, env: &ClientEnv<'_>, global: &[f32]) -> ClientUpdate {
+        let spec = LocalSgdSpec {
+            loss: &CrossEntropy,
+            balanced_sampler: false,
+            lr: env.cfg.local_lr,
+            epochs: env.cfg.local_epochs,
+        };
+        run_local_sgd(env, global, &spec, |_, _, _| {})
+    }
+
+    fn aggregate(&mut self, global: &mut [f32], input: &RoundInput<'_>) -> RoundLog {
+        let mut dir = vec![0.0f32; global.len()];
+        uniform_average(&input.updates, &mut dir);
+        server_step(global, &dir, input.cfg, input.mean_batches());
+        self.rounds_seen[0] += 1.0;
+        RoundLog::default()
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(state_from_vec(&self.rounds_seen))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        self.rounds_seen = state_to_vec(bytes)?;
+        Ok(())
+    }
+}
+
+fn make_data() -> (Dataset, Dataset) {
+    let spec = DatasetPreset::FashionMnist.spec();
+    let counts = longtail_counts(10, 50, 0.5);
+    (spec.generate_train(&counts, 55), spec.generate_test(55))
+}
+
+fn make_cfg() -> FlConfig {
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 6;
+    cfg.participation = 0.5;
+    cfg.rounds = 6;
+    cfg.local_epochs = 1;
+    cfg.batch_size = 20;
+    cfg.eval_every = 2;
+    cfg.seed = 33;
+    cfg
+}
+
+fn build_sim<'a>(
+    train: &'a Dataset,
+    test: &'a Dataset,
+    registry: Arc<MetricsRegistry>,
+) -> Simulation<'a> {
+    let cfg = make_cfg();
+    let views = paper_partition(train, cfg.clients, 0.5, cfg.seed).views(train);
+    Simulation::new(
+        cfg,
+        train,
+        test,
+        views,
+        Box::new(|| {
+            let mut rng = Xoshiro256pp::seed_from(808);
+            mlp(64, &[16], 10, &mut rng)
+        }),
+    )
+    .with_metrics(registry)
+}
+
+#[test]
+fn resumed_metrics_equal_uninterrupted_metrics() {
+    let (train, test) = make_data();
+
+    // Uninterrupted run.
+    let full_sim = build_sim(&train, &test, Arc::new(MetricsRegistry::new()));
+    let full = full_sim.run(&mut AvgWithState::new());
+    assert!(!full.metrics.is_empty(), "registry should have populated");
+
+    // Interrupted at round 3, serialized through bytes, resumed in a
+    // "fresh process": a new Simulation with a brand-new registry.
+    let sim_a = build_sim(&train, &test, Arc::new(MetricsRegistry::new()));
+    let ckpt = sim_a
+        .run_until(&mut AvgWithState::new(), 3)
+        .expect("capture");
+    let bytes = ckpt.to_bytes();
+    let restored = ServerCheckpoint::from_bytes(&bytes).expect("roundtrip");
+
+    // The checkpoint carries the partial snapshot (3 of 6 rounds).
+    let partial = restored.history().metrics.clone();
+    assert_eq!(
+        partial.get("fl.rounds"),
+        Some(&fedwcm_trace::MetricValue::Counter(3))
+    );
+
+    let sim_b = build_sim(&train, &test, Arc::new(MetricsRegistry::new()));
+    let resumed = sim_b
+        .resume(&mut AvgWithState::new(), &restored)
+        .expect("resume");
+
+    assert_eq!(
+        full.metrics, resumed.metrics,
+        "metrics must accumulate across the resume boundary exactly"
+    );
+    assert_eq!(
+        resumed.metrics.get("fl.rounds"),
+        Some(&fedwcm_trace::MetricValue::Counter(6))
+    );
+}
+
+#[test]
+fn checkpoint_bytes_roundtrip_preserves_metrics() {
+    let (train, test) = make_data();
+    let sim = build_sim(&train, &test, Arc::new(MetricsRegistry::new()));
+    let ckpt = sim.run_until(&mut AvgWithState::new(), 2).expect("capture");
+    let restored = ServerCheckpoint::from_bytes(&ckpt.to_bytes()).expect("roundtrip");
+    assert_eq!(
+        ckpt.history().metrics,
+        restored.history().metrics,
+        "serialization must preserve the snapshot bitwise"
+    );
+    // Histograms survive with their full shape.
+    let norm = restored
+        .history()
+        .metrics
+        .get("fl.update_norm")
+        .expect("update-norm histogram");
+    match norm {
+        fedwcm_trace::MetricValue::Histogram(h) => {
+            assert_eq!(h.counts.len(), h.bounds.len() + 1);
+            assert_eq!(h.total, 2, "one observation per aggregated round");
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}
+
+#[test]
+fn runs_without_registry_leave_metrics_empty() {
+    let (train, test) = make_data();
+    let cfg = make_cfg();
+    let views = paper_partition(&train, cfg.clients, 0.5, cfg.seed).views(&train);
+    let sim = Simulation::new(
+        cfg,
+        &train,
+        &test,
+        views,
+        Box::new(|| {
+            let mut rng = Xoshiro256pp::seed_from(808);
+            mlp(64, &[16], 10, &mut rng)
+        }),
+    );
+    let h = sim.run(&mut AvgWithState::new());
+    assert!(h.metrics.is_empty(), "no registry → no metrics");
+}

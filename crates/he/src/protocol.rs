@@ -13,7 +13,7 @@
 
 use crate::rlwe::{Ciphertext, RlweParams, SecretKey};
 use fedwcm_stats::rng::Xoshiro256pp;
-use std::time::Instant;
+use fedwcm_trace::{Clock, WallClock};
 
 /// Size/time accounting for one protocol run.
 #[derive(Clone, Debug)]
@@ -66,10 +66,11 @@ pub fn aggregate_distributions(
     let mut key_rng = Xoshiro256pp::stream(seed, &[0x4E1, 0]);
     let key = SecretKey::generate(params, &mut key_rng);
 
-    // Step 2: per-client encryption.
-    // lint:allow(determinism-time) wall-clock here only measures cost for
-    // the report; no simulation state depends on the elapsed value.
-    let t_enc = Instant::now();
+    // Step 2: per-client encryption. Timings only measure cost for the
+    // report (never fed back into any computation) and come from the
+    // sanctioned wall-time source, fedwcm-trace's `WallClock`.
+    let clock = WallClock::new();
+    let t_enc = clock.tick();
     let cts: Vec<Ciphertext> = client_counts
         .iter()
         .enumerate()
@@ -79,18 +80,17 @@ pub fn aggregate_distributions(
             key.encrypt(&values, &mut rng)
         })
         .collect();
-    let encrypt_seconds_per_client = t_enc.elapsed().as_secs_f64() / client_counts.len() as f64;
+    let encrypt_seconds_per_client =
+        (clock.tick() - t_enc) as f64 / 1e9 / client_counts.len() as f64;
 
     // Steps 3–4: homomorphic aggregation, then key-holder decryption.
-    // lint:allow(determinism-time) timing is reported, never fed back
-    // into any computation, so reproducibility is unaffected.
-    let t_agg = Instant::now();
+    let t_agg = clock.tick();
     let mut acc = cts[0].clone();
     for ct in &cts[1..] {
         acc.add_assign(ct);
     }
     let decrypted = key.decrypt(&acc, classes);
-    let aggregate_seconds = t_agg.elapsed().as_secs_f64();
+    let aggregate_seconds = (clock.tick() - t_agg) as f64 / 1e9;
 
     let global: Vec<usize> = decrypted.iter().map(|&v| v as usize).collect();
     let ciphertext_bytes = params.ciphertext_bytes();

@@ -29,6 +29,7 @@ pub const ALL_RULES: &[&str] = &[
     "unsafe-safety",
     "determinism-collections",
     "determinism-time",
+    "determinism-std-time",
     "determinism-env",
     "determinism-threads",
     "panic-freedom",
@@ -44,15 +45,22 @@ pub const MARKER_RULE: &str = "lint-marker";
 /// (`experiments`, `bench`, the shims, this linter) are exempt.
 pub const LIB_CRATES: &[&str] = &[
     "tensor", "nn", "fl", "core", "algos", "data", "he", "longtail", "stats", "parallel",
-    "analysis", "faults",
+    "analysis", "faults", "trace",
 ];
 
 /// Crates whose public items must carry rustdoc.
-pub const DOC_CRATES: &[&str] = &["tensor", "fl", "core", "parallel", "faults"];
+pub const DOC_CRATES: &[&str] = &["tensor", "fl", "core", "parallel", "faults", "trace"];
 
 /// Files (workspace-relative, `/`-separated) blessed to read process
 /// environment variables.
 pub const ENV_BLESSED_FILES: &[&str] = &["crates/fl/src/config.rs"];
+
+/// Files (workspace-relative, `/`-separated) blessed to name `std::time`
+/// at all. With `fedwcm-trace` in the workspace every other library file
+/// must go through its [`Clock`] trait, so even importing `std::time`
+/// types is flagged (`determinism-std-time`) — the direct-read rules
+/// (`determinism-time`) still apply inside the blessed file itself.
+pub const TIME_BLESSED_FILES: &[&str] = &["crates/trace/src/clock.rs"];
 
 /// Crate allowed to call `thread::available_parallelism`.
 pub const THREADS_BLESSED_CRATE: &str = "parallel";

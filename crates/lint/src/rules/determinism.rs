@@ -8,6 +8,12 @@
 //!   breaks reproducibility. Use `BTreeMap` / `BTreeSet` / `Vec`.
 //! * `determinism-time` — `Instant::now` / `SystemTime::now`. Wall
 //!   clocks must never feed simulation state.
+//! * `determinism-std-time` — any mention of `std::time` outside the
+//!   blessed `fedwcm-trace` clock module. With the `Clock` trait
+//!   available there is no reason for library code to even import
+//!   `std::time` types; routing every time read through
+//!   `fedwcm_trace::WallClock` keeps the sanctioned wall-time surface
+//!   to a single audited file.
 //! * `determinism-env` — `env::var` outside the blessed configuration
 //!   entry points; ambient environment reads make behaviour depend on
 //!   invisible state.
@@ -19,7 +25,9 @@
 //! themselves or build scratch hash maps without affecting simulation
 //! results.
 
-use crate::engine::{Diagnostic, FileCtx, LintConfig, ENV_BLESSED_FILES, THREADS_BLESSED_CRATE};
+use crate::engine::{
+    Diagnostic, FileCtx, LintConfig, ENV_BLESSED_FILES, THREADS_BLESSED_CRATE, TIME_BLESSED_FILES,
+};
 
 /// Run the `determinism-*` family over one file.
 pub fn check_determinism(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
@@ -27,6 +35,10 @@ pub fn check_determinism(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagno
         return;
     }
     let toks = &ctx.toks;
+    // `std::time::Instant::now()` mentions `std::time` once but a line
+    // like `std::time::Duration::from_secs(1) + std::time::Duration::ZERO`
+    // would fire twice; report once per line.
+    let mut last_std_time_line = 0usize;
     for (k, &i) in ctx.code.iter().enumerate() {
         let t = &toks[i];
         if t.kind != crate::lexer::TokKind::Ident || ctx.is_test_line(t.line) {
@@ -58,6 +70,23 @@ pub fn check_determinism(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagno
                     format!(
                         "`{}::now` reads the wall clock; simulation state must not depend on time",
                         t.text
+                    ),
+                ));
+            }
+            "std"
+                if cfg.is_enabled("determinism-std-time")
+                    && next2_is(':', ':', "time")
+                    && !TIME_BLESSED_FILES.contains(&ctx.path.as_str())
+                    && t.line != last_std_time_line =>
+            {
+                last_std_time_line = t.line;
+                diags.push(ctx.diag(
+                    "determinism-std-time",
+                    t.line,
+                    format!(
+                        "`std::time` may only be named in the blessed clock module ({}); \
+                         take time through fedwcm-trace's `Clock` trait instead",
+                        TIME_BLESSED_FILES.join(", ")
                     ),
                 ));
             }

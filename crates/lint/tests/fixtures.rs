@@ -143,7 +143,66 @@ pub fn f() -> std::time::Instant { std::time::Instant::now() }
 pub fn g() -> std::time::SystemTime { std::time::SystemTime::now() }
 ";
     let d = lint(LIB, src);
-    assert_eq!(fired(&d), ["determinism-time", "determinism-time"]);
+    // Each line mentions `std::time` (std-time rule, deduped per line)
+    // AND performs a wall-clock read (time rule).
+    assert_eq!(
+        fired(&d),
+        [
+            "determinism-std-time",
+            "determinism-time",
+            "determinism-std-time",
+            "determinism-time",
+        ]
+    );
+}
+
+#[test]
+fn std_time_import_fires_even_without_a_clock_read() {
+    // With fedwcm-trace in the workspace there is no reason for library
+    // code to even name std::time types — Duration included.
+    let d = lint(LIB, "use std::time::Duration;\n");
+    assert_eq!(fired(&d), ["determinism-std-time"]);
+    assert_eq!(d[0].line, 1);
+}
+
+#[test]
+fn std_time_reported_once_per_line() {
+    let src = "pub fn f() -> std::time::Duration { std::time::Duration::from_secs(1) }\n";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["determinism-std-time"]);
+}
+
+#[test]
+fn std_time_allowed_in_blessed_clock_module() {
+    let src = "\
+/// Fixture standing in for the real clock module.
+pub fn base() -> std::time::Duration { std::time::Duration::ZERO }
+";
+    let d = lint("crates/trace/src/clock.rs", src);
+    assert!(
+        d.iter().all(|x| x.rule != "determinism-std-time"),
+        "blessed clock module must allow std::time: {d:?}"
+    );
+}
+
+#[test]
+fn std_time_allowed_in_test_code() {
+    let src = "\
+pub fn f() {}
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+    #[test]
+    fn t() { let _ = Duration::from_millis(1); }
+}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+#[test]
+fn std_time_allowed_in_dev_crates() {
+    let src = "use std::time::Instant;\npub fn t0() -> Instant { Instant::now() }\n";
+    assert!(lint("crates/experiments/src/fixture.rs", src).is_empty());
 }
 
 #[test]
@@ -435,9 +494,18 @@ pub fn f() -> std::time::Instant {
 }
 ";
     let d = lint(LIB, src);
-    // determinism-time still fires; the marker is unused, hence flagged
-    // (marker line 2 sorts before the finding on line 3).
-    assert_eq!(fired(&d), [MARKER_RULE, "determinism-time"]);
+    // determinism-time (and both lines' std-time mentions) still fire;
+    // the marker is unused, hence flagged. Sorted by line: std-time on
+    // line 1, the marker on line 2, std-time + time on line 3.
+    assert_eq!(
+        fired(&d),
+        [
+            "determinism-std-time",
+            MARKER_RULE,
+            "determinism-std-time",
+            "determinism-time",
+        ]
+    );
 }
 
 // ------------------------------------------------------- rule toggling

@@ -4,6 +4,7 @@ use crate::layer::Layer;
 use crate::loss::Loss;
 use fedwcm_stats::Xoshiro256pp;
 use fedwcm_tensor::{invariants, Tensor};
+use fedwcm_trace::prof;
 
 /// A sequential network: layers plus one flat parameter vector.
 ///
@@ -113,7 +114,15 @@ impl Model {
         input.debug_assert_finite(|| "model forward input".to_string());
         let mut x = input.clone();
         for (idx, (l, &(off, len))) in self.layers.iter_mut().zip(&self.offsets).enumerate() {
-            x = l.forward(&self.params[off..off + len], &x, train);
+            // Per-layer timing behind the cheap `prof::active()` guard: a
+            // single relaxed load unless a binary installed the profiler.
+            if prof::active() {
+                let t0 = prof::now();
+                x = l.forward(&self.params[off..off + len], &x, train);
+                prof::record("fwd", l.name(), prof::now().saturating_sub(t0));
+            } else {
+                x = l.forward(&self.params[off..off + len], &x, train);
+            }
             if invariants::ENABLED {
                 let name = l.name();
                 x.debug_assert_finite(|| format!("forward output of layer {idx} ({name})"));
@@ -153,7 +162,13 @@ impl Model {
         grad_logits.debug_assert_finite(|| "logits gradient entering backward".to_string());
         let mut g = grad_logits.clone();
         for (idx, (l, &(off, len))) in self.layers.iter_mut().zip(&self.offsets).enumerate().rev() {
-            g = l.backward(&self.params[off..off + len], &mut grads[off..off + len], &g);
+            if prof::active() {
+                let t0 = prof::now();
+                g = l.backward(&self.params[off..off + len], &mut grads[off..off + len], &g);
+                prof::record("bwd", l.name(), prof::now().saturating_sub(t0));
+            } else {
+                g = l.backward(&self.params[off..off + len], &mut grads[off..off + len], &g);
+            }
             if invariants::ENABLED {
                 let name = l.name();
                 g.debug_assert_finite(|| format!("backward gradient out of layer {idx} ({name})"));

@@ -28,6 +28,8 @@ use std::num::NonZeroUsize;
 mod pool;
 pub mod sync;
 
+pub use pool::{pool_stats, PoolStats};
+
 /// Resolve the worker count: the `FEDWCM_THREADS` env var if set (≥1),
 /// otherwise [`std::thread::available_parallelism`].
 pub fn default_threads() -> usize {

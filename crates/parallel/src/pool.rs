@@ -30,14 +30,65 @@
 //! deterministic across thread counts and scheduling orders.
 
 use crate::sync::{lock_recover, wait_recover};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Hard cap on spawned pool workers (a runaway-config backstop; real
 /// budgets come from `FEDWCM_THREADS` / `FlConfig::threads`).
 const MAX_POOL_WORKERS: usize = 256;
+
+// Lifetime pool counters, exposed through [`pool_stats`]. These observe
+// scheduling (which is intentionally nondeterministic) and are never
+// read by anything that feeds back into computation.
+static JOBS_SUBMITTED: AtomicU64 = AtomicU64::new(0);
+static MAX_QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
+static ITEMS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+/// Items executed per participant slot: slot 0 aggregates all submitting
+/// callers, slot `1 + id` is pool worker `id`.
+static PER_WORKER_ITEMS: [AtomicU64; MAX_POOL_WORKERS + 1] =
+    [const { AtomicU64::new(0) }; MAX_POOL_WORKERS + 1];
+
+std::thread_local! {
+    /// This thread's participant slot in [`PER_WORKER_ITEMS`].
+    static WORKER_SLOT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Point-in-time snapshot of the pool's lifetime scheduling counters —
+/// queue pressure and per-worker load balance for benches and reports.
+/// Values observe OS scheduling, so they are *not* deterministic (unlike
+/// everything the pool computes).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Indexed jobs submitted via the pool so far.
+    pub jobs_submitted: u64,
+    /// High-water mark of the pending-job queue length.
+    pub max_queue_depth: u64,
+    /// Worker threads spawned (excludes submitting callers).
+    pub workers_spawned: usize,
+    /// Total items executed across all jobs and participants.
+    pub items_executed: u64,
+    /// Items executed per participant: index 0 aggregates submitting
+    /// callers, index `1 + id` is pool worker `id`.
+    pub per_worker_items: Vec<u64>,
+}
+
+/// Snapshot the pool's lifetime scheduling counters.
+pub fn pool_stats() -> PoolStats {
+    let workers = Pool::global().shared.workers.load(Ordering::Relaxed);
+    PoolStats {
+        jobs_submitted: JOBS_SUBMITTED.load(Ordering::Relaxed),
+        max_queue_depth: MAX_QUEUE_DEPTH.load(Ordering::Relaxed),
+        workers_spawned: workers,
+        items_executed: ITEMS_EXECUTED.load(Ordering::Relaxed),
+        per_worker_items: PER_WORKER_ITEMS[..=workers.min(MAX_POOL_WORKERS)]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
 
 /// One indexed job: apply the erased task to every index in `0..n`.
 struct Job {
@@ -115,7 +166,10 @@ impl Pool {
             let shared = Arc::clone(&self.shared);
             let spawned = std::thread::Builder::new()
                 .name(format!("fedwcm-worker-{id}"))
-                .spawn(move || worker_loop(&shared));
+                .spawn(move || {
+                    WORKER_SLOT.with(|s| s.set(1 + id));
+                    worker_loop(&shared)
+                });
             if spawned.is_err() {
                 // Out of OS threads: degrade gracefully. The submitting
                 // caller always participates in its own job, so every
@@ -160,6 +214,8 @@ pub(crate) fn run_indexed(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync
     {
         let mut queue = lock_recover(&pool.shared.queue);
         queue.push_back(Arc::clone(&job));
+        JOBS_SUBMITTED.fetch_add(1, Ordering::Relaxed);
+        MAX_QUEUE_DEPTH.fetch_max(queue.len() as u64, Ordering::Relaxed);
     }
     pool.shared.work_cv.notify_all();
 
@@ -194,17 +250,26 @@ pub(crate) fn run_indexed(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync
 
 /// Claim and execute indices until the job is drained.
 fn run_items(job: &Job) {
+    let mut executed = 0u64;
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.n {
             break;
         }
+        executed += 1;
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.task)(i))) {
             // Stop further claims and record the first failure; the
             // submitting caller re-raises it after quiescence.
             job.next.fetch_max(job.n, Ordering::Relaxed);
             lock_recover(&job.panic).get_or_insert(payload);
         }
+    }
+    // One batched update per participation keeps stats off the per-item
+    // hot path.
+    if executed > 0 {
+        ITEMS_EXECUTED.fetch_add(executed, Ordering::Relaxed);
+        let slot = WORKER_SLOT.with(Cell::get);
+        PER_WORKER_ITEMS[slot.min(MAX_POOL_WORKERS)].fetch_add(executed, Ordering::Relaxed);
     }
 }
 
@@ -252,5 +317,24 @@ fn worker_loop(shared: &PoolShared) {
         };
         run_items(&job);
         finish_participation(&job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_reflect_submitted_work() {
+        let before = pool_stats();
+        crate::parallel_for_each(64, 4, |_| {});
+        let after = pool_stats();
+        // Other tests share the global pool, so assert monotone growth
+        // rather than exact values.
+        assert!(after.jobs_submitted > before.jobs_submitted);
+        assert!(after.items_executed >= before.items_executed + 64);
+        assert!(after.max_queue_depth >= 1);
+        assert_eq!(after.per_worker_items.len(), after.workers_spawned + 1);
+        assert!(after.per_worker_items.iter().sum::<u64>() <= after.items_executed);
     }
 }

@@ -1,0 +1,60 @@
+//! Structured observability for the FedWCM stack: scoped spans, a
+//! metrics registry, and deterministic clocks — with zero external
+//! dependencies.
+//!
+//! # Why a clock trait
+//!
+//! The workspace's headline guarantee is bitwise determinism across
+//! thread counts and runs, and `fedwcm-lint` bans `Instant::now` /
+//! `SystemTime::now` in library code. Time therefore flows through the
+//! [`Clock`] trait:
+//!
+//! * [`LogicalClock`] — a monotone tick counter. Two identical seeded
+//!   runs produce **byte-identical** trace streams, which CI diffs at
+//!   `FEDWCM_THREADS={1,4}` (`examples/trace_probe.rs`).
+//! * [`WallClock`] — real elapsed nanoseconds, blessed by the linter in
+//!   exactly one file ([`clock`]); binaries and benches attach it to get
+//!   real per-phase timing breakdowns.
+//!
+//! # Parallel sections
+//!
+//! A [`Tracer`]'s clock must only be ticked from one thread (the
+//! engine's serialized round loop). Work running on pool workers records
+//! into a per-task [`SpanBuffer`] via the [`local`] thread-local API,
+//! each buffer with its own forked clock starting at 0; the engine then
+//! [replays](Tracer::replay) the buffers in sampled-index order. The
+//! result: traces are byte-identical at any thread count under
+//! [`LogicalClock`].
+//!
+//! # Span taxonomy
+//!
+//! `round`, `client_update`, `local_epoch`, `aggregate`, `evaluate`,
+//! `checkpoint`, `fault_inject` — see DESIGN.md §11 for the field
+//! contract of each.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod metrics;
+pub mod prof;
+pub mod sink;
+pub mod tracer;
+
+pub use clock::{Clock, LogicalClock, WallClock};
+pub use event::{Event, EventKind, Value};
+pub use metrics::{HistogramSnapshot, MetricEntry, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use sink::{ConsoleSink, JsonlSink, NullSink, RingSink, SharedBuf, Sink};
+pub use tracer::{local, SpanBuffer, SpanGuard, Tracer};
+
+/// Compile-time switch for the `debug_invariants` feature: NaN
+/// observations panic (naming the metric) when enabled, and are counted
+/// into the histogram's `nan_rejected` slot when disabled.
+pub const INVARIANTS_ENABLED: bool = cfg!(feature = "debug_invariants");
+
+/// Recover a mutex guard even if a holder panicked: the protected state
+/// (event buffers, metric maps) is valid after every individual update,
+/// so continuing with the recovered guard is sound.
+pub(crate) fn lock_recover<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

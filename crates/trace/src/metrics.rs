@@ -1,0 +1,386 @@
+//! Named counters, gauges, and fixed-bucket histograms, with a
+//! deterministic [`MetricsSnapshot`] that merges into run history and
+//! survives checkpoint round-trips.
+
+use crate::{lock_recover, INVARIANTS_ENABLED};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A live fixed-bucket histogram (see [`HistogramSnapshot`] for the
+/// frozen form and the bucket semantics).
+#[derive(Clone, Debug)]
+struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    nan_rejected: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+            nan_rejected: 0,
+        }
+    }
+
+    fn observe(&mut self, name: &str, v: f64) {
+        if !v.is_finite() {
+            if INVARIANTS_ENABLED {
+                assert!(v.is_finite(), "non-finite observation in histogram {name}");
+            }
+            self.nan_rejected = self.nan_rejected.saturating_add(1);
+            return;
+        }
+        // Inclusive upper bound: bucket i holds v <= bounds[i]; the
+        // final slot is overflow.
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+        self.sum += v;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            total: self.total,
+            sum: self.sum,
+            nan_rejected: self.nan_rejected,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+/// Thread-safe registry of named metrics. Names are sorted in every
+/// snapshot (a `BTreeMap` underneath), so snapshots of identical runs
+/// compare equal field-for-field.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to the named counter (created at 0 on first use),
+    /// saturating at `u64::MAX`.
+    pub fn counter_add(&self, name: &str, v: u64) {
+        let mut m = lock_recover(&self.inner);
+        match m.get_mut(name) {
+            Some(Metric::Counter(c)) => *c = c.saturating_add(v),
+            Some(other) => {
+                if INVARIANTS_ENABLED {
+                    assert!(
+                        matches!(other, Metric::Counter(_)),
+                        "metric {name} is not a counter"
+                    );
+                }
+            }
+            None => {
+                m.insert(name.to_string(), Metric::Counter(v));
+            }
+        }
+    }
+
+    /// Set the named gauge to `v`. Non-finite values are ignored (and
+    /// panic under `debug_invariants`).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if !v.is_finite() {
+            if INVARIANTS_ENABLED {
+                assert!(v.is_finite(), "non-finite value for gauge {name}");
+            }
+            return;
+        }
+        let mut m = lock_recover(&self.inner);
+        match m.get_mut(name) {
+            Some(Metric::Gauge(g)) => *g = v,
+            Some(other) => {
+                if INVARIANTS_ENABLED {
+                    assert!(
+                        matches!(other, Metric::Gauge(_)),
+                        "metric {name} is not a gauge"
+                    );
+                }
+            }
+            None => {
+                m.insert(name.to_string(), Metric::Gauge(v));
+            }
+        }
+    }
+
+    /// Record `v` into the named histogram, created with `bounds` on
+    /// first use (strictly increasing upper bucket bounds; values fall
+    /// into the first bucket whose bound is `>= v`, or the overflow
+    /// slot past the last bound). NaN/∞ observations increment the
+    /// snapshot's `nan_rejected` count instead (and panic under
+    /// `debug_invariants`).
+    pub fn observe(&self, name: &str, bounds: &[f64], v: f64) {
+        let mut m = lock_recover(&self.inner);
+        match m.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.observe(name, v),
+            Some(other) => {
+                if INVARIANTS_ENABLED {
+                    assert!(
+                        matches!(other, Metric::Histogram(_)),
+                        "metric {name} is not a histogram"
+                    );
+                }
+            }
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.observe(name, v);
+                m.insert(name.to_string(), Metric::Histogram(h));
+            }
+        }
+    }
+
+    /// Freeze the current state, entries sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = lock_recover(&self.inner);
+        MetricsSnapshot {
+            entries: m
+                .iter()
+                .map(|(name, metric)| MetricEntry {
+                    name: name.clone(),
+                    value: match metric {
+                        Metric::Counter(c) => MetricValue::Counter(*c),
+                        Metric::Gauge(g) => MetricValue::Gauge(*g),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Replace the registry's state with a snapshot (checkpoint
+    /// restore): subsequent accumulation continues exactly where the
+    /// snapshot left off.
+    pub fn load(&self, snap: &MetricsSnapshot) {
+        let mut m = lock_recover(&self.inner);
+        m.clear();
+        for e in &snap.entries {
+            let metric = match &e.value {
+                MetricValue::Counter(c) => Metric::Counter(*c),
+                MetricValue::Gauge(g) => Metric::Gauge(*g),
+                MetricValue::Histogram(h) => Metric::Histogram(Histogram {
+                    bounds: h.bounds.clone(),
+                    counts: h.counts.clone(),
+                    total: h.total,
+                    sum: h.sum,
+                    nan_rejected: h.nan_rejected,
+                }),
+            };
+            m.insert(e.name.clone(), metric);
+        }
+    }
+
+    /// Drop every metric.
+    pub fn reset(&self) {
+        lock_recover(&self.inner).clear();
+    }
+}
+
+/// Frozen registry state: entries sorted by metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All metrics, sorted by name.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Look up an entry by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].value)
+    }
+
+    /// True when no metrics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One named metric in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name (dot-separated, e.g. `fl.update_norm`).
+    pub name: String,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// A frozen metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotone saturating count.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// Frozen histogram: `counts.len() == bounds.len() + 1`, the final
+/// slot counting observations above the last bound. Bucket `i` counted
+/// observations `v` with `v <= bounds[i]` (and `> bounds[i-1]` for
+/// `i > 0`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Strictly increasing inclusive upper bucket bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts plus the trailing overflow slot.
+    pub counts: Vec<u64>,
+    /// Total observations (excluding rejected non-finite ones).
+    pub total: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Non-finite observations rejected (only counted when the
+    /// `debug_invariants` feature is off; with it on they panic).
+    pub nan_rejected: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum / self.total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("c", 2);
+        r.counter_add("c", 3);
+        r.counter_add("c", u64::MAX);
+        match r.snapshot().get("c") {
+            Some(MetricValue::Counter(v)) => assert_eq!(*v, u64::MAX),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", -2.0);
+        assert_eq!(r.snapshot().get("g"), Some(&MetricValue::Gauge(-2.0)));
+    }
+
+    #[cfg(not(feature = "debug_invariants"))]
+    #[test]
+    fn non_finite_gauge_is_ignored() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", f64::NAN);
+        assert_eq!(r.snapshot().get("g"), Some(&MetricValue::Gauge(1.0)));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let r = MetricsRegistry::new();
+        let bounds = [1.0, 2.0, 4.0];
+        // Exactly on each boundary → that bucket; just above → next.
+        for v in [0.5, 1.0, 1.0000001, 2.0, 4.0, 4.0000001, 100.0] {
+            r.observe("h", &bounds, v);
+        }
+        match r.snapshot().get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.counts, [2, 2, 1, 2]);
+                assert_eq!(h.total, 7);
+                assert_eq!(h.nan_rejected, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_counts_saturate() {
+        let mut h = Histogram::new(&[1.0]);
+        h.counts[0] = u64::MAX;
+        h.total = u64::MAX;
+        h.observe("h", 0.5);
+        assert_eq!(h.counts[0], u64::MAX);
+        assert_eq!(h.total, u64::MAX);
+    }
+
+    #[cfg(not(feature = "debug_invariants"))]
+    #[test]
+    fn nan_observations_are_counted_not_bucketed() {
+        let r = MetricsRegistry::new();
+        r.observe("h", &[1.0], f64::NAN);
+        r.observe("h", &[1.0], f64::INFINITY);
+        r.observe("h", &[1.0], 0.5);
+        match r.snapshot().get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.nan_rejected, 2);
+                assert_eq!(h.total, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[cfg(feature = "debug_invariants")]
+    #[test]
+    #[should_panic(expected = "non-finite observation")]
+    fn nan_observation_panics_under_invariants() {
+        let r = MetricsRegistry::new();
+        r.observe("h", &[1.0], f64::NAN);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_load_round_trips() {
+        let r = MetricsRegistry::new();
+        r.counter_add("z.count", 1);
+        r.gauge_set("a.gauge", 3.0);
+        r.observe("m.hist", &[1.0, 2.0], 1.5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a.gauge", "m.hist", "z.count"]);
+
+        let r2 = MetricsRegistry::new();
+        r2.load(&snap);
+        assert_eq!(r2.snapshot(), snap);
+        // Accumulation continues from the loaded state.
+        r2.counter_add("z.count", 1);
+        assert_eq!(r2.snapshot().get("z.count"), Some(&MetricValue::Counter(2)));
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let r = MetricsRegistry::new();
+        r.observe("h", &[10.0], 2.0);
+        r.observe("h", &[10.0], 4.0);
+        match r.snapshot().get("h") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.mean(), Some(3.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

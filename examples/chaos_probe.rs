@@ -7,9 +7,15 @@
 //! injected faults model transport damage applied *after* the
 //! client-emission invariant boundary (see `fedwcm_fl::engine`), and the
 //! containment filter absorbs the corrupted uploads before aggregation.
+//!
+//! Pass a file path as the first argument to additionally write a JSONL
+//! trace of the run (spans + structured fault events under a
+//! `LogicalClock`); CI uploads it as a build artifact.
 
 use fedwcm_suite::faults::FaultConfig;
 use fedwcm_suite::prelude::*;
+use fedwcm_suite::trace::{JsonlSink, LogicalClock, Tracer};
+use std::sync::Arc;
 
 fn main() {
     let spec = DatasetPreset::Cifar10.spec();
@@ -37,7 +43,7 @@ fn main() {
     });
 
     let views = paper_partition(&train, cfg.clients, 0.3, cfg.seed).views(&train);
-    let sim = Simulation::new(
+    let mut sim = Simulation::new(
         cfg,
         &train,
         &test,
@@ -49,7 +55,22 @@ fn main() {
     )
     .with_fault_plan(plan);
 
+    // Optional JSONL trace artifact: `chaos_probe <path>` stamps every
+    // span and injected fault with a LogicalClock, so the file is
+    // identical across thread counts and CI can diff or archive it.
+    let mut tracer = Tracer::disabled();
+    if let Some(path) = std::env::args().nth(1) {
+        let file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+        tracer = Tracer::new(
+            Box::new(LogicalClock::new()),
+            Arc::new(JsonlSink::new(file)),
+        );
+        sim = sim.with_tracer(tracer.clone());
+    }
+
     let history = sim.run(&mut FedWcm::new());
+    tracer.flush();
     println!("{}", history.resilience_report(None));
     let injected: u32 = history.records.iter().map(|r| r.faults.injected()).sum();
     let corruptions: u32 = history.records.iter().map(|r| r.faults.corruptions).sum();

@@ -45,6 +45,7 @@ pub use fedwcm_nn as nn;
 pub use fedwcm_parallel as parallel;
 pub use fedwcm_stats as stats;
 pub use fedwcm_tensor as tensor;
+pub use fedwcm_trace as trace;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -59,4 +60,7 @@ pub mod prelude {
     pub use fedwcm_longtail::{BalanceFl, FedGrab};
     pub use fedwcm_stats::{Rng, Xoshiro256pp};
     pub use fedwcm_tensor::Tensor;
+    pub use fedwcm_trace::{
+        JsonlSink, LogicalClock, MetricsRegistry, MetricsSnapshot, RingSink, Tracer, WallClock,
+    };
 }

@@ -1,0 +1,102 @@
+//! Trace determinism: under a [`LogicalClock`], two identical seeded
+//! runs produce byte-identical JSONL trace streams — and so do runs at
+//! different worker-thread counts, because parallel client work records
+//! into per-client span buffers that the engine replays in sampled
+//! order with fresh main-clock ticks.
+
+use fedwcm_algos::fedavg::FedAvg;
+use fedwcm_data::longtail::longtail_counts;
+use fedwcm_data::partition::paper_partition;
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_fl::{FlConfig, History, Simulation};
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::Xoshiro256pp;
+use fedwcm_trace::{JsonlSink, LogicalClock, MetricsRegistry, SharedBuf, Tracer};
+use std::sync::Arc;
+
+/// Run a small traced simulation and return the raw JSONL bytes plus
+/// the history (whose `metrics` field carries the registry snapshot).
+fn traced_run(threads: usize) -> (Vec<u8>, History) {
+    let spec = DatasetPreset::FashionMnist.spec();
+    let counts = longtail_counts(10, 30, 0.5);
+    let train = spec.generate_train(&counts, 77);
+    let test = spec.generate_test(77);
+
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 5;
+    cfg.participation = 0.6;
+    cfg.rounds = 3;
+    cfg.eval_every = 2;
+    cfg.threads = threads;
+
+    let part = paper_partition(&train, cfg.clients, 0.5, cfg.seed);
+    let views = part.views(&train);
+
+    let buf = SharedBuf::new();
+    let tracer = Tracer::new(
+        Box::new(LogicalClock::new()),
+        Arc::new(JsonlSink::new(buf.clone())),
+    );
+    let sim = Simulation::new(
+        cfg,
+        &train,
+        &test,
+        views,
+        Box::new(|| {
+            let mut rng = Xoshiro256pp::seed_from(9);
+            mlp(64, &[16], 10, &mut rng)
+        }),
+    )
+    .with_tracer(tracer.clone())
+    .with_metrics(Arc::new(MetricsRegistry::new()));
+
+    let history = sim.run(&mut FedAvg::new());
+    tracer.flush();
+    (buf.contents(), history)
+}
+
+#[test]
+fn same_seed_runs_produce_identical_traces() {
+    let (a, _) = traced_run(1);
+    let (b, _) = traced_run(1);
+    assert!(!a.is_empty(), "trace should not be empty");
+    assert_eq!(a, b, "two identical seeded runs must trace identically");
+}
+
+#[test]
+fn trace_bytes_identical_across_thread_counts() {
+    let (t1, h1) = traced_run(1);
+    let (t4, h4) = traced_run(4);
+    assert_eq!(
+        t1, t4,
+        "LogicalClock traces must be bitwise identical at 1 vs 4 threads"
+    );
+    assert_eq!(
+        h1.metrics, h4.metrics,
+        "metrics snapshots must not depend on the worker count"
+    );
+}
+
+#[test]
+fn trace_contains_the_span_taxonomy() {
+    let (bytes, history) = traced_run(2);
+    let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+    for name in [
+        "round",
+        "client_update",
+        "local_epoch",
+        "aggregate",
+        "evaluate",
+    ] {
+        assert!(
+            text.contains(&format!("\"name\":\"{name}\"")),
+            "trace missing span {name}"
+        );
+    }
+    // Every line parses as a flat JSON object with the fixed key order.
+    for line in text.lines() {
+        assert!(line.starts_with("{\"t\":"), "bad line {line}");
+        assert!(line.ends_with('}'), "bad line {line}");
+    }
+    assert!(history.metrics.get("fl.rounds").is_some());
+}
