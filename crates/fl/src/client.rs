@@ -163,6 +163,7 @@ pub fn run_local_sgd(
         delta,
         num_samples: env.view.len(),
         num_batches: total_steps,
+        // lint:allow(cast-soundness) mean loss is a bounded report value; f32 is its wire format
         avg_loss: (loss_acc / total_steps as f64) as f32,
         extra: None,
     }

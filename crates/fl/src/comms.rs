@@ -83,18 +83,22 @@ pub fn communication_report_with_faults(
 ) -> CommReport {
     let mut report = communication_report(cfg, param_len, momentum_broadcast);
     let model = model_bytes(param_len);
-    let mut total = report.down_bytes_per_round * cfg.rounds as u64;
+    let mut total = report
+        .down_bytes_per_round
+        .saturating_mul(cfg.rounds as u64);
     for round in 0..cfg.rounds {
         for client in sampled_clients_for(cfg, round) {
             match plan.fault_for(round, client) {
-                Some(FaultKind::Dropout) => report.dropped_upload_bytes += model,
+                Some(FaultKind::Dropout) => {
+                    report.dropped_upload_bytes = report.dropped_upload_bytes.saturating_add(model)
+                }
                 Some(FaultKind::Straggler { .. }) => {
                     total += 2 * model;
-                    report.stale_upload_bytes += model;
+                    report.stale_upload_bytes = report.stale_upload_bytes.saturating_add(model);
                 }
                 Some(FaultKind::Replay) => {
                     total += model;
-                    report.stale_upload_bytes += model;
+                    report.stale_upload_bytes = report.stale_upload_bytes.saturating_add(model);
                 }
                 Some(FaultKind::Corrupt(_)) | None => total += model,
             }

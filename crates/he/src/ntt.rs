@@ -49,6 +49,7 @@ pub fn mulp(a: u64, b: u64) -> u64 {
 /// form: `2^64 ≡ 2^32 − 1 (mod p)`.
 #[inline]
 pub fn reduce128(x: u128) -> u64 {
+    // lint:allow(cast-soundness) truncation to the low 64 bits is the point of this decomposition
     let lo = x as u64;
     let hi = (x >> 64) as u64;
     let hi_lo = hi & 0xFFFF_FFFF; // hi low 32 bits

@@ -99,7 +99,7 @@ pub fn aggregate_distributions(
         clients: client_counts.len(),
         plaintext_bytes: 8 + classes * 8,
         ciphertext_bytes,
-        total_upload_bytes: ciphertext_bytes * client_counts.len(),
+        total_upload_bytes: ciphertext_bytes.saturating_mul(client_counts.len()),
         encrypt_seconds_per_client,
         aggregate_seconds,
     };

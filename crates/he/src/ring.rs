@@ -93,8 +93,10 @@ pub fn negacyclic_mul_sparse(a: &[u64], plus: &[usize], minus: &[usize], out: &m
 #[inline]
 pub fn to_signed(x: u64) -> i64 {
     if x > Q / 2 {
+        // lint:allow(cast-soundness) the magnitude q − x is below q/2 and fits i64
         -((Q - x) as i64)
     } else {
+        // lint:allow(cast-soundness) the branch bounds x by q/2 which fits i64
         x as i64
     }
 }

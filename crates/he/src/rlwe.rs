@@ -129,9 +129,9 @@ impl SecretKey {
             // e ∈ [−noise, noise]
             let e = rng.next_below(2 * p.noise_bound + 1) as i64 - p.noise_bound as i64;
             *c = if e >= 0 {
-                addq(*c, e as u64)
+                addq(*c, e.unsigned_abs())
             } else {
-                subq(*c, (-e) as u64)
+                subq(*c, e.unsigned_abs())
             };
         }
         for (c, &v) in c0.iter_mut().zip(values) {

@@ -1,0 +1,209 @@
+//! Cross-file call resolution over the parsed workspace.
+//!
+//! The graph is **name-based and conservative**: a call edge exists
+//! only when the callee resolves unambiguously — an explicit
+//! `Type::method` path, a method on `self`, a function defined in the
+//! same file, or a name with exactly one definition in the caller's
+//! crate (falling back to exactly one in the workspace). Ambiguous
+//! names produce *no* edge, so analyses built on the graph
+//! under-approximate rather than invent flows.
+
+use crate::ast::{Expr, FnDef};
+use crate::engine::FileCtx;
+use std::collections::BTreeMap;
+
+/// Identifier of a function in the graph: index into [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// The workspace call graph: every parsed function plus resolution
+/// indexes. Built once per lint run by the workspace pass.
+pub struct CallGraph<'a> {
+    /// All functions: `(file index, fn)` in file-then-declaration order.
+    pub fns: Vec<(usize, &'a FnDef)>,
+    by_name: BTreeMap<&'a str, Vec<FnId>>,
+    by_ty_name: BTreeMap<(&'a str, &'a str), Vec<FnId>>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Index every function of every file.
+    pub fn build(files: &'a [FileCtx]) -> Self {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut by_ty_name: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        for (fi, ctx) in files.iter().enumerate() {
+            for f in &ctx.ast.fns {
+                let id = fns.len();
+                fns.push((fi, f));
+                by_name.entry(f.name.as_str()).or_default().push(id);
+                if let Some(ty) = f.self_ty.as_deref() {
+                    by_ty_name
+                        .entry((ty, f.name.as_str()))
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+        CallGraph {
+            fns,
+            by_name,
+            by_ty_name,
+        }
+    }
+
+    /// The `crates/<name>` directory of the file defining `id`.
+    pub fn crate_of(&self, id: FnId, files: &[FileCtx]) -> Option<String> {
+        files[self.fns[id].0].crate_name.clone()
+    }
+
+    /// Resolve a [`Expr::Call`] / [`Expr::MethodCall`] node appearing in
+    /// the body of `caller`. Returns `None` when the callee is not a
+    /// workspace function or the name is ambiguous.
+    pub fn resolve(&self, caller: FnId, call: &Expr) -> Option<FnId> {
+        match call {
+            Expr::Call { callee, .. } => {
+                let Expr::Path { segs, .. } = &**callee else {
+                    return None;
+                };
+                let name = segs.last()?;
+                if segs.len() >= 2 {
+                    // `Type::assoc(…)` — an exact impl match wins.
+                    let qual = &segs[segs.len() - 2];
+                    if let Some(ids) = self.by_ty_name.get(&(qual.as_str(), name.as_str())) {
+                        if ids.len() == 1 {
+                            return Some(ids[0]);
+                        }
+                    }
+                }
+                self.resolve_name(caller, name)
+            }
+            Expr::MethodCall { recv, method, .. } => {
+                if recv.base_ident() == Some("self") {
+                    if let Some(ty) = self.fns[caller].1.self_ty.as_deref() {
+                        if let Some(ids) = self.by_ty_name.get(&(ty, method.as_str())) {
+                            if ids.len() == 1 {
+                                return Some(ids[0]);
+                            }
+                        }
+                    }
+                }
+                // A method name defined exactly once in the workspace
+                // resolves even without receiver types.
+                let ids = self.by_name.get(method.as_str())?;
+                let methods: Vec<FnId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].1.self_ty.is_some())
+                    .collect();
+                if methods.len() == 1 {
+                    Some(methods[0])
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Resolve a bare function name from `caller`'s context: same file
+    /// first, then unique-in-crate, then unique-in-workspace.
+    fn resolve_name(&self, caller: FnId, name: &str) -> Option<FnId> {
+        let ids = self.by_name.get(name)?;
+        let caller_file = self.fns[caller].0;
+        let same_file: Vec<FnId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| self.fns[id].0 == caller_file)
+            .collect();
+        if same_file.len() == 1 {
+            return Some(same_file[0]);
+        }
+        if same_file.len() > 1 {
+            return None;
+        }
+        if ids.len() == 1 {
+            return Some(ids[0]);
+        }
+        None
+    }
+
+    /// All `(call expression, resolved callee)` pairs in `caller`'s
+    /// body, in source order. Unresolved calls are omitted.
+    pub fn calls_of(&self, caller: FnId) -> Vec<(&'a Expr, FnId)> {
+        let mut out = Vec::new();
+        self.fns[caller].1.body.walk(&mut |e| {
+            if matches!(e, Expr::Call { .. } | Expr::MethodCall { .. }) {
+                if let Some(target) = self.resolve(caller, e) {
+                    out.push((e, target));
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctxs(files: &[(&str, &str)]) -> Vec<FileCtx> {
+        files.iter().map(|(p, s)| FileCtx::new(p, s)).collect()
+    }
+
+    #[test]
+    fn resolves_same_file_then_unique() {
+        let files = ctxs(&[
+            (
+                "crates/fl/src/a.rs",
+                "fn helper() {}\nfn caller() { helper(); remote(); }\n",
+            ),
+            ("crates/he/src/b.rs", "pub fn remote() {}\n"),
+        ]);
+        let cg = CallGraph::build(&files);
+        let caller = cg
+            .fns
+            .iter()
+            .position(|(_, f)| f.name == "caller")
+            .expect("caller indexed");
+        let targets: Vec<&str> = cg
+            .calls_of(caller)
+            .iter()
+            .map(|&(_, id)| cg.fns[id].1.name.as_str())
+            .collect();
+        assert_eq!(targets, ["helper", "remote"]);
+        assert_eq!(
+            cg.crate_of(cg.calls_of(caller)[1].1, &files).as_deref(),
+            Some("he")
+        );
+    }
+
+    #[test]
+    fn ambiguous_names_produce_no_edge() {
+        let files = ctxs(&[
+            ("crates/fl/src/a.rs", "fn f() {}\n"),
+            ("crates/he/src/b.rs", "fn f() {}\n"),
+            ("crates/nn/src/c.rs", "fn caller() { f(); }\n"),
+        ]);
+        let cg = CallGraph::build(&files);
+        let caller = cg
+            .fns
+            .iter()
+            .position(|(_, f)| f.name == "caller")
+            .expect("caller indexed");
+        assert!(cg.calls_of(caller).is_empty());
+    }
+
+    #[test]
+    fn self_method_and_qualified_path_resolve() {
+        let files = ctxs(&[(
+            "crates/fl/src/a.rs",
+            "impl Pool {\n  fn inner(&self) {}\n  fn outer(&self) { self.inner(); Pool::inner(&self); }\n}\n",
+        )]);
+        let cg = CallGraph::build(&files);
+        let outer = cg
+            .fns
+            .iter()
+            .position(|(_, f)| f.name == "outer")
+            .expect("outer indexed");
+        assert_eq!(cg.calls_of(outer).len(), 2);
+    }
+}

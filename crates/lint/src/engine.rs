@@ -18,7 +18,9 @@
 //! errors (`lint-marker`) that cannot be suppressed — CI therefore
 //! fails on any new reasonless marker automatically.
 
+use crate::ast::FileAst;
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parser::parse_file;
 use crate::rules;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -34,6 +36,10 @@ pub const ALL_RULES: &[&str] = &[
     "determinism-threads",
     "panic-freedom",
     "doc-coverage",
+    "float-reduction-order",
+    "rng-stream-hygiene",
+    "lock-order",
+    "cast-soundness",
 ];
 
 /// Pseudo-rule for invalid suppression markers; never suppressible.
@@ -176,6 +182,9 @@ pub struct FileCtx {
     pub lines: Vec<LineInfo>,
     /// `true` for every line inside `#[cfg(test)]` / `#[test]` items.
     pub test_lines: Vec<bool>,
+    /// The parsed item/expression tree (shared by the syntax-aware
+    /// rules and the workspace pass; built once per file per run).
+    pub ast: FileAst,
     suppressions: Vec<Suppression>,
     marker_errors: Vec<Diagnostic>,
 }
@@ -218,6 +227,7 @@ impl FileCtx {
 
         let test_lines = test_line_mask(&toks, &code, nlines);
         let (suppressions, marker_errors) = parse_suppressions(path, &toks, &lines, nlines);
+        let ast = parse_file(&toks, &code);
 
         FileCtx {
             path: path.to_string(),
@@ -226,6 +236,7 @@ impl FileCtx {
             code,
             lines,
             test_lines,
+            ast,
             suppressions,
             marker_errors,
         }
@@ -415,21 +426,37 @@ fn parse_suppressions(
     (sups, errors)
 }
 
-/// Lint a single file given as in-memory text. `path` is the
-/// workspace-relative path used for crate attribution and reporting.
-pub fn lint_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
-    let mut ctx = FileCtx::new(path, src);
+/// Lint a set of in-memory sources as one workspace: every file is
+/// lexed and parsed exactly once, the per-file rules run over each
+/// [`FileCtx`], the cross-file pass (call graph, RNG taint, lock
+/// order) runs over all of them together, and suppressions apply
+/// uniformly to both kinds of findings.
+pub fn lint_sources(sources: &[(String, String)], cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut ctxs: Vec<FileCtx> = sources
+        .iter()
+        .map(|(path, src)| FileCtx::new(path, src))
+        .collect();
     let mut diags: Vec<Diagnostic> = Vec::new();
-    rules::run_all(&ctx, cfg, &mut diags);
+    for ctx in &ctxs {
+        rules::run_all(ctx, cfg, &mut diags);
+    }
+    rules::run_workspace(&ctxs, cfg, &mut diags);
 
     // Apply suppressions; track which markers actually fired.
+    let by_path: std::collections::BTreeMap<String, usize> = ctxs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.path.clone(), i))
+        .collect();
     let mut kept = Vec::with_capacity(diags.len());
     for d in diags {
         let mut suppressed = false;
-        for s in ctx.suppressions.iter_mut() {
-            if s.rule == d.rule && s.target_line == d.line {
-                s.used = true;
-                suppressed = true;
+        if let Some(&i) = by_path.get(&d.path) {
+            for s in ctxs[i].suppressions.iter_mut() {
+                if s.rule == d.rule && s.target_line == d.line {
+                    s.used = true;
+                    suppressed = true;
+                }
             }
         }
         if !suppressed {
@@ -438,22 +465,31 @@ pub fn lint_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
     }
     // Markers that suppressed nothing are dead weight and likely typos —
     // but only when their rule actually ran this pass.
-    for s in &ctx.suppressions {
-        if !s.used && cfg.is_enabled(&s.rule) {
-            kept.push(Diagnostic {
-                path: ctx.path.clone(),
-                line: s.marker_line,
-                rule: MARKER_RULE.to_string(),
-                message: format!(
-                    "suppression of '{}' matches no diagnostic on line {} — remove it",
-                    s.rule, s.target_line
-                ),
-            });
+    for ctx in &mut ctxs {
+        for s in &ctx.suppressions {
+            if !s.used && cfg.is_enabled(&s.rule) {
+                kept.push(Diagnostic {
+                    path: ctx.path.clone(),
+                    line: s.marker_line,
+                    rule: MARKER_RULE.to_string(),
+                    message: format!(
+                        "suppression of '{}' matches no diagnostic on line {} — remove it",
+                        s.rule, s.target_line
+                    ),
+                });
+            }
         }
+        kept.append(&mut ctx.marker_errors);
     }
-    kept.append(&mut ctx.marker_errors);
     kept.sort();
     kept
+}
+
+/// Lint a single file given as in-memory text. `path` is the
+/// workspace-relative path used for crate attribution and reporting.
+/// The cross-file rules still run, scoped to this one file.
+pub fn lint_file(path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    lint_sources(&[(path.to_string(), src.to_string())], cfg)
 }
 
 /// Recursively collect `*.rs` files under `dir`, sorted for
@@ -475,9 +511,18 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lint every `crates/*/src/**/*.rs` under the workspace `root`.
-/// Returns diagnostics sorted by path and line.
-pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Diagnostic>> {
+/// The result of a full-workspace lint run.
+pub struct LintRun {
+    /// Diagnostics sorted by path, line, rule.
+    pub diags: Vec<Diagnostic>,
+    /// Number of `.rs` files visited (each lexed and parsed once).
+    pub files: usize,
+}
+
+/// Lint every `crates/*/src/**/*.rs` under the workspace `root` —
+/// one directory walk, one lex and one parse per file, shared by all
+/// rules and the cross-file pass.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<LintRun> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
@@ -494,36 +539,17 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Diag
         }
     }
 
-    let mut diags = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for f in &files {
         let rel = f
             .strip_prefix(root)
             .unwrap_or(f)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(f)?;
-        diags.extend(lint_file(&rel, &src, cfg));
+        sources.push((rel, std::fs::read_to_string(f)?));
     }
-    diags.sort();
-    Ok(diags)
-}
-
-/// Number of `.rs` files [`lint_workspace`] would visit (for reporting).
-pub fn count_workspace_files(root: &Path) -> std::io::Result<usize> {
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
-        .collect::<Result<Vec<_>, _>>()?
-        .into_iter()
-        .map(|e| e.path())
-        .filter(|p| p.is_dir())
-        .collect();
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        let src = dir.join("src");
-        if src.is_dir() {
-            collect_rs_files(&src, &mut files)?;
-        }
-    }
-    Ok(files.len())
+    Ok(LintRun {
+        diags: lint_sources(&sources, cfg),
+        files: sources.len(),
+    })
 }

@@ -131,6 +131,16 @@ impl Lexer {
     }
 
     fn run(mut self) -> Vec<Tok> {
+        // A shebang (`#!/usr/bin/env …` on line 1) lexes as one
+        // non-doc line comment, not as `#`/`!` punctuation — it would
+        // otherwise look like the start of an inner attribute.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) == Some('/') {
+            let (start, start_line) = (self.i, self.line);
+            while self.peek(0).is_some_and(|c| c != '\n') {
+                self.i += 1;
+            }
+            self.push(TokKind::LineComment { doc: false }, start, start_line);
+        }
         while let Some(c) = self.peek(0) {
             match c {
                 '\n' => {
@@ -493,5 +503,51 @@ mod tests {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment() {
+        let toks = lex("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert!(matches!(toks[0].kind, TokKind::LineComment { doc: false }));
+        assert!(toks[0].text.starts_with("#!/usr/bin"));
+        assert!(toks[1].is_ident("fn"));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        // `#![allow(...)]` starts with `#!` but has no `/`: it must lex
+        // as ordinary puncts + idents, and only at offset 0 would a
+        // shebang be considered at all.
+        let toks = kinds("#![allow(dead_code)]\nx");
+        assert_eq!(toks[0], (TokKind::Punct('#'), "#".to_string()));
+        assert_eq!(toks[1], (TokKind::Punct('!'), "!".to_string()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "allow"));
+    }
+
+    #[test]
+    fn multiline_raw_string_tracks_end_line() {
+        let toks = lex("let s = r#\"line one\nline two\"#;\nnext");
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("raw string lexed");
+        assert_eq!((s.line, s.end_line), (1, 2));
+        let next = toks.iter().find(|t| t.is_ident("next")).expect("ident");
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn escaped_quote_char_is_not_a_lifetime() {
+        let toks = kinds(r"let c = '\''; let l: &'static str = s;");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'static"]);
     }
 }

@@ -16,23 +16,35 @@
 //! | `determinism-threads` | no `available_parallelism` outside `fedwcm-parallel` |
 //! | `panic-freedom` | no `unwrap`/`expect`/`panic!`/`unimplemented!`/`todo!` in non-test library code |
 //! | `doc-coverage` | public items in `tensor`/`fl`/`core`/`parallel` carry rustdoc |
+//! | `float-reduction-order` | no float accumulation across parallel closure invocations outside the blessed index-ordered reducers |
+//! | `rng-stream-hygiene` | named RNG streams are never mixed in one function or passed across unaudited crate boundaries |
+//! | `lock-order` | the static `lock_recover`/`wait_recover` acquisition graph is acyclic |
+//! | `cast-soundness` | no lossy `as` casts / unchecked byte-counter arithmetic in the serializing crates |
 //!
-//! Run it locally with `cargo run -p fedwcm-lint`; see the binary's
-//! `--help` for rule toggles. Findings are suppressed — never silenced —
-//! with scoped `// lint:allow(<rule>) <reason>` markers; a marker
-//! without a reason is itself a hard error.
+//! Run it locally with `cargo run -p fedwcm-lint` (add `--format json`
+//! for machine-readable findings); see the binary's `--help` for rule
+//! toggles. Findings are suppressed — never silenced — with scoped
+//! `// lint:allow(<rule>) <reason>` markers; a marker without a reason
+//! is itself a hard error.
 //!
 //! The crate has **zero external dependencies** (this build environment
 //! has no reachable crates.io registry) and hand-rolls the lexer in
-//! [`lexer`]; rules are token-sequence patterns over its output, so
-//! they never fire inside comments, strings, raw strings, or char
-//! literals.
+//! [`lexer`]. The v1 rules are token-sequence patterns over its
+//! output, so they never fire inside comments, strings, raw strings,
+//! or char literals. The v2 rules go further: [`parser`] builds a
+//! recovering item/expression tree ([`ast`]) for each file — lexed and
+//! parsed exactly once per run — and [`callgraph`] resolves calls
+//! across files so the stream-hygiene, reduction-order, and lock-order
+//! analyses can follow values through the workspace.
 
+pub mod ast;
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 pub use engine::{
-    lint_file, lint_workspace, Diagnostic, FileCtx, LintConfig, ALL_RULES, DOC_CRATES, LIB_CRATES,
-    MARKER_RULE,
+    lint_file, lint_sources, lint_workspace, Diagnostic, FileCtx, LintConfig, LintRun, ALL_RULES,
+    DOC_CRATES, LIB_CRATES, MARKER_RULE,
 };

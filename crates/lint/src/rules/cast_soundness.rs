@@ -1,0 +1,193 @@
+//! `cast-soundness` — lossy casts and unchecked counter arithmetic in
+//! the serializing crates.
+//!
+//! `fl`, `he`, and `trace` write bytes that other processes (and
+//! future versions) read back: checkpoints, wire reports, trace
+//! streams. A silently truncating `as` cast or a wrapping multiply on
+//! a byte counter corrupts those artifacts without a panic. This rule
+//! flags, in those crates only:
+//!
+//! 1. **lossy `as` casts** where the source type is syntactically
+//!    evident (a typed local/parameter, literal suffix, `.len()`, or
+//!    prior cast): narrowing integers, sign-discarding
+//!    unsigned↔signed casts, `f64 as f32`, and float→int truncation.
+//!    `usize`/`isize` are treated as 64-bit (the workspace's only
+//!    supported targets — DESIGN §9). Integer→float casts are *not*
+//!    flagged: metrics code averages counters deliberately.
+//! 2. **unchecked `+`/`-`/`*` (and compound forms) on byte counters**
+//!    — operands whose place name contains `byte`. Use
+//!    `checked_*`/`saturating_*` or justify with
+//!    `// lint:allow(cast-soundness) <reason>`.
+//!
+//! Casts whose source type cannot be determined are never flagged —
+//! the rule under-approximates rather than guesses. Test code is
+//! exempt.
+
+use crate::ast::{scalar_of, Expr, TypeEnv};
+use crate::engine::{Diagnostic, FileCtx};
+
+const RULE: &str = "cast-soundness";
+
+/// Crates that serialize state and are held to checked arithmetic.
+const SERIALIZING_CRATES: &[&str] = &["fl", "he", "trace"];
+
+/// Run the rule over one file.
+pub fn check_cast_soundness(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    if !ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| SERIALIZING_CRATES.contains(&c))
+    {
+        return;
+    }
+    for f in &ctx.ast.fns {
+        if ctx.is_test_line(f.line) {
+            continue;
+        }
+        let env = TypeEnv::of(f);
+        f.body.walk(&mut |e| match e {
+            Expr::Cast { expr, ty, line } => {
+                if ctx.is_test_line(*line) {
+                    return;
+                }
+                let Some(dst) = scalar_of(ty) else { return };
+                let Some(src_ty) = env.type_of(expr) else {
+                    return;
+                };
+                let Some(src) = scalar_of(&src_ty).map(str::to_string) else {
+                    return;
+                };
+                if let Some(why) = lossy(&src, dst) {
+                    diags.push(ctx.diag(
+                        RULE,
+                        *line,
+                        format!(
+                            "lossy cast `{src} as {dst}` ({why}) in a serializing crate — use \
+                             `try_from`/`try_into` (or a checked helper) so truncation fails \
+                             loudly instead of corrupting serialized state"
+                        ),
+                    ));
+                }
+            }
+            Expr::Binary { op, lhs, rhs, line } if matches!(op.as_str(), "+" | "-" | "*") => {
+                check_counter_arith(ctx, &env, op, &[lhs, rhs], *line, diags);
+            }
+            Expr::Assign {
+                op,
+                target,
+                value,
+                line,
+            } if matches!(op.as_str(), "+=" | "-=" | "*=") => {
+                check_counter_arith(ctx, &env, op, &[target, value], *line, diags);
+            }
+            _ => {}
+        });
+    }
+}
+
+/// Flag unchecked arithmetic when an operand is a byte-counter place.
+fn check_counter_arith(
+    ctx: &FileCtx,
+    env: &TypeEnv,
+    op: &str,
+    operands: &[&Expr],
+    line: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if ctx.is_test_line(line) {
+        return;
+    }
+    for e in operands {
+        let Some(place) = e.place_text() else {
+            continue;
+        };
+        let Some(last) = place.rsplit('.').next() else {
+            continue;
+        };
+        if !last.to_ascii_lowercase().contains("byte") {
+            continue;
+        }
+        // A float-typed "byte rate" is not a counter.
+        if e.base_ident()
+            .and_then(|b| env.get(b))
+            .is_some_and(|t| matches!(scalar_of(t), Some("f32" | "f64")))
+        {
+            continue;
+        }
+        let safe = match op.trim_end_matches('=') {
+            "+" => "saturating_add / checked_add",
+            "-" => "saturating_sub / checked_sub",
+            _ => "saturating_mul / checked_mul",
+        };
+        diags.push(ctx.diag(
+            RULE,
+            line,
+            format!(
+                "unchecked `{op}` on byte counter `{place}` — overflow wraps silently into \
+                 serialized reports; use {safe} (or justify with a lint:allow marker)"
+            ),
+        ));
+        return;
+    }
+}
+
+/// Why `src as dst` can lose information, or `None` when it cannot.
+/// `usize`/`isize` are modelled as 64-bit.
+fn lossy(src: &str, dst: &str) -> Option<&'static str> {
+    if src == dst {
+        return None;
+    }
+    let float = |t: &str| matches!(t, "f32" | "f64");
+    match (float(src), float(dst)) {
+        (true, true) => {
+            return if src == "f64" && dst == "f32" {
+                Some("f64 halves its mantissa in f32")
+            } else {
+                None
+            };
+        }
+        (true, false) => return Some("float→int truncates and saturates"),
+        // Deliberate: int→float is how metrics code averages counters.
+        (false, true) => return None,
+        (false, false) => {}
+    }
+    let bits = |t: &str| -> u32 {
+        match t {
+            "u8" | "i8" => 8,
+            "u16" | "i16" => 16,
+            "u32" | "i32" => 32,
+            "u64" | "i64" | "usize" | "isize" => 64,
+            _ => 128,
+        }
+    };
+    let signed = |t: &str| t.starts_with('i');
+    let (sb, db) = (bits(src), bits(dst));
+    if db < sb {
+        return Some("target type is narrower");
+    }
+    match (signed(src), signed(dst)) {
+        (false, true) if db <= sb => Some("top bit of the unsigned source flips the sign"),
+        (true, false) => Some("negative values wrap to huge unsigned values"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lossy;
+
+    #[test]
+    fn lossy_table() {
+        assert!(lossy("u64", "u32").is_some());
+        assert!(lossy("usize", "u32").is_some());
+        assert!(lossy("u64", "i64").is_some());
+        assert!(lossy("i64", "u64").is_some());
+        assert!(lossy("f64", "f32").is_some());
+        assert!(lossy("f64", "i64").is_some());
+        assert!(lossy("u32", "u64").is_none());
+        assert!(lossy("u64", "usize").is_none(), "usize is 64-bit here");
+        assert!(lossy("u32", "f64").is_none(), "int→float is deliberate");
+        assert!(lossy("f32", "f64").is_none());
+        assert!(lossy("u32", "i64").is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! `float-reduction-order` — order-sensitive float accumulation.
+//!
+//! Float addition is not associative, so the *order* of an
+//! accumulation decides the bits of its result. Sequential loops have
+//! a fixed order and are fine; what breaks bitwise determinism is
+//! accumulating across **parallel closure invocations**, where the
+//! interleaving depends on thread scheduling. The blessed pattern is
+//! to return a per-item value from the closure and combine in index
+//! order on the caller thread (`parallel_map_reduce` /
+//! `parallel_map` + sequential fold), which `fedwcm-parallel` and
+//! `fedwcm-stats` implement — those two crates are therefore exempt.
+//!
+//! Two shapes are flagged in every other library crate:
+//!
+//! 1. a compound assignment (`+=`, `-=`, `*=`, `/=`) to state
+//!    *captured* by a closure passed to a parallel entry point, when
+//!    the accumulated value is (or may be) `f32`/`f64`;
+//! 2. a call, from inside such a closure, to a function (resolved
+//!    through the call graph, across files) that accumulates into one
+//!    of its own `&mut f32/f64`-typed parameters.
+//!
+//! The final fold closure of `parallel_map_reduce` runs on the caller
+//! thread in index order and is exempt.
+
+use crate::ast::{is_float_ty, Expr, FnDef, TypeEnv};
+use crate::callgraph::{CallGraph, FnId};
+use crate::engine::{Diagnostic, FileCtx};
+
+const RULE: &str = "float-reduction-order";
+
+/// Functions that run a closure across worker threads. The last
+/// closure argument of `parallel_map_reduce` is its index-ordered
+/// caller-thread fold and is exempt.
+const PARALLEL_ENTRIES: &[&str] = &[
+    "parallel_for_each",
+    "parallel_map",
+    "parallel_map_reduce",
+    "parallel_over_rows",
+];
+
+/// Crates whose internals are the blessed index-ordered reduce
+/// helpers; the rule does not apply inside them.
+const BLESSED_CRATES: &[&str] = &["parallel", "stats"];
+
+/// Run the rule over the parsed workspace.
+pub fn check_float_order(files: &[FileCtx], cg: &CallGraph<'_>, diags: &mut Vec<Diagnostic>) {
+    // Pass 1: which functions accumulate into a float out-parameter?
+    let accumulators: Vec<bool> = cg
+        .fns
+        .iter()
+        .map(|&(_, f)| accumulates_into_float_param(f))
+        .collect();
+
+    // Pass 2: inspect every parallel closure in non-blessed lib crates.
+    for (id, &(fi, f)) in cg.fns.iter().enumerate() {
+        let ctx = &files[fi];
+        if !ctx.is_lib_crate()
+            || ctx
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| BLESSED_CRATES.contains(&c))
+            || ctx.is_test_line(f.line)
+        {
+            continue;
+        }
+        let env = TypeEnv::of(f);
+        f.body.walk(&mut |e| {
+            let (name, args) = match e {
+                Expr::Call { callee, args, .. } => match callee.base_ident() {
+                    Some(n) => (n, args),
+                    None => return,
+                },
+                Expr::MethodCall { method, args, .. } => (method.as_str(), args),
+                _ => return,
+            };
+            let Some(entry) = PARALLEL_ENTRIES.iter().find(|&&p| p == name) else {
+                return;
+            };
+            let closure_args: Vec<&Expr> = args
+                .iter()
+                .filter(|a| matches!(a, Expr::Closure { .. }))
+                .collect();
+            for (k, arg) in closure_args.iter().enumerate() {
+                // parallel_map_reduce's trailing fold closure runs
+                // sequentially on the caller thread.
+                if *entry == "parallel_map_reduce" && k + 1 == closure_args.len() {
+                    continue;
+                }
+                let Expr::Closure { params, body, .. } = arg else {
+                    continue;
+                };
+                check_closure(ctx, cg, id, entry, params, body, &env, &accumulators, diags);
+            }
+        });
+    }
+}
+
+/// Names bound locally inside a closure body (its parameters plus any
+/// `let` bindings) — assignments to these are per-invocation state,
+/// not shared accumulation.
+fn closure_locals(params: &[crate::ast::Param], body: &Expr) -> std::collections::BTreeSet<String> {
+    let mut locals: std::collections::BTreeSet<String> =
+        params.iter().map(|p| p.name.clone()).collect();
+    body.walk(&mut |e| {
+        if let Expr::BlockExpr(b) = e {
+            for s in &b.stmts {
+                if let crate::ast::Stmt::Let { name, .. } = s {
+                    locals.insert(name.clone());
+                }
+            }
+        }
+        if let Expr::Closure { params, .. } = e {
+            for p in params {
+                locals.insert(p.name.clone());
+            }
+        }
+    });
+    locals
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_closure(
+    ctx: &FileCtx,
+    cg: &CallGraph<'_>,
+    caller: FnId,
+    entry: &str,
+    params: &[crate::ast::Param],
+    body: &Expr,
+    env: &TypeEnv,
+    accumulators: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let locals = closure_locals(params, body);
+    body.walk(&mut |e| match e {
+        Expr::Assign {
+            op,
+            target,
+            value,
+            line,
+        } if matches!(op.as_str(), "+=" | "-=" | "*=" | "/=") => {
+            let Some(base) = target.base_ident() else {
+                return;
+            };
+            if locals.contains(base) {
+                return;
+            }
+            if !float_involved(env, target, value) {
+                return;
+            }
+            let place = target.place_text().unwrap_or_else(|| base.to_string());
+            diags.push(ctx.diag(
+                RULE,
+                *line,
+                format!(
+                    "`{place} {op}` accumulates into state captured by a closure passed to \
+                     `{entry}` — float accumulation order then depends on thread interleaving; \
+                     return per-item values and combine them in index order \
+                     (`parallel_map_reduce`) instead"
+                ),
+            ));
+        }
+        Expr::Call { line, .. } | Expr::MethodCall { line, .. } => {
+            if let Some(target) = cg.resolve(caller, e) {
+                if accumulators[target] {
+                    let callee = &cg.fns[target].1.name;
+                    diags.push(ctx.diag(
+                        RULE,
+                        *line,
+                        format!(
+                            "`{callee}` accumulates into a `&mut` float parameter and is called \
+                             from a closure passed to `{entry}` — accumulation order across \
+                             parallel invocations is nondeterministic; return partial values and \
+                             combine them in index order instead"
+                        ),
+                    ));
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+/// Does the accumulation involve floats? Yes when the target's type is
+/// float, or — when the target's type is unknown — when the value side
+/// shows float evidence (a float literal or float-typed operand).
+/// A provably integer target is order-insensitive and exempt.
+fn float_involved(env: &TypeEnv, target: &Expr, value: &Expr) -> bool {
+    if let Some(t) = target.base_ident().and_then(|b| env.get(b)) {
+        return is_float_ty(t);
+    }
+    if let Some(t) = env.type_of(value) {
+        return is_float_ty(&t);
+    }
+    let mut float = false;
+    value.walk(&mut |e| {
+        if let Expr::Lit { text, .. } = e {
+            if text.starts_with(|c: char| c.is_ascii_digit())
+                && (text.contains('.') || text.ends_with("f32") || text.ends_with("f64"))
+            {
+                float = true;
+            }
+        }
+    });
+    float
+}
+
+/// True when `f` compound-assigns into one of its own parameters whose
+/// declared type is `&mut f32/f64` (scalar or slice).
+fn accumulates_into_float_param(f: &FnDef) -> bool {
+    let float_params: std::collections::BTreeSet<&str> = f
+        .params
+        .iter()
+        .filter(|p| p.ty.contains("mut") && is_float_ty(&p.ty))
+        .map(|p| p.name.as_str())
+        .collect();
+    if float_params.is_empty() {
+        return false;
+    }
+    let mut hit = false;
+    f.body.walk(&mut |e| {
+        if let Expr::Assign { op, target, .. } = e {
+            if matches!(op.as_str(), "+=" | "-=" | "*=" | "/=")
+                && target
+                    .base_ident()
+                    .is_some_and(|b| float_params.contains(b))
+            {
+                hit = true;
+            }
+        }
+    });
+    hit
+}

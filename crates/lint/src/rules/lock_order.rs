@@ -1,0 +1,347 @@
+//! `lock-order` — static lock-acquisition ordering over
+//! `lock_recover` / `wait_recover` call sites.
+//!
+//! The workspace's only blocking primitives are the poison-recovering
+//! wrappers in `fedwcm-parallel::sync` and `fedwcm-trace`. This rule
+//! builds the static acquisition graph: a directed edge `A → B` means
+//! some function acquires lock `B` while (an over-approximation says)
+//! it still holds `A` — either directly, or by calling (through the
+//! cross-file call graph) a function that acquires `B`. A **cycle** in
+//! that graph is a potential deadlock and is a hard error; so is
+//! re-acquiring a lock already held (`std::sync::Mutex` self-deadlocks).
+//!
+//! Lock identity is syntactic: the argument place normalized so
+//! `self.field` carries the impl type (`Pool.queue`) and a parameter
+//! base is replaced by its type's head identifier. Guard lifetimes are
+//! tracked per block — a `let`-bound guard is held to the end of its
+//! block (or an explicit `drop(guard)`), a temporary
+//! (`lock_recover(&m).push(x)`) only for its own statement. This
+//! over-approximates holds, never invents lock identities, so a
+//! reported cycle is always a real *ordering* inversion even when
+//! runtime reachability makes it benign — suppress with
+//! `// lint:allow(lock-order) <why the states are disjoint>`.
+
+use crate::ast::{Block, Expr, FnDef, Stmt};
+use crate::callgraph::{CallGraph, FnId};
+use crate::engine::{Diagnostic, FileCtx};
+use std::collections::{BTreeMap, BTreeSet};
+
+const RULE: &str = "lock-order";
+
+/// An acquisition edge `held → acquired` with its first witness site.
+type Edges = BTreeMap<(String, String), (String, usize)>;
+
+/// Run the rule over the parsed workspace.
+pub fn check_lock_order(files: &[FileCtx], cg: &CallGraph<'_>, diags: &mut Vec<Diagnostic>) {
+    // Fixpoint: the set of lock keys each function may acquire,
+    // including transitively through resolved calls.
+    let n = cg.fns.len();
+    let mut acquired: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    for _ in 0..12 {
+        let mut changed = false;
+        for id in 0..n {
+            let mut acc = acquired[id].clone();
+            let (_, f) = cg.fns[id];
+            f.body.walk(&mut |e| {
+                if let Some(key) = lock_call_key(e, f) {
+                    acc.insert(key);
+                }
+                if matches!(e, Expr::Call { .. } | Expr::MethodCall { .. }) {
+                    if let Some(t) = cg.resolve(id, e) {
+                        if t != id {
+                            for k in acquired[t].clone() {
+                                acc.insert(k);
+                            }
+                        }
+                    }
+                }
+            });
+            if acc.len() != acquired[id].len() {
+                acquired[id] = acc;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect edges (and self-deadlocks) per function.
+    let mut edges: Edges = BTreeMap::new();
+    for (id, &(fi, f)) in cg.fns.iter().enumerate() {
+        let ctx = &files[fi];
+        if ctx.is_test_line(f.line) {
+            continue;
+        }
+        let mut held: Vec<(String, String)> = Vec::new(); // (guard name, key)
+        walk_holds(
+            ctx, cg, id, f, &f.body, &mut held, &acquired, &mut edges, diags,
+        );
+    }
+
+    // Cycle detection over the edge graph.
+    report_cycles(&edges, diags);
+}
+
+/// `lock_recover(&place)` / `wait_recover(&cv, g)` → normalized key.
+fn lock_call_key(e: &Expr, f: &FnDef) -> Option<String> {
+    let Expr::Call { callee, args, .. } = e else {
+        return None;
+    };
+    let name = callee.base_ident()?;
+    if name != "lock_recover" && name != "wait_recover" {
+        return None;
+    }
+    let arg = args.first()?;
+    Some(normalize_place(arg, f))
+}
+
+/// Normalize a lock argument place: strip `&`, prefix `self` with the
+/// impl type, and replace a parameter base with its type's head
+/// identifier so `pool: &Pool` and `self` in `impl Pool` agree.
+fn normalize_place(arg: &Expr, f: &FnDef) -> String {
+    let inner = match arg {
+        Expr::Unary { expr, .. } => expr,
+        other => other,
+    };
+    let text = inner
+        .place_text()
+        .unwrap_or_else(|| format!("<expr@{}>", inner.line()));
+    let mut segs: Vec<&str> = text.split(['.', ':']).filter(|s| !s.is_empty()).collect();
+    if segs.is_empty() {
+        return text;
+    }
+    if segs[0] == "self" {
+        let ty = f.self_ty.as_deref().unwrap_or("Self").to_string();
+        segs.remove(0);
+        return std::iter::once(ty.as_str())
+            .chain(segs)
+            .collect::<Vec<_>>()
+            .join(".");
+    }
+    if let Some(p) = f.params.iter().find(|p| p.name == segs[0]) {
+        if let Some(head) = type_head(&p.ty) {
+            segs[0] = head;
+        }
+    }
+    segs.join(".")
+}
+
+/// Head type identifier of normalized type text: `&Arc<Shared>` →
+/// `Arc`, `&mut Mutex<u64>` → `Mutex`.
+fn type_head(ty: &str) -> Option<&str> {
+    let t = ty.trim_start_matches(['&', ' ']);
+    let t = t.strip_prefix("mut").map(str::trim_start).unwrap_or(t);
+    let end = t
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(t.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&t[..end])
+    }
+}
+
+/// Walk a block tracking guard lifetimes; record edges from every held
+/// lock to every newly acquired one (directly or via callees).
+#[allow(clippy::too_many_arguments)]
+fn walk_holds(
+    ctx: &FileCtx,
+    cg: &CallGraph<'_>,
+    id: FnId,
+    f: &FnDef,
+    block: &Block,
+    held: &mut Vec<(String, String)>,
+    acquired: &[BTreeSet<String>],
+    edges: &mut Edges,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let held_at_entry = held.len();
+    for s in &block.stmts {
+        match s {
+            Stmt::Let {
+                name,
+                init: Some(init),
+                ..
+            } => {
+                // A guard bound by `let g = lock_recover(&m);` is held
+                // until the end of this block.
+                if let Some(key) = lock_call_key(init, f) {
+                    record_acquire(ctx, init.line(), &key, held, edges, diags);
+                    held.push((name.clone(), key));
+                } else {
+                    scan_expr(ctx, cg, id, f, init, held, acquired, edges, diags);
+                }
+            }
+            Stmt::Let { init: None, .. } => {}
+            Stmt::Expr(e) => {
+                // `drop(g)` releases a named guard early.
+                if let Expr::Call { callee, args, .. } = e {
+                    if callee.base_ident() == Some("drop") && args.len() == 1 {
+                        if let Some(g) = args[0].base_ident() {
+                            held.retain(|(name, _)| name != g);
+                            continue;
+                        }
+                    }
+                }
+                scan_expr(ctx, cg, id, f, e, held, acquired, edges, diags);
+            }
+        }
+    }
+    held.truncate(held_at_entry);
+}
+
+/// Scan one statement-level expression: temporary acquisitions live
+/// only for this statement; nested blocks recurse with scoping.
+#[allow(clippy::too_many_arguments)]
+fn scan_expr(
+    ctx: &FileCtx,
+    cg: &CallGraph<'_>,
+    id: FnId,
+    f: &FnDef,
+    e: &Expr,
+    held: &mut Vec<(String, String)>,
+    acquired: &[BTreeSet<String>],
+    edges: &mut Edges,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match e {
+        Expr::BlockExpr(b) => {
+            walk_holds(ctx, cg, id, f, b, held, acquired, edges, diags);
+        }
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            scan_expr(ctx, cg, id, f, cond, held, acquired, edges, diags);
+            walk_holds(ctx, cg, id, f, then, held, acquired, edges, diags);
+            if let Some(els) = els {
+                scan_expr(ctx, cg, id, f, els, held, acquired, edges, diags);
+            }
+        }
+        Expr::Loop { head, body, .. } => {
+            if let Some(h) = head {
+                scan_expr(ctx, cg, id, f, h, held, acquired, edges, diags);
+            }
+            walk_holds(ctx, cg, id, f, body, held, acquired, edges, diags);
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            scan_expr(ctx, cg, id, f, scrutinee, held, acquired, edges, diags);
+            for a in arms {
+                scan_expr(ctx, cg, id, f, a, held, acquired, edges, diags);
+            }
+        }
+        Expr::Closure { body, .. } => {
+            // A closure body runs later (possibly on another thread):
+            // analyse it with no inherited holds.
+            let mut fresh = Vec::new();
+            scan_expr(ctx, cg, id, f, body, &mut fresh, acquired, edges, diags);
+        }
+        _ => {
+            // Flat walk for temporaries and resolved calls. A
+            // `lock_recover` temporary here is released at the end of
+            // the statement, so it creates edges from the held set but
+            // is never pushed onto it.
+            e.walk(&mut |sub| match sub {
+                Expr::Call { .. } => {
+                    if let Some(key) = lock_call_key(sub, f) {
+                        record_acquire(ctx, sub.line(), &key, held, edges, diags);
+                    } else if let Some(t) = cg.resolve(id, sub) {
+                        record_callee(ctx, sub.line(), &acquired[t], held, edges);
+                    }
+                }
+                Expr::MethodCall { .. } => {
+                    if let Some(t) = cg.resolve(id, sub) {
+                        record_callee(ctx, sub.line(), &acquired[t], held, edges);
+                    }
+                }
+                _ => {}
+            });
+        }
+    }
+}
+
+/// Record edges `held → key`, plus a self-deadlock diagnostic when the
+/// same key is already held.
+fn record_acquire(
+    ctx: &FileCtx,
+    line: usize,
+    key: &str,
+    held: &[(String, String)],
+    edges: &mut Edges,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (_, h) in held {
+        if h == key {
+            diags.push(ctx.diag(
+                RULE,
+                line,
+                format!(
+                    "lock `{key}` acquired while already held — `std::sync::Mutex` is not \
+                     reentrant, this self-deadlocks"
+                ),
+            ));
+            continue;
+        }
+        edges
+            .entry((h.clone(), key.to_string()))
+            .or_insert_with(|| (ctx.path.clone(), line));
+    }
+}
+
+/// Record edges from every held lock to every lock a callee may take.
+fn record_callee(
+    ctx: &FileCtx,
+    line: usize,
+    callee_locks: &BTreeSet<String>,
+    held: &[(String, String)],
+    edges: &mut Edges,
+) {
+    for (_, h) in held {
+        for k in callee_locks {
+            if h != k {
+                edges
+                    .entry((h.clone(), k.clone()))
+                    .or_insert_with(|| (ctx.path.clone(), line));
+            }
+        }
+    }
+}
+
+/// Report every edge that closes a cycle in the acquisition graph.
+fn report_cycles(edges: &Edges, diags: &mut Vec<Diagnostic>) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (u, v) in edges.keys() {
+        adj.entry(u.as_str()).or_default().push(v.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            if seen.insert(x) {
+                if let Some(next) = adj.get(x) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+    for ((u, v), (path, line)) in edges {
+        if reaches(v, u) {
+            diags.push(Diagnostic {
+                path: path.clone(),
+                line: *line,
+                rule: RULE.to_string(),
+                message: format!(
+                    "lock-order cycle: `{u}` is held while acquiring `{v}`, but another path \
+                     acquires `{u}` while holding `{v}` — establish a single global order for \
+                     these locks"
+                ),
+            });
+        }
+    }
+}

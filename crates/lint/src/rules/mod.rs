@@ -1,23 +1,34 @@
 //! The rule families.
 //!
-//! Each rule walks a [`FileCtx`](crate::engine::FileCtx) token stream
-//! and appends [`Diagnostic`](crate::engine::Diagnostic)s. Rules match
-//! **token sequences over non-comment tokens**, so nothing ever fires
-//! inside a comment, string, or char literal (the lexer guarantees it).
+//! The v1 families walk a [`FileCtx`](crate::engine::FileCtx) token
+//! stream — **token sequences over non-comment tokens**, so nothing
+//! ever fires inside a comment, string, or char literal (the lexer
+//! guarantees it). The v2 families ([`float_order`], [`rng_hygiene`],
+//! [`lock_order`], [`cast_soundness`]) walk the parsed syntax tree
+//! instead, and the first three run as a single workspace pass over
+//! every file at once so they can follow calls across crates.
 
 use crate::engine::{Diagnostic, FileCtx, LintConfig};
 
+mod cast_soundness;
 mod determinism;
 mod doc_coverage;
+mod float_order;
+mod lock_order;
 mod panic_freedom;
+mod rng_hygiene;
 mod unsafe_safety;
 
+pub use cast_soundness::check_cast_soundness;
 pub use determinism::check_determinism;
 pub use doc_coverage::check_doc_coverage;
+pub use float_order::check_float_order;
+pub use lock_order::check_lock_order;
 pub use panic_freedom::check_panic_freedom;
+pub use rng_hygiene::check_rng_hygiene;
 pub use unsafe_safety::check_unsafe_safety;
 
-/// Run every enabled rule family over one file.
+/// Run every enabled per-file rule family over one file.
 pub fn run_all(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
     if cfg.is_enabled("unsafe-safety") {
         check_unsafe_safety(ctx, diags);
@@ -28,5 +39,29 @@ pub fn run_all(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
     }
     if cfg.is_enabled("doc-coverage") {
         check_doc_coverage(ctx, diags);
+    }
+    if cfg.is_enabled("cast-soundness") {
+        check_cast_soundness(ctx, diags);
+    }
+}
+
+/// Run the cross-file rule families over the whole file set at once.
+/// The call graph is built once and shared.
+pub fn run_workspace(files: &[FileCtx], cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    let float = cfg.is_enabled("float-reduction-order");
+    let rng = cfg.is_enabled("rng-stream-hygiene");
+    let lock = cfg.is_enabled("lock-order");
+    if !(float || rng || lock) {
+        return;
+    }
+    let cg = crate::callgraph::CallGraph::build(files);
+    if float {
+        check_float_order(files, &cg, diags);
+    }
+    if rng {
+        check_rng_hygiene(files, &cg, diags);
+    }
+    if lock {
+        check_lock_order(files, &cg, diags);
     }
 }

@@ -1,0 +1,424 @@
+//! `rng-stream-hygiene` — taint-tracking for named RNG streams.
+//!
+//! Every stochastic decision in the workspace draws from a stream
+//! created by `Xoshiro256pp::stream(seed, &[LABEL, …])`, where the
+//! first label element names the purpose (client training, server
+//! sampling, the `0xFA17` fault stream, …). Reproducibility — and the
+//! fault-isolation guarantee of PR 3 — depends on those streams never
+//! cross-contaminating. This rule taint-tracks stream values through
+//! the call graph (into parameters at call sites and out of functions
+//! through returns) and flags:
+//!
+//! 1. **mixing** — one function draws from two RNG variables whose
+//!    label sets are disjoint (i.e. provably different streams). A
+//!    helper that draws from a single `&mut impl Rng` parameter is
+//!    *not* mixing, no matter how many differently-labelled streams
+//!    its callers pass in — per invocation it sees one stream;
+//! 2. **boundary escape** — a labelled stream is passed as an argument
+//!    to a function in *another* crate when that `(from, to)` pair is
+//!    not on the allowlist. Handing streams across crate boundaries is
+//!    how the FedJAX-style contamination bugs start; the allowlist
+//!    names the audited hand-offs.
+//!
+//! Draw methods: the `Rng` trait surface (`next_u64`, `next_f64`,
+//! `next_f32`, `next_below`, `uniform`, `bernoulli`, `shuffle`,
+//! `sample_indices`). Test code is exempt.
+
+use crate::ast::{Expr, Stmt};
+use crate::callgraph::{CallGraph, FnId};
+use crate::engine::{Diagnostic, FileCtx};
+use std::collections::{BTreeMap, BTreeSet};
+
+const RULE: &str = "rng-stream-hygiene";
+
+/// Methods that advance an RNG stream.
+const DRAW_METHODS: &[&str] = &[
+    "next_u64",
+    "next_f64",
+    "next_f32",
+    "next_below",
+    "uniform",
+    "bernoulli",
+    "shuffle",
+    "sample_indices",
+];
+
+/// Audited cross-crate stream hand-offs (`(from, to)` by crate dir
+/// name). Any crate may pass a stream into `stats` (the RNG home —
+/// its distributions all take `&mut impl Rng`); the pairs here are the
+/// additional deliberate hand-offs. Everything else is a finding.
+const CROSS_CRATE_ALLOW: &[(&str, &str)] = &[
+    // Client training streams seed model init and samplers.
+    ("fl", "nn"),
+    ("fl", "data"),
+    ("fl", "stats"),
+    // Baselines drive the same samplers with their client streams.
+    ("algos", "data"),
+    ("algos", "nn"),
+    ("algos", "stats"),
+    // Long-tail methods re-use the engine's client-side helpers.
+    ("longtail", "fl"),
+    ("longtail", "nn"),
+    ("longtail", "data"),
+    // Dataset synthesis drives tensor-level random init.
+    ("data", "tensor"),
+    ("data", "stats"),
+    ("nn", "stats"),
+    ("nn", "tensor"),
+    ("tensor", "stats"),
+    ("he", "stats"),
+    ("core", "stats"),
+    ("algos", "stats"),
+    ("faults", "stats"),
+    ("analysis", "stats"),
+];
+
+type Labels = BTreeSet<String>;
+
+/// Per-variable taint inside one function body.
+#[derive(Default)]
+struct FnState {
+    /// Local / parameter name → labels that may flow into it.
+    vars: BTreeMap<String, Labels>,
+}
+
+/// Run the rule over the parsed workspace.
+pub fn check_rng_hygiene(files: &[FileCtx], cg: &CallGraph<'_>, diags: &mut Vec<Diagnostic>) {
+    let n = cg.fns.len();
+    // Taint flowing into each function's parameters from call sites,
+    // and out of each function through its return value.
+    let mut param_taint: Vec<Vec<Labels>> = cg
+        .fns
+        .iter()
+        .map(|&(_, f)| vec![Labels::new(); f.params.len()])
+        .collect();
+    let mut ret_taint: Vec<Labels> = vec![Labels::new(); n];
+
+    // Fixpoint: label sets only grow, so this terminates. The bound is
+    // a backstop for pathological graphs.
+    for _ in 0..12 {
+        let mut changed = false;
+        for id in 0..n {
+            let state = local_state(cg, id, &param_taint[id], &ret_taint);
+            // Propagate into callees' parameters.
+            let (_, f) = cg.fns[id];
+            f.body.walk(&mut |e| {
+                let args = match e {
+                    Expr::Call { args, .. } | Expr::MethodCall { args, .. } => args,
+                    _ => return,
+                };
+                let Some(target) = cg.resolve(id, e) else {
+                    return;
+                };
+                for (k, a) in args.iter().enumerate() {
+                    let labels = arg_labels(a, &state);
+                    if labels.is_empty() {
+                        continue;
+                    }
+                    if let Some(slot) = param_taint[target].get_mut(param_slot(cg, target, k)) {
+                        for l in labels {
+                            changed |= slot.insert(l);
+                        }
+                    }
+                }
+            });
+            // Propagate through the return value.
+            let ret = returned_labels(cg.fns[id].1, &state);
+            for l in ret {
+                changed |= ret_taint[id].insert(l);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Report per function.
+    for (id, &(fi, f)) in cg.fns.iter().enumerate() {
+        let ctx = &files[fi];
+        if !ctx.is_lib_crate() || ctx.is_test_line(f.line) {
+            continue;
+        }
+        let state = local_state(cg, id, &param_taint[id], &ret_taint);
+        report_mixing(ctx, f, &state, diags);
+        report_boundaries(files, cg, id, &state, diags);
+    }
+}
+
+/// Map caller argument position to callee parameter slot: methods
+/// called as `recv.m(a, b)` have `self` at slot 0, so arguments shift
+/// by one.
+fn param_slot(cg: &CallGraph<'_>, target: FnId, arg_idx: usize) -> usize {
+    let f = cg.fns[target].1;
+    if f.params.first().is_some_and(|p| p.name == "self") {
+        arg_idx + 1
+    } else {
+        arg_idx
+    }
+}
+
+/// Labels carried by an argument expression: a tainted variable
+/// (possibly behind `&mut`) or an inline `Xoshiro256pp::stream` call.
+fn arg_labels(a: &Expr, state: &FnState) -> Labels {
+    if let Some(l) = stream_ctor_label(a) {
+        return std::iter::once(l).collect();
+    }
+    match a {
+        Expr::Unary { expr, .. } => arg_labels(expr, state),
+        Expr::Path { segs, .. } if segs.len() == 1 => {
+            state.vars.get(&segs[0]).cloned().unwrap_or_default()
+        }
+        _ => Labels::new(),
+    }
+}
+
+/// `Xoshiro256pp::stream(seed, &[LABEL, …])` → the rendered label.
+/// Returns `Some("?")` when the label expression is too complex to
+/// render — still a stream, label unknown.
+fn stream_ctor_label(e: &Expr) -> Option<String> {
+    let Expr::Call { callee, args, .. } = e else {
+        return None;
+    };
+    let Expr::Path { segs, .. } = &**callee else {
+        return None;
+    };
+    if segs.last().map(String::as_str) != Some("stream")
+        || segs.len() < 2
+        || segs[segs.len() - 2] != "Xoshiro256pp"
+    {
+        return None;
+    }
+    let first = args.get(1).and_then(|a| {
+        let arr = match a {
+            Expr::Unary { expr, .. } => &**expr,
+            other => other,
+        };
+        if let Expr::Array { items, .. } = arr {
+            items.first()
+        } else {
+            None
+        }
+    });
+    Some(match first {
+        Some(Expr::Lit { text, .. }) => text.clone(),
+        Some(Expr::Path { segs, .. }) => segs.last().cloned().unwrap_or_else(|| "?".to_string()),
+        _ => "?".to_string(),
+    })
+}
+
+/// Build the variable-taint state of one function: parameter taint
+/// from call sites plus `let` bindings of stream constructors, moved
+/// stream variables, and calls returning streams.
+fn local_state(cg: &CallGraph<'_>, id: FnId, params: &[Labels], ret_taint: &[Labels]) -> FnState {
+    let (_, f) = cg.fns[id];
+    let mut state = FnState::default();
+    for (p, taint) in f.params.iter().zip(params) {
+        if !taint.is_empty() {
+            state.vars.insert(p.name.clone(), taint.clone());
+        }
+    }
+    // Two passes so `let b = a;` after `let a = stream(…)` resolves
+    // regardless of interleaving with other bindings.
+    for _ in 0..2 {
+        collect_bindings(cg, id, &f.body, ret_taint, &mut state);
+    }
+    state
+}
+
+fn collect_bindings(
+    cg: &CallGraph<'_>,
+    id: FnId,
+    body: &crate::ast::Block,
+    ret_taint: &[Labels],
+    state: &mut FnState,
+) {
+    let visit = |name: &str, init: &Expr, state: &mut FnState| {
+        let labels = binding_labels(cg, id, init, ret_taint, state);
+        if !labels.is_empty() {
+            state
+                .vars
+                .entry(name.to_string())
+                .or_default()
+                .extend(labels);
+        }
+    };
+    let mut walk_block = Vec::new();
+    walk_block.push(body);
+    while let Some(b) = walk_block.pop() {
+        for s in &b.stmts {
+            if let Stmt::Let {
+                name,
+                init: Some(init),
+                ..
+            } = s
+            {
+                visit(name, init, state);
+            }
+        }
+        b.walk(&mut |e| {
+            if let Expr::BlockExpr(inner) = e {
+                for s in &inner.stmts {
+                    if let Stmt::Let {
+                        name,
+                        init: Some(init),
+                        ..
+                    } = s
+                    {
+                        visit(name, init, state);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Labels of a `let` initializer: stream constructor, moved tainted
+/// variable, or a resolved call whose return is tainted.
+fn binding_labels(
+    cg: &CallGraph<'_>,
+    id: FnId,
+    init: &Expr,
+    ret_taint: &[Labels],
+    state: &FnState,
+) -> Labels {
+    if let Some(l) = stream_ctor_label(init) {
+        return std::iter::once(l).collect();
+    }
+    match init {
+        Expr::Path { segs, .. } if segs.len() == 1 => {
+            state.vars.get(&segs[0]).cloned().unwrap_or_default()
+        }
+        Expr::Call { .. } | Expr::MethodCall { .. } => cg
+            .resolve(id, init)
+            .map(|t| ret_taint[t].clone())
+            .unwrap_or_default(),
+        _ => Labels::new(),
+    }
+}
+
+/// Labels a function returns: its tail expression or any `return`
+/// value that is a stream constructor or tainted variable.
+fn returned_labels(f: &crate::ast::FnDef, state: &FnState) -> Labels {
+    let mut out = Labels::new();
+    let mut consider = |e: &Expr| {
+        if let Some(l) = stream_ctor_label(e) {
+            out.insert(l);
+        } else if let Expr::Path { segs, .. } = e {
+            if segs.len() == 1 {
+                if let Some(ls) = state.vars.get(&segs[0]) {
+                    out.extend(ls.iter().cloned());
+                }
+            }
+        }
+    };
+    if let Some(Stmt::Expr(tail)) = f.body.stmts.last() {
+        consider(tail);
+    }
+    f.body.walk(&mut |e| {
+        if let Expr::Jump { value: Some(v), .. } = e {
+            consider(v);
+        }
+    });
+    out
+}
+
+/// Flag draws from two provably different streams in one function.
+fn report_mixing(
+    ctx: &FileCtx,
+    f: &crate::ast::FnDef,
+    state: &FnState,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Drawn-from variables in draw order: (name, line).
+    let mut draws: Vec<(String, usize)> = Vec::new();
+    f.body.walk(&mut |e| {
+        if let Expr::MethodCall {
+            recv, method, line, ..
+        } = e
+        {
+            if DRAW_METHODS.contains(&method.as_str()) {
+                if let Some(base) = recv.base_ident() {
+                    if state.vars.contains_key(base) {
+                        draws.push((base.to_string(), *line));
+                    }
+                }
+            }
+        }
+    });
+    for (i, (a, _)) in draws.iter().enumerate() {
+        for (b, line_b) in draws.iter().skip(i + 1) {
+            if a == b {
+                continue;
+            }
+            let (la, lb) = (&state.vars[a], &state.vars[b]);
+            let known = |s: &Labels| !s.is_empty() && !s.contains("?");
+            if known(la) && known(lb) && la.is_disjoint(lb) {
+                diags.push(ctx.diag(
+                    RULE,
+                    *line_b,
+                    format!(
+                        "`{}` draws from RNG streams `{}` (via `{a}`) and `{}` (via `{b}`) — \
+                         one function must consume one stream; split the stream-specific work \
+                         into separate functions",
+                        f.name,
+                        la.iter().cloned().collect::<Vec<_>>().join("/"),
+                        lb.iter().cloned().collect::<Vec<_>>().join("/"),
+                    ),
+                ));
+                return; // one finding per function is enough
+            }
+        }
+    }
+}
+
+/// Flag labelled streams passed to a function in another, non-allowlisted crate.
+fn report_boundaries(
+    files: &[FileCtx],
+    cg: &CallGraph<'_>,
+    id: FnId,
+    state: &FnState,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let (fi, f) = cg.fns[id];
+    let ctx = &files[fi];
+    let Some(from) = ctx.crate_name.clone() else {
+        return;
+    };
+    f.body.walk(&mut |e| {
+        let (args, line) = match e {
+            Expr::Call { args, line, .. } | Expr::MethodCall { args, line, .. } => (args, line),
+            _ => return,
+        };
+        let Some(target) = cg.resolve(id, e) else {
+            return;
+        };
+        let Some(to) = cg.crate_of(target, files) else {
+            return;
+        };
+        if to == from || to == "stats" {
+            return;
+        }
+        if CROSS_CRATE_ALLOW.contains(&(from.as_str(), to.as_str())) {
+            return;
+        }
+        for a in args {
+            let labels = arg_labels(a, state);
+            if labels.is_empty() {
+                continue;
+            }
+            let callee = &cg.fns[target].1.name;
+            diags.push(ctx.diag(
+                RULE,
+                *line,
+                format!(
+                    "RNG stream `{}` crosses the crate boundary `{from}` → `{to}` \
+                     (passed to `{callee}`) — this hand-off is not on the audited allowlist; \
+                     derive a sub-stream at the boundary or extend CROSS_CRATE_ALLOW with a \
+                     review",
+                    labels.iter().cloned().collect::<Vec<_>>().join("/"),
+                ),
+            ));
+            return;
+        }
+    });
+}

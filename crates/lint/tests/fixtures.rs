@@ -9,11 +9,23 @@
 //! `crates/tensor/...` adds doc-coverage, `crates/experiments/...` is
 //! exempt from the determinism/panic families).
 
-use fedwcm_lint::{lint_file, lint_workspace, Diagnostic, LintConfig, ALL_RULES, MARKER_RULE};
+use fedwcm_lint::{
+    lint_file, lint_sources, lint_workspace, Diagnostic, LintConfig, ALL_RULES, MARKER_RULE,
+};
 
 /// Lint one fixture with every rule enabled.
 fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
     lint_file(path, src, &LintConfig::all())
+}
+
+/// Lint a set of fixtures together, so the cross-file rules see one
+/// call graph spanning all of them.
+fn lint_many(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    lint_sources(&sources, &LintConfig::all())
 }
 
 /// The rule names that fired, in output order.
@@ -550,6 +562,22 @@ fn every_declared_rule_is_exercised_by_these_fixtures() {
         ),
         (LIB, "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n"),
         ("crates/tensor/src/fixture.rs", "pub fn undocd() {}\n"),
+        (
+            LIB,
+            "pub fn s(xs: &[f32]) -> f32 {\n    let mut t = 0.0f32;\n    parallel_for_each(xs, |x: &f32| { t += *x; });\n    t\n}\n",
+        ),
+        (
+            "crates/fl/src/fixture.rs",
+            "fn m(seed: u64) -> u64 {\n    let mut a = Xoshiro256pp::stream(seed, &[0x1111]);\n    let mut b = Xoshiro256pp::stream(seed, &[0x2222]);\n    a.next_u64() ^ b.next_u64()\n}\n",
+        ),
+        (
+            LIB,
+            "pub fn twice(m: &Mutex<u32>) {\n    let _g1 = lock_recover(m);\n    let _g2 = lock_recover(m);\n}\n",
+        ),
+        (
+            "crates/fl/src/fixture.rs",
+            "fn shrink(n: u64) -> u32 { n as u32 }\n",
+        ),
     ];
     let mut seen: std::collections::BTreeSet<String> = Default::default();
     for (path, src) in fixtures {
@@ -562,24 +590,452 @@ fn every_declared_rule_is_exercised_by_these_fixtures() {
     }
 }
 
+// ------------------------------------------- float-reduction-order (v2)
+
+#[test]
+fn captured_float_accumulation_in_parallel_closure_fires() {
+    let src = "\
+pub fn sum_bad(xs: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    parallel_for_each(xs, |x: &f32| {
+        total += *x;
+    });
+    total
+}
+";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["float-reduction-order"]);
+    assert_eq!(d[0].line, 4);
+    assert!(d[0].message.contains("total"), "{}", d[0].message);
+}
+
+#[test]
+fn cross_file_call_to_float_accumulator_fires() {
+    // The closure itself looks innocent; the accumulation hides in a
+    // helper in ANOTHER file, reachable only through the call graph.
+    let helper = "\
+fn add_into(acc: &mut f32, v: f32) {
+    *acc += v;
+}
+";
+    let caller = "\
+pub fn reduce_bad(xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    parallel_for_each(xs, |x: &f32| add_into(&mut acc, *x));
+    acc
+}
+";
+    let d = lint_many(&[("crates/fl/src/fixture_helper.rs", helper), (LIB, caller)]);
+    assert_eq!(fired(&d), ["float-reduction-order"]);
+    assert!(d[0].message.contains("add_into"), "{}", d[0].message);
+}
+
+#[test]
+fn index_ordered_fold_after_parallel_map_passes() {
+    // The blessed pattern: per-item values from the workers, combined
+    // sequentially on the caller thread.
+    let src = "\
+pub fn sum_good(xs: &[f32]) -> f32 {
+    let parts = parallel_map(xs, |x: &f32| *x * 2.0);
+    let mut total = 0.0f32;
+    for p in parts {
+        total += p;
+    }
+    total
+}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+#[test]
+fn map_reduce_fold_closure_is_exempt() {
+    // parallel_map_reduce's trailing closure is its caller-thread
+    // index-ordered fold: accumulating there is the whole point.
+    let src = "\
+pub fn mr_good(xs: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    parallel_map_reduce(xs, |x: &f32| *x, |v: f32| { total += v; });
+    total
+}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+#[test]
+fn integer_accumulation_in_parallel_closure_passes() {
+    // Integer addition is associative — order cannot change the bits.
+    let src = "\
+pub fn count_bad_order_but_int(xs: &[u32]) -> u64 {
+    let mut total = 0u64;
+    parallel_for_each(xs, |x: &u32| {
+        total += u64::from(*x);
+    });
+    total
+}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+#[test]
+fn blessed_reduce_crates_are_exempt_from_float_order() {
+    let src = "\
+/// The blessed index-ordered reducer itself.
+pub fn reduce_impl(xs: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    parallel_for_each(xs, |x: &f32| {
+        total += *x;
+    });
+    total
+}
+";
+    assert!(lint("crates/parallel/src/fixture.rs", src).is_empty());
+}
+
+// --------------------------------------------- rng-stream-hygiene (v2)
+
+#[test]
+fn drawing_from_two_streams_in_one_function_fires() {
+    let src = "\
+fn mixed(seed: u64) -> u64 {
+    let mut a = Xoshiro256pp::stream(seed, &[0x1111]);
+    let mut b = Xoshiro256pp::stream(seed, &[0x2222]);
+    a.next_u64() ^ b.next_u64()
+}
+";
+    let d = lint("crates/fl/src/fixture.rs", src);
+    assert_eq!(fired(&d), ["rng-stream-hygiene"]);
+    assert!(
+        d[0].message.contains("0x1111") && d[0].message.contains("0x2222"),
+        "{}",
+        d[0].message
+    );
+}
+
+#[test]
+fn stream_crossing_unaudited_crate_boundary_fires() {
+    // faults → he is not an audited hand-off: the fault stream must
+    // never feed the crypto crate.
+    let sink = "\
+pub fn consume(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next_u64()
+}
+";
+    let leak = "\
+const STREAM_FAULT: u64 = 0xFA17;
+fn leak(seed: u64) -> u64 {
+    let mut rng = Xoshiro256pp::stream(seed, &[STREAM_FAULT]);
+    consume(&mut rng)
+}
+";
+    let d = lint_many(&[
+        ("crates/he/src/fixture_sink.rs", sink),
+        ("crates/faults/src/fixture.rs", leak),
+    ]);
+    assert_eq!(fired(&d), ["rng-stream-hygiene"]);
+    assert!(d[0].message.contains("`faults` → `he`"), "{}", d[0].message);
+    assert!(d[0].message.contains("STREAM_FAULT"), "{}", d[0].message);
+}
+
+#[test]
+fn allowlisted_boundary_hand_off_passes() {
+    // fl → data is the audited sampler hand-off.
+    let sink = "\
+pub fn consume(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next_u64()
+}
+";
+    let ok = "\
+fn hand_off(seed: u64) -> u64 {
+    let mut rng = Xoshiro256pp::stream(seed, &[0xC11E]);
+    consume(&mut rng)
+}
+";
+    let d = lint_many(&[
+        ("crates/data/src/fixture_sink.rs", sink),
+        ("crates/fl/src/fixture.rs", ok),
+    ]);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn generic_helper_drawing_one_param_is_not_mixing() {
+    // Two differently-labelled callers taint the helper's parameter
+    // with both labels — but per invocation it sees ONE stream, so the
+    // helper must stay clean.
+    let src = "\
+pub fn helper(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next_u64()
+}
+pub fn from_training(seed: u64) -> u64 {
+    let mut r = Xoshiro256pp::stream(seed, &[0xAAAA]);
+    helper(&mut r)
+}
+pub fn from_sampling(seed: u64) -> u64 {
+    let mut r = Xoshiro256pp::stream(seed, &[0xBBBB]);
+    helper(&mut r)
+}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+// ------------------------------------------------------- lock-order (v2)
+
+#[test]
+fn inverted_lock_acquisition_order_is_a_cycle() {
+    let src = "\
+pub struct Shared {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+pub fn ab(s: &Shared) {
+    let _ga = lock_recover(&s.a);
+    let _gb = lock_recover(&s.b);
+}
+pub fn ba(s: &Shared) {
+    let _gb = lock_recover(&s.b);
+    let _ga = lock_recover(&s.a);
+}
+";
+    let d = lint(LIB, src);
+    // Both edges of the cycle are reported, one per witness site.
+    assert_eq!(fired(&d), ["lock-order", "lock-order"]);
+    assert!(d[0].message.contains("cycle"), "{}", d[0].message);
+}
+
+#[test]
+fn reacquiring_a_held_lock_is_a_self_deadlock() {
+    let src = "\
+pub fn twice(m: &Mutex<u32>) {
+    let _g1 = lock_recover(m);
+    let _g2 = lock_recover(m);
+}
+";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["lock-order"]);
+    assert!(d[0].message.contains("self-deadlock"), "{}", d[0].message);
+}
+
+#[test]
+fn cycle_through_a_callee_is_found_interprocedurally() {
+    // f holds `a` and calls g, which takes `b`; h takes them in the
+    // opposite order. The inversion is only visible via the call graph.
+    let src = "\
+pub struct Shared {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+pub fn f(s: &Shared) {
+    let _ga = lock_recover(&s.a);
+    g(s);
+}
+pub fn g(s: &Shared) {
+    let _gb = lock_recover(&s.b);
+}
+pub fn h(s: &Shared) {
+    let _gb = lock_recover(&s.b);
+    let _ga = lock_recover(&s.a);
+}
+";
+    let d = lint(LIB, src);
+    assert!(
+        !d.is_empty() && d.iter().all(|x| x.rule == "lock-order"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn consistent_lock_order_passes() {
+    let src = "\
+pub struct Shared {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+pub fn first(s: &Shared) {
+    let _ga = lock_recover(&s.a);
+    let _gb = lock_recover(&s.b);
+}
+pub fn second(s: &Shared) {
+    let _ga = lock_recover(&s.a);
+    let _gb = lock_recover(&s.b);
+}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+#[test]
+fn dropping_a_guard_releases_it_for_ordering_purposes() {
+    // Never holds two locks at once, in either function — no edges, no
+    // cycle, even though the textual order is inverted.
+    let src = "\
+pub struct Shared {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+pub fn forward(s: &Shared) {
+    let ga = lock_recover(&s.a);
+    drop(ga);
+    let _gb = lock_recover(&s.b);
+}
+pub fn backward(s: &Shared) {
+    let gb = lock_recover(&s.b);
+    drop(gb);
+    let _ga = lock_recover(&s.a);
+}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+// --------------------------------------------------- cast-soundness (v2)
+
+#[test]
+fn narrowing_cast_in_serializing_crate_fires() {
+    let d = lint(
+        "crates/fl/src/fixture.rs",
+        "fn shrink(n: u64) -> u32 { n as u32 }\n",
+    );
+    assert_eq!(fired(&d), ["cast-soundness"]);
+    assert!(d[0].message.contains("u64 as u32"), "{}", d[0].message);
+}
+
+#[test]
+fn sign_discarding_cast_fires() {
+    let d = lint(
+        "crates/he/src/fixture.rs",
+        "pub fn sign(x: i64) -> u64 { x as u64 }\n",
+    );
+    assert_eq!(fired(&d), ["cast-soundness"]);
+}
+
+#[test]
+fn unchecked_byte_counter_arithmetic_fires() {
+    let src = "\
+fn grow(total_bytes: u64, n: u64) -> u64 {
+    total_bytes * n
+}
+";
+    let d = lint("crates/trace/src/fixture.rs", src);
+    assert_eq!(fired(&d), ["cast-soundness"]);
+    assert!(d[0].message.contains("saturating_mul"), "{}", d[0].message);
+}
+
+#[test]
+fn widening_and_checked_forms_pass() {
+    let src = "\
+fn widen(n: u32) -> u64 {
+    n as u64
+}
+fn avg(total_bytes: u64, n: u64) -> f64 {
+    total_bytes as f64 / n as f64
+}
+fn safe_total(total_bytes: u64, n: u64) -> u64 {
+    total_bytes.saturating_mul(n)
+}
+";
+    assert!(lint("crates/fl/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn cast_soundness_limited_to_serializing_crates() {
+    assert!(lint(LIB, "pub fn shrink(n: u64) -> u32 { n as u32 }\n").is_empty());
+}
+
+#[test]
+fn suppressed_lossy_cast_with_reason_passes() {
+    let src = "\
+pub fn low_bits(x: u64) -> u32 {
+    // lint:allow(cast-soundness) deliberate truncation to the low word.
+    x as u32
+}
+";
+    assert!(lint("crates/he/src/fixture.rs", src).is_empty());
+}
+
+// ----------------------------------- suppression scanning is lexer-aware
+
+#[test]
+fn marker_inside_a_string_literal_does_not_suppress() {
+    // The marker text sits on the SAME line as the violation, but
+    // inside a string literal — a text-scanning suppressor would be
+    // fooled; the lexer-aware one must not be.
+    let src = "\
+pub fn f(o: Option<u32>) -> (u32, &'static str) {
+    (o.unwrap(), \"// lint:allow(panic-freedom) not a real marker\")
+}
+";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["panic-freedom"]);
+}
+
+#[test]
+fn marker_inside_a_doc_comment_does_not_suppress() {
+    let src = "\
+/// To silence this, write `// lint:allow(panic-freedom) reason here`.
+pub fn f(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["panic-freedom"]);
+}
+
 // ------------------------------------------------------ whole workspace
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has a workspace two levels up")
+        .to_path_buf()
+}
 
 #[test]
 fn real_workspace_is_clean() {
     // The repo must satisfy its own gates: zero diagnostics end to end.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(|p| p.parent())
-        .expect("crates/lint has a workspace two levels up")
-        .to_path_buf();
-    let diags = lint_workspace(&root, &LintConfig::all()).expect("workspace read");
+    let run = lint_workspace(&workspace_root(), &LintConfig::all()).expect("workspace read");
     assert!(
-        diags.is_empty(),
+        run.diags.is_empty(),
         "workspace has lint findings:\n{}",
-        diags
+        run.diags
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+#[test]
+fn full_workspace_run_fits_the_time_budget() {
+    // Every source file is lexed and parsed exactly once and shared by
+    // all twelve rules; a full-workspace pass must stay interactive.
+    // The budget is ~50× the measured debug-profile time, so it only
+    // trips on structural regressions (re-lexing per rule, a quadratic
+    // call-graph pass), not on CI jitter.
+    let root = workspace_root();
+    let started = std::time::Instant::now();
+    let run = lint_workspace(&root, &LintConfig::all()).expect("workspace read");
+    let elapsed = started.elapsed();
+    assert!(
+        run.files >= 100,
+        "expected a real workspace, saw {} files",
+        run.files
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "full-workspace lint took {elapsed:?} over {} files — the shared \
+         lex+parse budget regressed",
+        run.files
+    );
+}
+
+#[test]
+fn workspace_findings_are_byte_stable_across_runs() {
+    // Two consecutive runs over the same tree must agree exactly —
+    // this is what lets CI archive and diff the JSON artifact.
+    let root = workspace_root();
+    let a = lint_workspace(&root, &LintConfig::all()).expect("workspace read");
+    let b = lint_workspace(&root, &LintConfig::all()).expect("workspace read");
+    assert_eq!(a.files, b.files);
+    let render =
+        |r: &fedwcm_lint::LintRun| r.diags.iter().map(|d| d.to_string()).collect::<Vec<_>>();
+    assert_eq!(render(&a), render(&b));
 }
