@@ -91,13 +91,19 @@ fn main() {
         exp.rounds = 100;
     }
     println!(
-        "# {} on {} — IF={imbalance}, beta={beta}, {} clients, {} rounds",
+        "# {} on {} — IF={imbalance}, beta={beta}, {} clients, {} rounds, cadence={}",
         method.label(),
         preset.spec().name,
         exp.clients,
         cli.rounds.unwrap_or(exp.rounds),
+        cli.cadence.label(),
     );
     let h = run_history(&exp, method, &cli);
+    let aggregations: u32 = h.records.iter().map(|r| r.aggregations).sum();
+    println!(
+        "aggregation events: {aggregations} over {} rounds",
+        h.records.len()
+    );
     println!("\nround,accuracy");
     for (r, a) in h.accuracy_series() {
         println!("{r},{a:.4}");

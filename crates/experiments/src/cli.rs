@@ -1,6 +1,7 @@
 //! Minimal CLI parsing shared by the experiment binaries (no external
 //! argument-parsing dependency).
 
+use fedwcm_fl::Cadence;
 use fedwcm_trace::{ConsoleSink, Tracer, WallClock};
 use std::sync::Arc;
 
@@ -28,6 +29,8 @@ pub struct Cli {
     pub dataset: Option<String>,
     /// Optional round-count override.
     pub rounds: Option<usize>,
+    /// Server aggregation cadence (`--cadence sync|buffered:K|async:N`).
+    pub cadence: Cadence,
     /// Console verbosity: 0 (`--quiet`) silences progress, 1 (default)
     /// prints progress lines, 2 (`--verbose`) echoes every trace event.
     pub verbosity: u8,
@@ -41,6 +44,7 @@ impl Default for Cli {
             trials: 1,
             dataset: None,
             rounds: None,
+            cadence: Cadence::Sync,
             verbosity: 1,
         }
     }
@@ -96,6 +100,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Cli {
             "--dataset" => {
                 cli.dataset = Some(it.next().unwrap_or_else(|| usage("--dataset needs a name")));
             }
+            "--cadence" => {
+                cli.cadence = it
+                    .next()
+                    .as_deref()
+                    .and_then(Cadence::parse)
+                    .unwrap_or_else(|| usage("--cadence needs sync, buffered:K, or async:N"));
+            }
             "--quiet" | "-q" => cli.verbosity = 0,
             "--verbose" | "-v" => cli.verbosity = 2,
             "--help" | "-h" => usage(""),
@@ -112,7 +123,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--smoke|--quick|--paper-scale] [--seed N] \
-         [--trials N] [--rounds N] [--dataset NAME] [--quiet|-q] [--verbose|-v]"
+         [--trials N] [--rounds N] [--dataset NAME] \
+         [--cadence sync|buffered:K|async:N] [--quiet|-q] [--verbose|-v]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -159,6 +171,20 @@ mod tests {
     #[test]
     fn paper_scale_flag() {
         assert_eq!(parse(&["--paper-scale"]).scale, Scale::Paper);
+    }
+
+    #[test]
+    fn cadence_flag() {
+        assert_eq!(parse(&[]).cadence, Cadence::Sync);
+        assert_eq!(parse(&["--cadence", "sync"]).cadence, Cadence::Sync);
+        assert_eq!(
+            parse(&["--cadence", "buffered:3"]).cadence,
+            Cadence::BufferedK { k: 3 }
+        );
+        assert_eq!(
+            parse(&["--cadence", "async:2"]).cadence,
+            Cadence::Async { max_in_flight: 2 }
+        );
     }
 
     #[test]

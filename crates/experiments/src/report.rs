@@ -17,6 +17,7 @@ pub fn run_cell(exp: &ExpConfig, method: Method, cli: &Cli) -> f64 {
         if let Some(r) = cli.rounds {
             e.rounds = r;
         }
+        e.cadence = cli.cadence;
         let task = e.prepare();
         let sim = task.simulation();
         let mut algo = build_method(method, &task);
@@ -38,6 +39,7 @@ pub fn run_history(exp: &ExpConfig, method: Method, cli: &Cli) -> History {
     if let Some(r) = cli.rounds {
         e.rounds = r;
     }
+    e.cadence = cli.cadence;
     let task = e.prepare();
     let sim = task
         .simulation()
@@ -223,6 +225,7 @@ mod tests {
             update_norm: 0.0,
             test_acc: acc,
             alpha: None,
+            aggregations: 0,
             dropped_updates: 0,
             faults: fedwcm_fl::RoundFaults::default(),
         };

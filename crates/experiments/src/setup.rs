@@ -7,6 +7,7 @@ use fedwcm_data::longtail::longtail_counts_with_total;
 use fedwcm_data::partition::{fedgrab_partition, paper_partition, Partition};
 use fedwcm_data::synth::{DatasetPreset, FeatureShape};
 use fedwcm_fl::client::ModelFactory;
+use fedwcm_fl::Cadence;
 use fedwcm_fl::{FlConfig, Simulation};
 use fedwcm_nn::models::{mlp, res_lite};
 use fedwcm_stats::Xoshiro256pp;
@@ -37,6 +38,8 @@ pub struct ExpConfig {
     /// Use the FedGrab (quantity-skewed) partition instead of the paper's
     /// equal-quantity partition.
     pub fedgrab_partition: bool,
+    /// Server aggregation cadence for the engine.
+    pub cadence: Cadence,
 }
 
 impl ExpConfig {
@@ -76,6 +79,7 @@ impl ExpConfig {
             train_total,
             seed,
             fedgrab_partition: false,
+            cadence: Cadence::Sync,
         }
     }
 
@@ -120,6 +124,7 @@ impl ExpConfig {
             seed: self.seed,
             threads: 0,
             eval_every: (self.rounds / 20).max(1),
+            cadence: self.cadence,
             ..FlConfig::default_sim()
         };
         PreparedTask {

@@ -6,8 +6,9 @@
 //! continue a run: the round counter, global parameters, the full
 //! round-by-round history, the algorithm's internal state (via
 //! [`FederatedAlgorithm::save_state`]), and the resilience machinery —
-//! the straggler buffer and the replay cache — so even a chaos run
-//! resumes exactly.
+//! the straggler buffer, the aggregation buffer of the buffered/async
+//! cadences, and the replay cache — so even a chaos run resumes
+//! exactly.
 //!
 //! # Wire format
 //!
@@ -15,10 +16,17 @@
 //! fixed order, all little-endian, built on the byte helpers in
 //! `fedwcm_nn::serialize`. Float bit patterns are preserved exactly, so
 //! serialize → deserialize → serialize is the identity on bytes.
+//!
+//! Version 3 (current) added the cadence tag after the fingerprint, the
+//! `aggregations`/`late_requeued` record columns, and the aggregation
+//! buffer after the replay cache. Version 2 checkpoints (no cadence —
+//! always synchronous, empty aggregation buffer, `aggregations`
+//! back-filled from `update_norm`) still parse.
 
 use crate::algorithm::{FederatedAlgorithm, StateError};
+use crate::cadence::Cadence;
 use crate::client::ClientUpdate;
-use crate::engine::{PendingUpdate, RunState, Simulation};
+use crate::engine::{BufferedUpdate, PendingUpdate, RunState, Simulation};
 use crate::metrics::{History, RoundFaults, RoundRecord};
 use fedwcm_nn::serialize::{
     put_bytes, put_f32, put_f32s, put_f64, put_str, put_u32, put_u64, ByteReader,
@@ -26,8 +34,12 @@ use fedwcm_nn::serialize::{
 use fedwcm_trace::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
 
 const MAGIC: &[u8; 4] = b"FWCK";
-// Version 2 added the metrics snapshot after the history records.
-const VERSION: u32 = 2;
+// Version 2 added the metrics snapshot after the history records;
+// version 3 the cadence tag, per-round aggregation counts, re-queue
+// tallies, and the aggregation buffer.
+const VERSION: u32 = 3;
+/// Oldest version [`ServerCheckpoint::from_bytes`] still parses.
+const MIN_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be captured, parsed, or restored.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,8 +100,14 @@ pub struct ServerCheckpoint {
     history: History,
     /// Buffered straggler uploads not yet merged.
     pending: Vec<PendingUpdate>,
+    /// Aggregation buffer of the buffered-K/async cadences (empty under
+    /// sync and in pre-v3 checkpoints).
+    agg_buffer: Vec<BufferedUpdate>,
     /// Per-client last-received uploads (replay-fault machinery).
     replay_cache: Vec<Option<Vec<f32>>>,
+    /// Aggregation cadence the run was using (always [`Cadence::Sync`]
+    /// for pre-v3 checkpoints).
+    cadence: Cadence,
     /// Fingerprint of the producing simulation: seed, clients, rounds,
     /// parameter arity.
     fingerprint: [u64; 4],
@@ -99,6 +117,11 @@ impl ServerCheckpoint {
     /// The round a resume would execute next.
     pub fn next_round(&self) -> usize {
         self.next_round
+    }
+
+    /// The aggregation cadence recorded at capture time.
+    pub fn cadence(&self) -> Cadence {
+        self.cadence
     }
 
     /// The recorded global parameters.
@@ -142,7 +165,9 @@ impl ServerCheckpoint {
             algo_state,
             history: state.history.clone(),
             pending: state.pending.clone(),
+            agg_buffer: state.agg_buffer.clone(),
             replay_cache: state.replay_cache.clone(),
+            cadence: sim.cfg.cadence,
             fingerprint: Self::fingerprint_of(sim, state.global.len()),
         })
     }
@@ -163,6 +188,12 @@ impl ServerCheckpoint {
         if Self::fingerprint_of(sim, self.global.len()) != self.fingerprint {
             return Err(CheckpointError::ConfigMismatch);
         }
+        // The aggregation buffer's batch boundaries depend on the
+        // cadence, so resuming under a different one would silently
+        // reinterpret the buffered state.
+        if sim.cfg.cadence != self.cadence {
+            return Err(CheckpointError::ConfigMismatch);
+        }
         algo.load_state(&self.algo_state)
             .map_err(CheckpointError::State)?;
         // Reload the attached registry so resumed accumulation continues
@@ -175,6 +206,7 @@ impl ServerCheckpoint {
             global: self.global.clone(),
             history: self.history.clone(),
             pending: self.pending.clone(),
+            agg_buffer: self.agg_buffer.clone(),
             replay_cache: self.replay_cache.clone(),
         })
     }
@@ -187,6 +219,9 @@ impl ServerCheckpoint {
         for &f in &self.fingerprint {
             put_u64(&mut out, f);
         }
+        let (cadence_tag, cadence_param) = self.cadence.tag_param();
+        put_u32(&mut out, cadence_tag);
+        put_u64(&mut out, cadence_param);
         put_u64(&mut out, self.next_round as u64);
         put_f32s(&mut out, &self.global);
         put_str(&mut out, &self.algo_name);
@@ -201,10 +236,12 @@ impl ServerCheckpoint {
             put_f64(&mut out, r.update_norm);
             put_opt_f64(&mut out, r.test_acc);
             put_opt_f64(&mut out, r.alpha);
+            put_u32(&mut out, r.aggregations);
             put_u64(&mut out, r.dropped_updates as u64);
             put_u32(&mut out, r.faults.dropouts);
             put_u32(&mut out, r.faults.stragglers);
             put_u32(&mut out, r.faults.late_merged);
+            put_u32(&mut out, r.faults.late_requeued);
             put_u32(&mut out, r.faults.corruptions);
             put_u32(&mut out, r.faults.replays);
             put_u32(&mut out, r.faults.quorum_failed as u32);
@@ -230,6 +267,13 @@ impl ServerCheckpoint {
                 None => put_u32(&mut out, 0),
             }
         }
+
+        // Aggregation buffer (buffered-K/async cadences).
+        put_u64(&mut out, self.agg_buffer.len() as u64);
+        for b in &self.agg_buffer {
+            put_u64(&mut out, b.base_round as u64);
+            put_update(&mut out, &b.update);
+        }
         out
     }
 
@@ -240,13 +284,21 @@ impl ServerCheckpoint {
             .ok_or(CheckpointError::Malformed)?;
         let mut r = ByteReader::new(body);
         let version = r.u32().ok_or(CheckpointError::Malformed)?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CheckpointError::Malformed);
         }
         let mut fingerprint = [0u64; 4];
         for f in fingerprint.iter_mut() {
             *f = r.u64().ok_or(CheckpointError::Malformed)?;
         }
+        let cadence = if version >= 3 {
+            let tag = r.u32().ok_or(CheckpointError::Malformed)?;
+            let param = r.u64().ok_or(CheckpointError::Malformed)?;
+            Cadence::from_tag_param(tag, param).ok_or(CheckpointError::Malformed)?
+        } else {
+            // v2 predates cadences: every run was round-synchronous.
+            Cadence::Sync
+        };
         let next_round = read_usize(&mut r)?;
         let global = r.f32s().ok_or(CheckpointError::Malformed)?;
         let algo_name = r.str().ok_or(CheckpointError::Malformed)?;
@@ -260,11 +312,23 @@ impl ServerCheckpoint {
             let update_norm = r.f64().ok_or(CheckpointError::Malformed)?;
             let test_acc = read_opt_f64(&mut r)?;
             let alpha = read_opt_f64(&mut r)?;
+            let aggregations = if version >= 3 {
+                r.u32().ok_or(CheckpointError::Malformed)?
+            } else {
+                // v2 rounds were synchronous: one aggregation whenever
+                // the global model moved.
+                u32::from(update_norm > 0.0)
+            };
             let dropped_updates = read_usize(&mut r)?;
             let faults = RoundFaults {
                 dropouts: r.u32().ok_or(CheckpointError::Malformed)?,
                 stragglers: r.u32().ok_or(CheckpointError::Malformed)?,
                 late_merged: r.u32().ok_or(CheckpointError::Malformed)?,
+                late_requeued: if version >= 3 {
+                    r.u32().ok_or(CheckpointError::Malformed)?
+                } else {
+                    0
+                },
                 corruptions: r.u32().ok_or(CheckpointError::Malformed)?,
                 replays: r.u32().ok_or(CheckpointError::Malformed)?,
                 quorum_failed: r.u32().ok_or(CheckpointError::Malformed)? != 0,
@@ -275,6 +339,7 @@ impl ServerCheckpoint {
                 update_norm,
                 test_acc,
                 alpha,
+                aggregations,
                 dropped_updates,
                 faults,
             });
@@ -305,6 +370,17 @@ impl ServerCheckpoint {
             });
         }
 
+        let mut agg_buffer = Vec::new();
+        if version >= 3 {
+            let n_buffered = read_usize(&mut r)?;
+            agg_buffer.reserve(n_buffered.min(1 << 16));
+            for _ in 0..n_buffered {
+                let base_round = read_usize(&mut r)?;
+                let update = read_update(&mut r)?;
+                agg_buffer.push(BufferedUpdate { base_round, update });
+            }
+        }
+
         if !r.is_exhausted() {
             return Err(CheckpointError::Malformed);
         }
@@ -315,7 +391,9 @@ impl ServerCheckpoint {
             algo_state,
             history,
             pending,
+            agg_buffer,
             replay_cache,
+            cadence,
             fingerprint,
         })
     }

@@ -6,6 +6,12 @@
 //! so the comparison (and any bandwidth budgeting) is concrete. All
 //! counters are `u64`: a paper-scale run (hundreds of clients, ResNet-18
 //! parameters, hundreds of rounds) overflows 32-bit byte counts.
+//!
+//! Volumes are cadence-independent: every sampled client downloads the
+//! model and uploads one delta per round regardless of *when* the
+//! server applies it, so the buffered-K and async cadences
+//! ([`crate::Cadence`]) move exactly the same bytes as the synchronous
+//! barrier — they only shift the aggregation schedule.
 
 use crate::config::FlConfig;
 use crate::engine::sampled_clients_for;

@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use crate::cadence::Cadence;
+
 /// Hyper-parameters of a federated simulation, mirroring the paper's
 /// experimental setup section (§7.1).
 #[derive(Clone, Debug)]
@@ -35,7 +37,21 @@ pub struct FlConfig {
     /// skips the momentum update (clients keep reusing the previous
     /// direction) instead of aggregating a biased sample. `0.0` disables
     /// the rule (any non-empty round aggregates, the pre-fault behaviour).
+    ///
+    /// Quorum rule: only **this round's fresh healthy uploads** count
+    /// toward the numerator — late-merged straggler uploads from earlier
+    /// cohorts never do, so a round can't pass quorum purely on stale
+    /// arrivals while zero sampled clients reported. The denominator is
+    /// the round's sampled cohort size. On a quorum-failed round, late
+    /// arrivals are re-queued (staleness bumped) rather than discarded.
+    /// The rule applies to the [`Cadence::Sync`] barrier only; buffered
+    /// and async cadences gate on buffer occupancy instead.
     pub quorum_frac: f64,
+    /// Server aggregation cadence: when accumulated uploads are applied
+    /// to the global model. [`Cadence::Sync`] (the default) is the
+    /// classic one-barrier-per-round loop; see [`Cadence`] for the
+    /// buffered and asynchronous alternatives.
+    pub cadence: Cadence,
 }
 
 impl FlConfig {
@@ -54,6 +70,7 @@ impl FlConfig {
             eval_every: 5,
             max_update_norm: 1e6,
             quorum_frac: 0.0,
+            cadence: Cadence::Sync,
         }
     }
 
@@ -97,6 +114,7 @@ impl FlConfig {
             "quorum_frac must be in [0,1], got {}",
             self.quorum_frac
         );
+        self.cadence.validate();
         let _ = self.sampled_per_round();
     }
 }

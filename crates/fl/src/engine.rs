@@ -2,6 +2,7 @@
 //! injection, straggler-aware aggregation, and checkpoint/resume.
 
 use crate::algorithm::{FederatedAlgorithm, RoundInput};
+use crate::cadence::Cadence;
 use crate::checkpoint::{CheckpointError, ServerCheckpoint};
 use crate::client::{ClientEnv, ClientUpdate, ModelFactory};
 use crate::config::FlConfig;
@@ -71,6 +72,33 @@ pub(crate) struct PendingUpdate {
     pub(crate) update: ClientUpdate,
 }
 
+/// An upload the server received this round: the **undiscounted**
+/// client delta plus how many rounds late it arrived. The staleness
+/// discount is applied by the cadence at *application* time — never at
+/// receive time — so a re-queued or still-buffered upload keeps its
+/// original signal.
+#[derive(Clone, Debug)]
+pub(crate) struct ReceivedUpdate {
+    /// Rounds since the global model this delta was trained against
+    /// (0 for a fresh upload from this round's cohort).
+    pub(crate) staleness: usize,
+    /// The upload, delta undiscounted.
+    pub(crate) update: ClientUpdate,
+}
+
+/// A healthy upload held in the server's aggregation buffer (buffered-K
+/// and async cadences). First-class server state: `FWCK` v3 checkpoints
+/// serialize it, so a resumed run flushes the exact same batches.
+#[derive(Clone, Debug)]
+pub(crate) struct BufferedUpdate {
+    /// Round whose global model this delta was trained against; the
+    /// discount at application in round `r` is
+    /// `staleness_discount(r - base_round)`.
+    pub(crate) base_round: usize,
+    /// The buffered upload, delta undiscounted.
+    pub(crate) update: ClientUpdate,
+}
+
 /// Mutable server-side state of a run: everything a checkpoint captures
 /// besides the algorithm's own internals.
 pub(crate) struct RunState {
@@ -82,9 +110,69 @@ pub(crate) struct RunState {
     pub(crate) history: History,
     /// Straggler buffer (insertion order — deterministic).
     pub(crate) pending: Vec<PendingUpdate>,
+    /// Aggregation buffer of the buffered-K and async cadences
+    /// (insertion order — deterministic; always empty under sync).
+    pub(crate) agg_buffer: Vec<BufferedUpdate>,
     /// Per-client copy of the last upload the server received; maintained
     /// only when the fault plan can schedule replays.
     pub(crate) replay_cache: Vec<Option<Vec<f32>>>,
+}
+
+/// What a cadence did with this round's received uploads; the common
+/// round tail turns it into a [`RoundRecord`].
+struct CadenceOutcome {
+    /// Mean local-training loss over the uploads applied (sync
+    /// aggregate / buffer flushes / async applies) or — on a skipped
+    /// sync round — over the uploads received; `None` when neither.
+    train_loss: Option<f64>,
+    /// L2 norm of the round's net global-parameter movement.
+    update_norm: f64,
+    /// α reported by the algorithm's last aggregation this round.
+    alpha: Option<f64>,
+    /// Aggregation events applied this round.
+    aggregations: u32,
+}
+
+/// Mean of `avg_loss` over `updates`, accumulated in `f64` — the one
+/// loss-averaging path shared by every cadence and branch, so reports
+/// and checkpoints agree bit for bit regardless of which branch
+/// produced them.
+pub(crate) fn mean_loss_f64<'u>(updates: impl Iterator<Item = &'u ClientUpdate>) -> Option<f64> {
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for u in updates {
+        sum += f64::from(u.avg_loss);
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// L2 norm of the parameter movement from `before` to `after`,
+/// accumulated in `f64` in index order (bitwise thread-invariant).
+fn update_norm_between(before: &[f32], after: &[f32]) -> f64 {
+    before
+        .iter()
+        .zip(after)
+        .map(|(a, b)| {
+            let d = (a - b) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Consume a received upload, applying its staleness discount to the
+/// delta (identity for fresh uploads). Algorithm payloads (`extra`)
+/// ride along undiscounted — they are not step directions.
+fn into_discounted(r: ReceivedUpdate) -> ClientUpdate {
+    let mut u = r.update;
+    if r.staleness > 0 {
+        let discount = staleness_discount(r.staleness);
+        for d in u.delta.iter_mut() {
+            *d *= discount;
+        }
+    }
+    u
 }
 
 /// A configured federated simulation: data, partition views, model
@@ -243,6 +331,7 @@ impl<'a> Simulation<'a> {
             global: model.params().to_vec(),
             history: History::new(algo.name()),
             pending: Vec::new(),
+            agg_buffer: Vec::new(),
             replay_cache,
         }
     }
@@ -370,12 +459,22 @@ impl<'a> Simulation<'a> {
 
             // Fault hook: apply the plan's scheduled faults to the
             // collected uploads, buffer stragglers, and merge late
-            // arrivals due this round.
+            // arrivals due this round. Received uploads carry their
+            // staleness; deltas stay undiscounted until a cadence
+            // applies them.
             let mut faults = RoundFaults::default();
-            if let Some(plan) = &self.fault_plan {
+            let mut received: Vec<ReceivedUpdate> = if let Some(plan) = &self.fault_plan {
                 let _g = tracer.span("fault_inject", vec![("round", Value::U64(round as u64))]);
-                updates = self.apply_faults(plan, round, updates, state, &mut faults, &tracer);
-            }
+                self.apply_faults(plan, round, updates, state, &mut faults, &tracer)
+            } else {
+                updates
+                    .into_iter()
+                    .map(|u| ReceivedUpdate {
+                        staleness: 0,
+                        update: u,
+                    })
+                    .collect()
+            };
             if let Some(reg) = registry {
                 reg.counter_add("fl.faults.dropouts", u64::from(faults.dropouts));
                 reg.counter_add("fl.faults.stragglers", u64::from(faults.stragglers));
@@ -387,29 +486,18 @@ impl<'a> Simulation<'a> {
             // Failure containment: a delta that arrived non-finite (or
             // finite but astronomic — it would poison the global model on
             // the very next step) is dropped; if the whole round is
-            // poisoned, skip the aggregation entirely.
-            let before_filter = updates.len();
-            updates.retain(|u| {
-                u.avg_loss.is_finite()
-                    && u.delta.iter().all(|d| d.is_finite())
-                    && fedwcm_tensor::ops::norm(&u.delta) < self.cfg.max_update_norm
+            // poisoned, skip the aggregation entirely. The norm gate
+            // judges the client's original (undiscounted) delta.
+            let before_filter = received.len();
+            received.retain(|r| {
+                r.update.avg_loss.is_finite()
+                    && r.update.delta.iter().all(|d| d.is_finite())
+                    && fedwcm_tensor::ops::norm(&r.update.delta) < self.cfg.max_update_norm
             });
-            let dropped_updates = before_filter - updates.len();
+            let dropped_updates = before_filter - received.len();
             if let Some(reg) = registry {
                 reg.counter_add("fl.updates.received", before_filter as u64);
                 reg.counter_add("fl.updates.dropped", dropped_updates as u64);
-            }
-
-            // Quorum rule: aggregating a sliver of the sampled cohort
-            // yields a biased direction; below quorum the round reuses
-            // the previous momentum (by skipping the update) instead.
-            let quorum_failed = self.cfg.quorum_frac > 0.0
-                && (updates.len() as f64) < self.cfg.quorum_frac * sampled.len() as f64;
-            faults.quorum_failed = quorum_failed;
-            if quorum_failed {
-                if let Some(reg) = registry {
-                    reg.counter_add("fl.rounds.quorum_failed", 1);
-                }
             }
 
             // Evaluation cadence is a property of the round number alone:
@@ -419,97 +507,46 @@ impl<'a> Simulation<'a> {
             let eval_now =
                 (round + 1).is_multiple_of(self.cfg.eval_every) || round + 1 == self.cfg.rounds;
 
-            let record = if updates.is_empty() || quorum_failed {
-                let train_loss = (!updates.is_empty()).then(|| {
-                    updates.iter().map(|u| u.avg_loss).sum::<f32>() as f64 / updates.len() as f64
-                });
-                let test_acc = eval_now.then(|| {
-                    self.evaluate_phase(
-                        &mut model,
-                        &state.global,
-                        round,
-                        threads,
-                        registry,
-                        &tracer,
-                    )
-                });
-                RoundRecord {
+            // Hand the round's received uploads to the configured
+            // cadence; everything after this point is cadence-agnostic.
+            let outcome = match self.cfg.cadence {
+                Cadence::Sync => self.sync_round(
+                    algo,
+                    state,
                     round,
-                    train_loss,
-                    update_norm: 0.0,
-                    test_acc,
-                    alpha: None,
-                    dropped_updates,
-                    faults,
+                    sampled.len(),
+                    received,
+                    &mut faults,
+                    registry,
+                    &tracer,
+                ),
+                Cadence::BufferedK { k } => {
+                    self.buffered_round(algo, state, round, k, received, registry, &tracer)
                 }
-            } else {
-                let input = RoundInput {
+                Cadence::Async { max_in_flight } => self.async_round(
+                    algo,
+                    state,
                     round,
-                    cfg: &self.cfg,
-                    updates,
-                    views: &self.views,
-                };
-                let train_loss = Some(input.mean_loss() as f64);
-                let before = state.global.clone();
-                let agg_t0 = tracer.now();
-                let log = {
-                    let _g = tracer.span(
-                        "aggregate",
-                        vec![
-                            ("round", Value::U64(round as u64)),
-                            ("updates", Value::U64(input.updates.len() as u64)),
-                        ],
-                    );
-                    algo.aggregate(&mut state.global, &input)
-                };
-                self.observe_phase(registry, "fl.phase.aggregate", agg_t0);
-                if invariants::ENABLED {
-                    invariants::check_finite(&state.global, || {
-                        format!(
-                            "global parameters after {} aggregation (round {round})",
-                            algo.name()
-                        )
-                    });
-                }
-                let update_norm = before
-                    .iter()
-                    .zip(&state.global)
-                    .map(|(a, b)| {
-                        let d = (a - b) as f64;
-                        d * d
-                    })
-                    .sum::<f64>()
-                    .sqrt();
-                if let Some(reg) = registry {
-                    reg.observe("fl.update_norm", &UPDATE_NORM_BOUNDS, update_norm);
-                    if let Some(a) = log.alpha {
-                        reg.gauge_set("fl.alpha", a);
-                        reg.observe("fl.alpha.trajectory", &ALPHA_BOUNDS, a);
-                    }
-                }
-
-                let test_acc = eval_now.then(|| {
-                    self.evaluate_phase(
-                        &mut model,
-                        &state.global,
-                        round,
-                        threads,
-                        registry,
-                        &tracer,
-                    )
-                });
-
-                RoundRecord {
-                    round,
-                    train_loss,
-                    update_norm,
-                    test_acc,
-                    alpha: log.alpha,
-                    dropped_updates,
-                    faults,
-                }
+                    max_in_flight,
+                    received,
+                    registry,
+                    &tracer,
+                ),
             };
-            state.history.records.push(record);
+
+            let test_acc = eval_now.then(|| {
+                self.evaluate_phase(&mut model, &state.global, round, threads, registry, &tracer)
+            });
+            state.history.records.push(RoundRecord {
+                round,
+                train_loss: outcome.train_loss,
+                update_norm: outcome.update_norm,
+                test_acc,
+                alpha: outcome.alpha,
+                aggregations: outcome.aggregations,
+                dropped_updates,
+                faults,
+            });
             if let Some(reg) = registry {
                 reg.counter_add("fl.rounds", 1);
             }
@@ -523,6 +560,318 @@ impl<'a> Simulation<'a> {
         // and checkpoints see it without extra plumbing.
         if let Some(reg) = registry {
             state.history.metrics = reg.snapshot();
+        }
+    }
+
+    /// One round of the synchronous cadence: the classic barrier.
+    /// Applies the quorum rule over **fresh** healthy uploads only, and
+    /// on a skipped round re-queues late-merged uploads (undiscounted,
+    /// staleness bumped) instead of destroying their signal.
+    #[allow(clippy::too_many_arguments)]
+    fn sync_round(
+        &self,
+        algo: &mut dyn FederatedAlgorithm,
+        state: &mut RunState,
+        round: usize,
+        sampled_len: usize,
+        received: Vec<ReceivedUpdate>,
+        faults: &mut RoundFaults,
+        registry: Option<&MetricsRegistry>,
+        tracer: &Tracer,
+    ) -> CadenceOutcome {
+        // Quorum rule: aggregating a sliver of the sampled cohort yields
+        // a biased direction; below quorum the round reuses the previous
+        // momentum (by skipping the update) instead. Only this round's
+        // fresh healthy uploads count toward the numerator — late
+        // arrivals from earlier cohorts can't carry a round past quorum.
+        let fresh_healthy = received.iter().filter(|r| r.staleness == 0).count();
+        let quorum_failed = self.cfg.quorum_frac > 0.0
+            && (fresh_healthy as f64) < self.cfg.quorum_frac * sampled_len as f64;
+        faults.quorum_failed = quorum_failed;
+        if quorum_failed {
+            if let Some(reg) = registry {
+                reg.counter_add("fl.rounds.quorum_failed", 1);
+            }
+        }
+
+        if received.is_empty() || quorum_failed {
+            let train_loss = mean_loss_f64(received.iter().map(|r| &r.update));
+            // The round discards its fresh uploads, but a late-merged
+            // upload is an earlier round's signal that already survived
+            // its straggler delay — re-queue it (original undiscounted
+            // delta, staleness bumped by the extra round it now waits)
+            // and retract this round's late-merge tally for it.
+            for r in received {
+                if r.staleness > 0 {
+                    faults.late_merged -= 1;
+                    faults.late_requeued += 1;
+                    if tracer.enabled() {
+                        tracer.point(
+                            "fault",
+                            vec![
+                                ("round", Value::U64(round as u64)),
+                                ("client", Value::U64(r.update.client as u64)),
+                                ("kind", Value::Str("late_requeue".to_string())),
+                                ("staleness", Value::U64(r.staleness as u64)),
+                            ],
+                        );
+                    }
+                    state.pending.push(PendingUpdate {
+                        arrival_round: round + 1,
+                        staleness: r.staleness + 1,
+                        update: r.update,
+                    });
+                }
+            }
+            if let Some(reg) = registry {
+                reg.counter_add("fl.faults.late_requeued", u64::from(faults.late_requeued));
+            }
+            return CadenceOutcome {
+                train_loss,
+                update_norm: 0.0,
+                alpha: None,
+                aggregations: 0,
+            };
+        }
+
+        let updates: Vec<ClientUpdate> = received.into_iter().map(into_discounted).collect();
+        let input = RoundInput {
+            round,
+            cfg: &self.cfg,
+            updates,
+            views: &self.views,
+        };
+        let train_loss = mean_loss_f64(input.updates.iter());
+        let before = state.global.clone();
+        let agg_t0 = tracer.now();
+        let log = {
+            let _g = tracer.span(
+                "aggregate",
+                vec![
+                    ("round", Value::U64(round as u64)),
+                    ("updates", Value::U64(input.updates.len() as u64)),
+                ],
+            );
+            algo.aggregate(&mut state.global, &input)
+        };
+        self.observe_phase(registry, "fl.phase.aggregate", agg_t0);
+        if invariants::ENABLED {
+            invariants::check_finite(&state.global, || {
+                format!(
+                    "global parameters after {} aggregation (round {round})",
+                    algo.name()
+                )
+            });
+        }
+        let update_norm = update_norm_between(&before, &state.global);
+        if let Some(reg) = registry {
+            reg.observe("fl.update_norm", &UPDATE_NORM_BOUNDS, update_norm);
+            if let Some(a) = log.alpha {
+                reg.gauge_set("fl.alpha", a);
+                reg.observe("fl.alpha.trajectory", &ALPHA_BOUNDS, a);
+            }
+        }
+        CadenceOutcome {
+            train_loss,
+            update_norm,
+            alpha: log.alpha,
+            aggregations: 1,
+        }
+    }
+
+    /// One round of the buffered-K cadence (FedBuff-style): healthy
+    /// received uploads join the aggregation buffer, and the server
+    /// flushes an aggregation for every `k` buffered uploads, oldest
+    /// first, carrying the remainder forward. Each flushed delta is
+    /// discounted by its staleness at flush time.
+    #[allow(clippy::too_many_arguments)]
+    fn buffered_round(
+        &self,
+        algo: &mut dyn FederatedAlgorithm,
+        state: &mut RunState,
+        round: usize,
+        k: usize,
+        received: Vec<ReceivedUpdate>,
+        registry: Option<&MetricsRegistry>,
+        tracer: &Tracer,
+    ) -> CadenceOutcome {
+        for r in received {
+            state.agg_buffer.push(BufferedUpdate {
+                base_round: round - r.staleness,
+                update: r.update,
+            });
+        }
+
+        let before = state.global.clone();
+        let agg_t0 = tracer.now();
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0usize;
+        let mut alpha = None;
+        let mut aggregations = 0u32;
+        while state.agg_buffer.len() >= k {
+            let batch: Vec<BufferedUpdate> = state.agg_buffer.drain(..k).collect();
+            let max_staleness = batch
+                .iter()
+                .map(|b| round - b.base_round)
+                .max()
+                .unwrap_or(0);
+            let _g = tracer.span(
+                "buffer_flush",
+                vec![
+                    ("round", Value::U64(round as u64)),
+                    ("size", Value::U64(k as u64)),
+                    ("max_staleness", Value::U64(max_staleness as u64)),
+                ],
+            );
+            let updates: Vec<ClientUpdate> = batch
+                .into_iter()
+                .map(|b| {
+                    into_discounted(ReceivedUpdate {
+                        staleness: round - b.base_round,
+                        update: b.update,
+                    })
+                })
+                .collect();
+            for u in &updates {
+                loss_sum += f64::from(u.avg_loss);
+            }
+            loss_n += updates.len();
+            let input = RoundInput {
+                round,
+                cfg: &self.cfg,
+                updates,
+                views: &self.views,
+            };
+            let log = algo.aggregate(&mut state.global, &input);
+            if log.alpha.is_some() {
+                alpha = log.alpha;
+            }
+            if invariants::ENABLED {
+                invariants::check_finite(&state.global, || {
+                    format!(
+                        "global parameters after {} buffer flush (round {round})",
+                        algo.name()
+                    )
+                });
+            }
+            aggregations += 1;
+        }
+        if aggregations > 0 {
+            self.observe_phase(registry, "fl.phase.aggregate", agg_t0);
+        }
+        let update_norm = update_norm_between(&before, &state.global);
+        if let Some(reg) = registry {
+            reg.counter_add("fl.cadence.flushes", u64::from(aggregations));
+            reg.gauge_set("fl.cadence.buffered", state.agg_buffer.len() as f64);
+            if aggregations > 0 {
+                reg.observe("fl.update_norm", &UPDATE_NORM_BOUNDS, update_norm);
+                if let Some(a) = alpha {
+                    reg.gauge_set("fl.alpha", a);
+                    reg.observe("fl.alpha.trajectory", &ALPHA_BOUNDS, a);
+                }
+            }
+        }
+        CadenceOutcome {
+            train_loss: (loss_n > 0).then(|| loss_sum / loss_n as f64),
+            update_norm,
+            alpha,
+            aggregations,
+        }
+    }
+
+    /// One round of the fully asynchronous cadence: every buffered
+    /// upload is applied individually — oldest first, up to
+    /// `max_in_flight` per round — weighted by
+    /// `staleness_discount(s) / n` where `n` is the number of uploads
+    /// applied this round. The round's applies therefore sum to a
+    /// staleness-weighted mean, moving the global model on the same
+    /// scale as one synchronous round **regardless of how many uploads
+    /// survived the faults**; the excess stays buffered (and ages)
+    /// until a later round's budget reaches it.
+    #[allow(clippy::too_many_arguments)]
+    fn async_round(
+        &self,
+        algo: &mut dyn FederatedAlgorithm,
+        state: &mut RunState,
+        round: usize,
+        max_in_flight: usize,
+        received: Vec<ReceivedUpdate>,
+        registry: Option<&MetricsRegistry>,
+        tracer: &Tracer,
+    ) -> CadenceOutcome {
+        for r in received {
+            state.agg_buffer.push(BufferedUpdate {
+                base_round: round - r.staleness,
+                update: r.update,
+            });
+        }
+
+        let before = state.global.clone();
+        let agg_t0 = tracer.now();
+        let apply_n = max_in_flight.min(state.agg_buffer.len());
+        let scale = 1.0f32 / apply_n.max(1) as f32;
+        let batch: Vec<BufferedUpdate> = state.agg_buffer.drain(..apply_n).collect();
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0usize;
+        let mut alpha = None;
+        let mut aggregations = 0u32;
+        for b in batch {
+            let staleness = round - b.base_round;
+            let _g = tracer.span(
+                "async_apply",
+                vec![
+                    ("round", Value::U64(round as u64)),
+                    ("client", Value::U64(b.update.client as u64)),
+                    ("staleness", Value::U64(staleness as u64)),
+                ],
+            );
+            let mut u = b.update;
+            let weight = staleness_discount(staleness) * scale;
+            for d in u.delta.iter_mut() {
+                *d *= weight;
+            }
+            loss_sum += f64::from(u.avg_loss);
+            loss_n += 1;
+            let input = RoundInput {
+                round,
+                cfg: &self.cfg,
+                updates: vec![u],
+                views: &self.views,
+            };
+            let log = algo.aggregate(&mut state.global, &input);
+            if log.alpha.is_some() {
+                alpha = log.alpha;
+            }
+            if invariants::ENABLED {
+                invariants::check_finite(&state.global, || {
+                    format!(
+                        "global parameters after {} async apply (round {round})",
+                        algo.name()
+                    )
+                });
+            }
+            aggregations += 1;
+        }
+        if aggregations > 0 {
+            self.observe_phase(registry, "fl.phase.aggregate", agg_t0);
+        }
+        let update_norm = update_norm_between(&before, &state.global);
+        if let Some(reg) = registry {
+            reg.counter_add("fl.cadence.async_applies", u64::from(aggregations));
+            reg.gauge_set("fl.cadence.buffered", state.agg_buffer.len() as f64);
+            if aggregations > 0 {
+                reg.observe("fl.update_norm", &UPDATE_NORM_BOUNDS, update_norm);
+                if let Some(a) = alpha {
+                    reg.gauge_set("fl.alpha", a);
+                    reg.observe("fl.alpha.trajectory", &ALPHA_BOUNDS, a);
+                }
+            }
+        }
+        CadenceOutcome {
+            train_loss: (loss_n > 0).then(|| loss_sum / loss_n as f64),
+            update_norm,
+            alpha,
+            aggregations,
         }
     }
 
@@ -580,8 +929,10 @@ impl<'a> Simulation<'a> {
 
     /// Apply the plan's faults for `round` to the freshly collected
     /// uploads, returning the set the server actually receives this
-    /// round (surviving fresh uploads plus discounted late arrivals, in
-    /// client-id order).
+    /// round (surviving fresh uploads plus late arrivals, in client-id
+    /// order). Deltas are **undiscounted**: each carries its staleness
+    /// and the cadence applies the discount at application time, so a
+    /// skipped round can re-queue a late arrival without signal loss.
     fn apply_faults(
         &self,
         plan: &FaultPlan,
@@ -590,7 +941,7 @@ impl<'a> Simulation<'a> {
         state: &mut RunState,
         faults: &mut RoundFaults,
         tracer: &Tracer,
-    ) -> Vec<ClientUpdate> {
+    ) -> Vec<ReceivedUpdate> {
         let fault_point = |kind: &str, client: usize, detail: Option<(&'static str, u64)>| {
             if tracer.enabled() {
                 let mut fields = vec![
@@ -604,7 +955,11 @@ impl<'a> Simulation<'a> {
                 tracer.point("fault", fields);
             }
         };
-        let mut received: Vec<ClientUpdate> = Vec::with_capacity(updates.len());
+        let mut received: Vec<ReceivedUpdate> = Vec::with_capacity(updates.len());
+        let fresh = |update: ClientUpdate| ReceivedUpdate {
+            staleness: 0,
+            update,
+        };
         for mut u in updates {
             match plan.fault_for(round, u.client) {
                 Some(FaultKind::Dropout) => {
@@ -624,7 +979,7 @@ impl<'a> Simulation<'a> {
                     faults.corruptions += 1;
                     fault_point("corrupt", u.client, None);
                     corrupt_delta(&mut u.delta, kind);
-                    received.push(u);
+                    received.push(fresh(u));
                 }
                 Some(FaultKind::Replay) => {
                     // A stale duplicate of the client's previous upload
@@ -637,16 +992,16 @@ impl<'a> Simulation<'a> {
                     {
                         u.delta = prev.to_vec();
                     }
-                    received.push(u);
+                    received.push(fresh(u));
                 }
-                None => received.push(u),
+                None => received.push(fresh(u)),
             }
         }
 
-        // Merge buffered uploads due this round, each discounted by its
+        // Merge buffered uploads due this round, each tagged with its
         // staleness: a delta computed against an s-round-old global is
-        // still signal, but weaker. Algorithm payloads (`extra`) ride
-        // along undiscounted — they are not step directions.
+        // still signal, but weaker — the cadence discounts it by
+        // `staleness_discount(s)` when it is applied.
         let mut still_pending = Vec::with_capacity(state.pending.len());
         for p in state.pending.drain(..) {
             if p.arrival_round <= round {
@@ -656,12 +1011,10 @@ impl<'a> Simulation<'a> {
                     p.update.client,
                     Some(("staleness", p.staleness as u64)),
                 );
-                let mut u = p.update;
-                let discount = staleness_discount(p.staleness);
-                for d in u.delta.iter_mut() {
-                    *d *= discount;
-                }
-                received.push(u);
+                received.push(ReceivedUpdate {
+                    staleness: p.staleness,
+                    update: p.update,
+                });
             } else {
                 still_pending.push(p);
             }
@@ -671,14 +1024,17 @@ impl<'a> Simulation<'a> {
         // Aggregation sees uploads in client-id order regardless of which
         // path (fresh, corrupted, replayed, late) produced them; the sort
         // is stable, so same-client duplicates keep a deterministic order.
-        received.sort_by_key(|u| u.client);
+        received.sort_by_key(|r| r.update.client);
 
         // The replay cache holds what the server most recently received
         // from each client (only maintained when replays are possible).
+        // A late arrival is cached at its original strength: replaying
+        // it later must not compound the one staleness discount it pays
+        // at application.
         if plan.has_replay() {
-            for u in &received {
-                if let Some(slot) = state.replay_cache.get_mut(u.client) {
-                    *slot = Some(u.delta.clone());
+            for r in &received {
+                if let Some(slot) = state.replay_cache.get_mut(r.update.client) {
+                    *slot = Some(r.update.delta.clone());
                 }
             }
         }
@@ -1100,6 +1456,223 @@ mod tests {
             let bits: Vec<u64> = pc.iter().map(|v| v.to_bits()).collect();
             assert_eq!(bits, gold_bits, "threads={threads}");
         }
+    }
+
+    fn pending_update(client: usize, staleness: usize, delta: Vec<f32>) -> PendingUpdate {
+        PendingUpdate {
+            arrival_round: 0,
+            staleness,
+            update: ClientUpdate {
+                client,
+                delta,
+                num_samples: 10,
+                num_batches: 2,
+                avg_loss: 1.5,
+                extra: None,
+            },
+        }
+    }
+
+    fn bits(xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Regression for the straggler-signal-loss bug: a quorum-failed
+    /// round used to count late merges in `late_merged` and then throw
+    /// the whole updates vec away. It must re-queue the late arrival —
+    /// original undiscounted delta, staleness bumped — instead. Also
+    /// covers the numerator fix: with zero fresh uploads the round must
+    /// fail quorum even though a (stale) upload was received.
+    #[test]
+    fn quorum_failed_round_requeues_late_arrivals() {
+        use fedwcm_faults::FaultConfig;
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 40, 1.0);
+        let ds = spec.generate_train(&counts, 31);
+        let test = spec.generate_test(31);
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 5;
+        cfg.participation = 0.4;
+        cfg.rounds = 4;
+        cfg.eval_every = 10;
+        cfg.quorum_frac = 0.5;
+        let sim = build_sim(&ds, &test, cfg).with_fault_plan(FaultPlan::new(FaultConfig {
+            dropout: 1.0,
+            ..FaultConfig::zero(7)
+        }));
+        let mut algo = TestFedAvg;
+        let mut state = sim.fresh_state(&algo);
+        let delta: Vec<f32> = (0..state.global.len())
+            .map(|i| (i % 7) as f32 * 0.125 - 0.25)
+            .collect();
+        state.pending.push(pending_update(0, 1, delta.clone()));
+
+        sim.drive(&mut algo, &mut state, 1, &mut |_, _| {});
+        let rec = &state.history.records[0];
+        // Pre-fix, the one late merge passed a 0.5 quorum over 2 sampled
+        // clients on its own; fresh uploads now hold the numerator.
+        assert!(rec.faults.quorum_failed, "stale-only round passed quorum");
+        assert_eq!(rec.faults.late_merged, 0, "re-queue must retract the merge");
+        assert_eq!(rec.faults.late_requeued, 1);
+        assert_eq!(rec.update_norm, 0.0);
+        assert_eq!(rec.aggregations, 0);
+        // Skip-branch loss goes through the shared f64 helper.
+        assert_eq!(rec.train_loss, Some(f64::from(1.5f32)));
+        assert_eq!(state.pending.len(), 1, "late signal must not be destroyed");
+        assert_eq!(state.pending[0].arrival_round, 1);
+        assert_eq!(state.pending[0].staleness, 2);
+        assert_eq!(
+            bits(&state.pending[0].update.delta),
+            bits(&delta),
+            "re-queued delta must keep its original (undiscounted) signal"
+        );
+
+        // Next round drops everything again: re-queued once more, with
+        // the staleness bumped a second time.
+        sim.drive(&mut algo, &mut state, 2, &mut |_, _| {});
+        assert_eq!(state.pending.len(), 1);
+        assert_eq!(state.pending[0].staleness, 3);
+        assert_eq!(bits(&state.pending[0].update.delta), bits(&delta));
+        assert_eq!(state.history.records[1].faults.late_requeued, 1);
+    }
+
+    /// Regression for the replay-cache bug: the cache used to store the
+    /// *discounted* delta of a late merge, so a later replay compounded
+    /// the staleness penalty. The cache must hold the upload at its
+    /// original strength.
+    #[test]
+    fn replay_cache_holds_undiscounted_late_delta() {
+        use fedwcm_faults::FaultConfig;
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 40, 1.0);
+        let ds = spec.generate_train(&counts, 32);
+        let test = spec.generate_test(32);
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 5;
+        cfg.participation = 0.4;
+        cfg.rounds = 2;
+        let plan = FaultPlan::new(FaultConfig {
+            replay: 0.3,
+            ..FaultConfig::zero(9)
+        });
+        let sim = build_sim(&ds, &test, cfg).with_fault_plan(plan.clone());
+        let algo = TestFedAvg;
+        let mut state = sim.fresh_state(&algo);
+        assert_eq!(state.replay_cache.len(), 5, "replay plan maintains a cache");
+        let delta: Vec<f32> = (0..state.global.len()).map(|i| 0.5 + i as f32).collect();
+        state.pending.push(pending_update(3, 2, delta.clone()));
+
+        let mut faults = RoundFaults::default();
+        let tracer = Tracer::disabled();
+        let received = sim.apply_faults(&plan, 0, Vec::new(), &mut state, &mut faults, &tracer);
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].staleness, 2);
+        assert_eq!(faults.late_merged, 1);
+        assert_eq!(
+            bits(&received[0].update.delta),
+            bits(&delta),
+            "received delta is undiscounted until application"
+        );
+        let cached = state.replay_cache[3].as_ref().expect("late merge cached");
+        assert_eq!(
+            bits(cached),
+            bits(&delta),
+            "cache must hold the pre-discount delta"
+        );
+    }
+
+    /// FedAvg variant that records every `RoundInput` it aggregates, so
+    /// tests can inspect exactly what the engine fed it.
+    struct SpyAvg {
+        captured: Vec<Vec<ClientUpdate>>,
+    }
+
+    impl FederatedAlgorithm for SpyAvg {
+        fn name(&self) -> String {
+            "spy-avg".into()
+        }
+
+        fn local_train(&self, env: &ClientEnv<'_>, global: &[f32]) -> ClientUpdate {
+            let spec = LocalSgdSpec {
+                loss: &CrossEntropy,
+                balanced_sampler: false,
+                lr: env.cfg.local_lr,
+                epochs: env.cfg.local_epochs,
+            };
+            run_local_sgd(env, global, &spec, |_, _, _| {})
+        }
+
+        fn aggregate(&mut self, global: &mut [f32], input: &RoundInput<'_>) -> RoundLog {
+            self.captured.push(input.updates.clone());
+            let mut dir = vec![0.0f32; global.len()];
+            uniform_average(&input.updates, &mut dir);
+            server_step(global, &dir, input.cfg, input.mean_batches());
+            RoundLog::default()
+        }
+    }
+
+    /// A late-merged upload reaching aggregation must carry exactly one
+    /// staleness discount — applied at application time, not at merge.
+    #[test]
+    fn late_merge_applies_exactly_one_discount() {
+        let spec = DatasetPreset::FashionMnist.spec();
+        let counts = longtail_counts(10, 40, 1.0);
+        let ds = spec.generate_train(&counts, 33);
+        let test = spec.generate_test(33);
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 5;
+        cfg.participation = 0.4;
+        cfg.rounds = 2;
+        // A zero-rate plan schedules nothing but keeps the straggler
+        // buffer live, so the seeded pending entry merges in round 0.
+        let sim = build_sim(&ds, &test, cfg).with_fault_plan(FaultPlan::zero(1));
+        let sampled = sim.sampled_clients(0);
+        let late_client = (0..5).find(|c| !sampled.contains(c)).expect("free id");
+        let mut algo = SpyAvg {
+            captured: Vec::new(),
+        };
+        let mut state = sim.fresh_state(&algo);
+        let delta: Vec<f32> = (0..state.global.len())
+            .map(|i| (i as f32 * 0.01).sin())
+            .collect();
+        state
+            .pending
+            .push(pending_update(late_client, 3, delta.clone()));
+
+        sim.drive(&mut algo, &mut state, 1, &mut |_, _| {});
+        assert_eq!(algo.captured.len(), 1);
+        let late = algo.captured[0]
+            .iter()
+            .find(|u| u.client == late_client)
+            .expect("late upload aggregated");
+        let expected: Vec<f32> = delta.iter().map(|d| d * staleness_discount(3)).collect();
+        assert_eq!(
+            bits(&late.delta),
+            bits(&expected),
+            "exactly one staleness discount at application"
+        );
+        assert_eq!(state.history.records[0].faults.late_merged, 1);
+        assert_eq!(state.history.records[0].aggregations, 1);
+    }
+
+    /// The shared loss helper accumulates in f64 — both engine branches
+    /// (skip and aggregate) report through it, so their bits agree.
+    #[test]
+    fn mean_loss_helper_accumulates_in_f64() {
+        let upd = |avg_loss: f32| ClientUpdate {
+            client: 0,
+            delta: Vec::new(),
+            num_samples: 1,
+            num_batches: 1,
+            avg_loss,
+            extra: None,
+        };
+        let losses = [0.1f32, 0.2, 0.3, 7.7];
+        let us: Vec<ClientUpdate> = losses.iter().map(|&l| upd(l)).collect();
+        let expected = losses.iter().map(|&l| f64::from(l)).sum::<f64>() / losses.len() as f64;
+        let got = mean_loss_f64(us.iter()).expect("non-empty");
+        assert_eq!(got.to_bits(), expected.to_bits());
+        assert_eq!(mean_loss_f64([].iter()), None);
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! server step is `x ← x − η_g · η_l · B̄ · Δ`, which for `η_g = 1` and
 //! uniform weights recovers exact model averaging (FedAvg).
 //!
-//! Modules: [`config`], [`client`] (local-training helpers),
+//! Modules: [`config`], [`cadence`] (when the server aggregates),
+//! [`client`] (local-training helpers),
 //! [`algorithm`] (the [`algorithm::FederatedAlgorithm`] trait),
 //! [`engine`] (the round loop), [`checkpoint`] (crash/resume snapshots),
 //! [`metrics`] (histories and resilience reports), and
@@ -32,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod cadence;
 pub mod checkpoint;
 pub mod client;
 pub mod comms;
@@ -41,6 +43,7 @@ pub mod metrics;
 pub mod quadratic;
 
 pub use algorithm::{FederatedAlgorithm, RoundInput, RoundLog, StateError};
+pub use cadence::Cadence;
 pub use checkpoint::{CheckpointError, ServerCheckpoint};
 pub use client::{ClientEnv, ClientUpdate, LocalSgdSpec};
 pub use config::FlConfig;

@@ -13,6 +13,13 @@ pub struct RoundFaults {
     /// Buffered late uploads merged into this round (with their
     /// staleness discount applied).
     pub late_merged: u32,
+    /// Late uploads that arrived on a round which skipped aggregation
+    /// (empty or quorum-failed) and were re-queued — undiscounted, with
+    /// their staleness bumped — instead of being discarded. Each
+    /// re-queue also retracts the round's `late_merged` count for that
+    /// upload, so a given arrival is tallied as merged *or* re-queued,
+    /// never both.
+    pub late_requeued: u32,
     /// Uploads corrupted in transit this round.
     pub corruptions: u32,
     /// Uploads replaced by a stale replayed duplicate this round.
@@ -44,6 +51,10 @@ pub struct RoundRecord {
     pub test_acc: Option<f64>,
     /// Momentum value α used (momentum methods only).
     pub alpha: Option<f64>,
+    /// Aggregation events applied to the global model this round: 0 or 1
+    /// under the sync cadence, one per buffer flush under buffered-K, and
+    /// one per individual staleness-weighted apply under async.
+    pub aggregations: u32,
     /// Client updates discarded this round by the containment filter
     /// (non-finite values or a norm past `max_update_norm`; see `engine`).
     pub dropped_updates: usize,
@@ -132,6 +143,7 @@ impl History {
             totals.dropouts += r.faults.dropouts;
             totals.stragglers += r.faults.stragglers;
             totals.late_merged += r.faults.late_merged;
+            totals.late_requeued += r.faults.late_requeued;
             totals.corruptions += r.faults.corruptions;
             totals.replays += r.faults.replays;
             if r.faults.quorum_failed {
@@ -195,10 +207,11 @@ impl core::fmt::Display for ResilienceReport {
         writeln!(f, "resilience report over {} rounds", self.rounds)?;
         writeln!(
             f,
-            "  injected: {} dropouts, {} stragglers ({} merged late), {} corruptions, {} replays",
+            "  injected: {} dropouts, {} stragglers ({} merged late, {} re-queued), {} corruptions, {} replays",
             self.totals.dropouts,
             self.totals.stragglers,
             self.totals.late_merged,
+            self.totals.late_requeued,
             self.totals.corruptions,
             self.totals.replays
         )?;
@@ -228,6 +241,7 @@ mod tests {
                 update_norm: 0.5,
                 test_acc: Some(acc),
                 alpha: None,
+                aggregations: 1,
                 dropped_updates: 0,
                 faults: RoundFaults::default(),
             });
@@ -267,6 +281,7 @@ mod tests {
             update_norm: 0.1,
             test_acc: None,
             alpha: None,
+            aggregations: 1,
             dropped_updates: 0,
             faults: RoundFaults::default(),
         });
@@ -287,6 +302,7 @@ mod tests {
             update_norm: 0.0,
             test_acc: None,
             alpha: None,
+            aggregations: 0,
             dropped_updates: 1,
             faults: RoundFaults::default(),
         });
@@ -303,6 +319,7 @@ mod tests {
             dropouts: 2,
             stragglers: 1,
             late_merged: 0,
+            late_requeued: 1,
             corruptions: 1,
             replays: 0,
             quorum_failed: true,
@@ -311,6 +328,7 @@ mod tests {
             dropouts: 1,
             stragglers: 0,
             late_merged: 1,
+            late_requeued: 0,
             corruptions: 0,
             replays: 1,
             quorum_failed: false,
@@ -321,6 +339,7 @@ mod tests {
         assert_eq!(rep.totals.dropouts, 3);
         assert_eq!(rep.totals.stragglers, 1);
         assert_eq!(rep.totals.late_merged, 1);
+        assert_eq!(rep.totals.late_requeued, 1);
         assert_eq!(rep.totals.corruptions, 1);
         assert_eq!(rep.totals.replays, 1);
         assert_eq!(rep.totals.injected(), 6);

@@ -1039,3 +1039,51 @@ fn workspace_findings_are_byte_stable_across_runs() {
         |r: &fedwcm_lint::LintRun| r.diags.iter().map(|d| d.to_string()).collect::<Vec<_>>();
     assert_eq!(render(&a), render(&b));
 }
+
+#[test]
+fn cadence_event_loop_files_are_not_blessed() {
+    // The event-driven cadence core must live under the full
+    // determinism gates: no file of it may ever land on the env/time
+    // blessed lists, which would let wall-clock or environment reads
+    // creep into the aggregation path unnoticed.
+    use fedwcm_lint::engine::{ENV_BLESSED_FILES, TIME_BLESSED_FILES};
+    for f in [
+        "crates/fl/src/engine.rs",
+        "crates/fl/src/cadence.rs",
+        "crates/fl/src/checkpoint.rs",
+    ] {
+        assert!(
+            !ENV_BLESSED_FILES.contains(&f),
+            "{f} must not be env-blessed"
+        );
+        assert!(
+            !TIME_BLESSED_FILES.contains(&f),
+            "{f} must not be time-blessed"
+        );
+    }
+
+    // And the real files pass the determinism family outright: no
+    // std::time, no environment reads, no iteration-order-dependent
+    // collections, no ad-hoc thread counts.
+    let root = workspace_root();
+    let cfg = LintConfig::only([
+        "determinism-collections",
+        "determinism-time",
+        "determinism-std-time",
+        "determinism-env",
+        "determinism-threads",
+    ])
+    .expect("known rules");
+    for f in ["crates/fl/src/engine.rs", "crates/fl/src/cadence.rs"] {
+        let src = std::fs::read_to_string(root.join(f)).expect("source readable");
+        let d = lint_file(f, &src, &cfg);
+        assert!(
+            d.is_empty(),
+            "{f} has determinism findings:\n{}",
+            d.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

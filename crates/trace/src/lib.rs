@@ -28,9 +28,11 @@
 //!
 //! # Span taxonomy
 //!
-//! `round`, `client_update`, `local_epoch`, `aggregate`, `evaluate`,
-//! `checkpoint`, `fault_inject` — see DESIGN.md §11 for the field
-//! contract of each.
+//! `round`, `client_update`, `local_epoch`, `aggregate`,
+//! `buffer_flush`, `async_apply`, `evaluate`, `checkpoint`,
+//! `fault_inject` — see DESIGN.md §11 for the field contract of each
+//! (`buffer_flush` and `async_apply` are the buffered-K and async
+//! cadences' aggregation spans; DESIGN.md §12).
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,81 @@
+//! Cadence determinism probe for CI.
+//!
+//! Runs the same small federated task under all three aggregation
+//! cadences — synchronous, buffered-K, and fully asynchronous — with
+//! `cfg.threads = 0` (the `FEDWCM_THREADS` env var decides the worker
+//! count) and a fault plan that exercises stragglers, so the buffered
+//! and async paths see genuine staleness. Every round metric is printed
+//! at full bit precision. CI runs this twice — `FEDWCM_THREADS=1` and
+//! `FEDWCM_THREADS=4` — and diffs the output: any byte of difference
+//! means one of the cadence paths stopped being bitwise deterministic.
+//!
+//! The buffered threshold (2) is deliberately below the 3-client cohort
+//! and the async window (2) deliberately below the arrival rate, so
+//! both paths genuinely buffer across rounds instead of degenerating
+//! into the synchronous barrier.
+
+use fedwcm_algos::fedavg::FedAvg;
+use fedwcm_data::longtail::longtail_counts;
+use fedwcm_data::partition::paper_partition;
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_faults::{FaultConfig, FaultPlan};
+use fedwcm_fl::{Cadence, FlConfig, Simulation};
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::Xoshiro256pp;
+
+fn main() {
+    let spec = DatasetPreset::FashionMnist.spec();
+    let counts = longtail_counts(10, 40, 0.5);
+    let train = spec.generate_train(&counts, 31);
+    let test = spec.generate_test(31);
+
+    for cadence in [
+        Cadence::Sync,
+        Cadence::BufferedK { k: 2 },
+        Cadence::Async { max_in_flight: 2 },
+    ] {
+        let mut cfg = FlConfig::default_sim();
+        cfg.clients = 6;
+        cfg.participation = 0.5;
+        cfg.rounds = 5;
+        cfg.eval_every = 2;
+        cfg.threads = 0; // defer to FEDWCM_THREADS
+        cfg.cadence = cadence;
+
+        let part = paper_partition(&train, cfg.clients, 0.5, cfg.seed);
+        let views = part.views(&train);
+        let sim = Simulation::new(
+            cfg,
+            &train,
+            &test,
+            views,
+            Box::new(|| {
+                let mut rng = Xoshiro256pp::seed_from(1234);
+                mlp(64, &[32], 10, &mut rng)
+            }),
+        )
+        .with_fault_plan(FaultPlan::new(FaultConfig {
+            dropout: 0.15,
+            straggler: 0.25,
+            max_delay: 2,
+            ..FaultConfig::zero(0xCAD)
+        }));
+
+        let history = sim.run(&mut FedAvg::new());
+        for r in &history.records {
+            println!(
+                "cadence={} round={} aggs={} loss_bits={} norm_bits={:#018x} acc_bits={}",
+                cadence.label(),
+                r.round,
+                r.aggregations,
+                r.train_loss
+                    .map(|l| format!("{:#018x}", l.to_bits()))
+                    .unwrap_or_else(|| "-".into()),
+                r.update_norm.to_bits(),
+                r.test_acc
+                    .map(|a| format!("{:#018x}", a.to_bits()))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+}

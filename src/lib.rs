@@ -56,7 +56,9 @@ pub mod prelude {
     pub use fedwcm_data::synth::DatasetPreset;
     pub use fedwcm_data::Dataset;
     pub use fedwcm_faults::{FaultConfig, FaultPlan};
-    pub use fedwcm_fl::{FederatedAlgorithm, FlConfig, History, ServerCheckpoint, Simulation};
+    pub use fedwcm_fl::{
+        Cadence, FederatedAlgorithm, FlConfig, History, ServerCheckpoint, Simulation,
+    };
     pub use fedwcm_longtail::{BalanceFl, FedGrab};
     pub use fedwcm_stats::{Rng, Xoshiro256pp};
     pub use fedwcm_tensor::Tensor;

@@ -78,6 +78,41 @@ fn fedwcm_converges_under_dropout_and_stragglers() {
     assert_eq!(clean_report.quorum_failures, 0);
 }
 
+/// The same chaos acceptance bar, under the buffered-K and fully-async
+/// cadences: FedWCM must still land within 5 points of the fault-free
+/// synchronous baseline despite 30% dropout and 10% stragglers. `k` is
+/// sized below the post-dropout arrival rate (~2.8 healthy uploads per
+/// round) so the buffer keeps flushing; the async window covers the
+/// whole 4-client cohort.
+#[test]
+fn buffered_and_async_cadences_survive_chaos() {
+    let (train, test, cfg) = cifar_task(2004);
+    let clean = sim(&train, &test, &cfg).run(&mut FedWcm::new());
+    let clean_acc = clean.final_accuracy(2);
+
+    for cadence in [
+        Cadence::BufferedK { k: 2 },
+        Cadence::Async { max_in_flight: 4 },
+    ] {
+        let mut c = cfg.clone();
+        c.cadence = cadence;
+        let chaotic = sim(&train, &test, &c)
+            .with_fault_plan(chaos_plan(0xC0A7))
+            .run(&mut FedWcm::new());
+        let acc = chaotic.final_accuracy(2);
+        assert!(
+            acc > clean_acc - 0.05,
+            "{} chaos run collapsed: {acc:.4} vs fault-free sync {clean_acc:.4}",
+            cadence.label()
+        );
+        assert!(
+            chaotic.records.iter().map(|r| r.aggregations).sum::<u32>() > 0,
+            "{} never aggregated",
+            cadence.label()
+        );
+    }
+}
+
 #[test]
 fn fedwcm_crash_resume_matches_uninterrupted_run() {
     let (train, test, mut cfg) = cifar_task(2002);
