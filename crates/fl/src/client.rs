@@ -13,7 +13,7 @@ use fedwcm_data::sampler::{BalanceSampler, BatchSampler};
 use fedwcm_nn::loss::Loss;
 use fedwcm_nn::model::Model;
 use fedwcm_stats::rng::Xoshiro256pp;
-use fedwcm_trace::{local, Value};
+use fedwcm_trace::{local, names, Value};
 
 /// Stream label for per-client sampling RNGs.
 const STREAM_LOCAL: u64 = 0xC11E;
@@ -123,7 +123,7 @@ pub fn run_local_sgd(
         |next_batch: &mut dyn FnMut() -> Vec<usize>, model: &mut Model, loss_acc: &mut f64| {
             for epoch in 0..spec.epochs {
                 let _span = local::span(
-                    "local_epoch",
+                    names::LOCAL_EPOCH,
                     vec![
                         ("client", Value::U64(env.id as u64)),
                         ("epoch", Value::U64(epoch as u64)),

@@ -13,7 +13,7 @@ use fedwcm_nn::model::Model;
 use fedwcm_parallel::{chunk_ranges, parallel_map, with_intra_threads, ThreadBudget};
 use fedwcm_stats::rng::{Rng, Xoshiro256pp};
 use fedwcm_tensor::invariants;
-use fedwcm_trace::{local, MetricsRegistry, SpanBuffer, Tracer, Value};
+use fedwcm_trace::{local, names, MetricsRegistry, SpanBuffer, Tracer, Value};
 use std::sync::Arc;
 
 /// Stream label for per-round client sampling.
@@ -285,7 +285,7 @@ impl<'a> Simulation<'a> {
         let stop = stop_round.min(self.cfg.rounds);
         self.drive(algo, &mut state, stop, &mut |_, _| {});
         let _g = self.obs.tracer.span(
-            "checkpoint",
+            names::CHECKPOINT,
             vec![("round", Value::U64(state.next_round as u64))],
         );
         ServerCheckpoint::capture(self, algo, &state)
@@ -354,7 +354,7 @@ impl<'a> Simulation<'a> {
             let sampled = self.sampled_clients(round);
             let round_t0 = tracer.now();
             let round_span = tracer.span(
-                "round",
+                names::ROUND,
                 vec![
                     ("round", Value::U64(round as u64)),
                     ("sampled", Value::U64(sampled.len() as u64)),
@@ -407,7 +407,7 @@ impl<'a> Simulation<'a> {
             for (update, events) in results {
                 if traced {
                     let _g = tracer.span(
-                        "client_update",
+                        names::CLIENT_UPDATE,
                         vec![
                             ("round", Value::U64(round as u64)),
                             ("client", Value::U64(update.client as u64)),
@@ -419,15 +419,15 @@ impl<'a> Simulation<'a> {
                 }
                 updates.push(update);
             }
-            self.observe_phase(registry, "fl.phase.local_train", local_t0);
+            self.observe_phase(registry, names::FL_PHASE_LOCAL_TRAIN, local_t0);
             if let Some(reg) = registry {
                 let up: u64 = updates
                     .iter()
                     .map(|u| 4 * (u.delta.len() + u.extra.as_ref().map_or(0, Vec::len)) as u64)
                     .sum();
-                reg.counter_add("fl.bytes.up", up);
+                reg.counter_add(names::FL_BYTES_UP, up);
                 reg.counter_add(
-                    "fl.bytes.down",
+                    names::FL_BYTES_DOWN,
                     4 * (sampled.len() * state.global.len()) as u64,
                 );
             }
@@ -464,7 +464,10 @@ impl<'a> Simulation<'a> {
             // applies them.
             let mut faults = RoundFaults::default();
             let mut received: Vec<ReceivedUpdate> = if let Some(plan) = &self.fault_plan {
-                let _g = tracer.span("fault_inject", vec![("round", Value::U64(round as u64))]);
+                let _g = tracer.span(
+                    names::FAULT_INJECT,
+                    vec![("round", Value::U64(round as u64))],
+                );
                 self.apply_faults(plan, round, updates, state, &mut faults, &tracer)
             } else {
                 updates
@@ -476,11 +479,11 @@ impl<'a> Simulation<'a> {
                     .collect()
             };
             if let Some(reg) = registry {
-                reg.counter_add("fl.faults.dropouts", u64::from(faults.dropouts));
-                reg.counter_add("fl.faults.stragglers", u64::from(faults.stragglers));
-                reg.counter_add("fl.faults.late_merged", u64::from(faults.late_merged));
-                reg.counter_add("fl.faults.corruptions", u64::from(faults.corruptions));
-                reg.counter_add("fl.faults.replays", u64::from(faults.replays));
+                reg.counter_add(names::FL_FAULTS_DROPOUTS, u64::from(faults.dropouts));
+                reg.counter_add(names::FL_FAULTS_STRAGGLERS, u64::from(faults.stragglers));
+                reg.counter_add(names::FL_FAULTS_LATE_MERGED, u64::from(faults.late_merged));
+                reg.counter_add(names::FL_FAULTS_CORRUPTIONS, u64::from(faults.corruptions));
+                reg.counter_add(names::FL_FAULTS_REPLAYS, u64::from(faults.replays));
             }
 
             // Failure containment: a delta that arrived non-finite (or
@@ -496,8 +499,8 @@ impl<'a> Simulation<'a> {
             });
             let dropped_updates = before_filter - received.len();
             if let Some(reg) = registry {
-                reg.counter_add("fl.updates.received", before_filter as u64);
-                reg.counter_add("fl.updates.dropped", dropped_updates as u64);
+                reg.counter_add(names::FL_UPDATES_RECEIVED, before_filter as u64);
+                reg.counter_add(names::FL_UPDATES_DROPPED, dropped_updates as u64);
             }
 
             // Evaluation cadence is a property of the round number alone:
@@ -548,11 +551,11 @@ impl<'a> Simulation<'a> {
                 faults,
             });
             if let Some(reg) = registry {
-                reg.counter_add("fl.rounds", 1);
+                reg.counter_add(names::FL_ROUNDS, 1);
             }
             observer(round, &state.global);
             drop(round_span);
-            self.observe_phase(registry, "fl.round_ticks", round_t0);
+            self.observe_phase(registry, names::FL_ROUND_TICKS, round_t0);
             state.next_round = round + 1;
         }
 
@@ -590,7 +593,7 @@ impl<'a> Simulation<'a> {
         faults.quorum_failed = quorum_failed;
         if quorum_failed {
             if let Some(reg) = registry {
-                reg.counter_add("fl.rounds.quorum_failed", 1);
+                reg.counter_add(names::FL_ROUNDS_QUORUM_FAILED, 1);
             }
         }
 
@@ -607,7 +610,7 @@ impl<'a> Simulation<'a> {
                     faults.late_requeued += 1;
                     if tracer.enabled() {
                         tracer.point(
-                            "fault",
+                            names::FAULT,
                             vec![
                                 ("round", Value::U64(round as u64)),
                                 ("client", Value::U64(r.update.client as u64)),
@@ -624,7 +627,10 @@ impl<'a> Simulation<'a> {
                 }
             }
             if let Some(reg) = registry {
-                reg.counter_add("fl.faults.late_requeued", u64::from(faults.late_requeued));
+                reg.counter_add(
+                    names::FL_FAULTS_LATE_REQUEUED,
+                    u64::from(faults.late_requeued),
+                );
             }
             return CadenceOutcome {
                 train_loss,
@@ -646,7 +652,7 @@ impl<'a> Simulation<'a> {
         let agg_t0 = tracer.now();
         let log = {
             let _g = tracer.span(
-                "aggregate",
+                names::AGGREGATE,
                 vec![
                     ("round", Value::U64(round as u64)),
                     ("updates", Value::U64(input.updates.len() as u64)),
@@ -654,7 +660,7 @@ impl<'a> Simulation<'a> {
             );
             algo.aggregate(&mut state.global, &input)
         };
-        self.observe_phase(registry, "fl.phase.aggregate", agg_t0);
+        self.observe_phase(registry, names::FL_PHASE_AGGREGATE, agg_t0);
         if invariants::ENABLED {
             invariants::check_finite(&state.global, || {
                 format!(
@@ -665,10 +671,10 @@ impl<'a> Simulation<'a> {
         }
         let update_norm = update_norm_between(&before, &state.global);
         if let Some(reg) = registry {
-            reg.observe("fl.update_norm", &UPDATE_NORM_BOUNDS, update_norm);
+            reg.observe(names::FL_UPDATE_NORM, &UPDATE_NORM_BOUNDS, update_norm);
             if let Some(a) = log.alpha {
-                reg.gauge_set("fl.alpha", a);
-                reg.observe("fl.alpha.trajectory", &ALPHA_BOUNDS, a);
+                reg.gauge_set(names::FL_ALPHA, a);
+                reg.observe(names::FL_ALPHA_TRAJECTORY, &ALPHA_BOUNDS, a);
             }
         }
         CadenceOutcome {
@@ -716,7 +722,7 @@ impl<'a> Simulation<'a> {
                 .max()
                 .unwrap_or(0);
             let _g = tracer.span(
-                "buffer_flush",
+                names::BUFFER_FLUSH,
                 vec![
                     ("round", Value::U64(round as u64)),
                     ("size", Value::U64(k as u64)),
@@ -757,17 +763,17 @@ impl<'a> Simulation<'a> {
             aggregations += 1;
         }
         if aggregations > 0 {
-            self.observe_phase(registry, "fl.phase.aggregate", agg_t0);
+            self.observe_phase(registry, names::FL_PHASE_AGGREGATE, agg_t0);
         }
         let update_norm = update_norm_between(&before, &state.global);
         if let Some(reg) = registry {
-            reg.counter_add("fl.cadence.flushes", u64::from(aggregations));
-            reg.gauge_set("fl.cadence.buffered", state.agg_buffer.len() as f64);
+            reg.counter_add(names::FL_CADENCE_FLUSHES, u64::from(aggregations));
+            reg.gauge_set(names::FL_CADENCE_BUFFERED, state.agg_buffer.len() as f64);
             if aggregations > 0 {
-                reg.observe("fl.update_norm", &UPDATE_NORM_BOUNDS, update_norm);
+                reg.observe(names::FL_UPDATE_NORM, &UPDATE_NORM_BOUNDS, update_norm);
                 if let Some(a) = alpha {
-                    reg.gauge_set("fl.alpha", a);
-                    reg.observe("fl.alpha.trajectory", &ALPHA_BOUNDS, a);
+                    reg.gauge_set(names::FL_ALPHA, a);
+                    reg.observe(names::FL_ALPHA_TRAJECTORY, &ALPHA_BOUNDS, a);
                 }
             }
         }
@@ -818,7 +824,7 @@ impl<'a> Simulation<'a> {
         for b in batch {
             let staleness = round - b.base_round;
             let _g = tracer.span(
-                "async_apply",
+                names::ASYNC_APPLY,
                 vec![
                     ("round", Value::U64(round as u64)),
                     ("client", Value::U64(b.update.client as u64)),
@@ -853,17 +859,17 @@ impl<'a> Simulation<'a> {
             aggregations += 1;
         }
         if aggregations > 0 {
-            self.observe_phase(registry, "fl.phase.aggregate", agg_t0);
+            self.observe_phase(registry, names::FL_PHASE_AGGREGATE, agg_t0);
         }
         let update_norm = update_norm_between(&before, &state.global);
         if let Some(reg) = registry {
-            reg.counter_add("fl.cadence.async_applies", u64::from(aggregations));
-            reg.gauge_set("fl.cadence.buffered", state.agg_buffer.len() as f64);
+            reg.counter_add(names::FL_CADENCE_ASYNC_APPLIES, u64::from(aggregations));
+            reg.gauge_set(names::FL_CADENCE_BUFFERED, state.agg_buffer.len() as f64);
             if aggregations > 0 {
-                reg.observe("fl.update_norm", &UPDATE_NORM_BOUNDS, update_norm);
+                reg.observe(names::FL_UPDATE_NORM, &UPDATE_NORM_BOUNDS, update_norm);
                 if let Some(a) = alpha {
-                    reg.gauge_set("fl.alpha", a);
-                    reg.observe("fl.alpha.trajectory", &ALPHA_BOUNDS, a);
+                    reg.gauge_set(names::FL_ALPHA, a);
+                    reg.observe(names::FL_ALPHA_TRAJECTORY, &ALPHA_BOUNDS, a);
                 }
             }
         }
@@ -902,28 +908,28 @@ impl<'a> Simulation<'a> {
     ) -> f64 {
         let t0 = tracer.now();
         let acc = {
-            let _g = tracer.span("evaluate", vec![("round", Value::U64(round as u64))]);
+            let _g = tracer.span(names::EVALUATE, vec![("round", Value::U64(round as u64))]);
             model.set_params(global);
             let acc = evaluate_accuracy_threads(model, self.test, threads);
             if let Some(reg) = registry {
-                reg.gauge_set("fl.acc.overall", acc);
+                reg.gauge_set(names::FL_ACC_OVERALL, acc);
                 let pc = per_class_accuracy_threads(model, self.test, threads);
                 let tail_len = pc.len() / 3;
                 let tail_from = pc.len() - tail_len;
                 let mut tail_sum = 0.0;
                 for (c, &a) in pc.iter().enumerate() {
-                    reg.gauge_set(&format!("fl.acc.class.{c:02}"), a);
+                    reg.gauge_set(&format!("{}{c:02}", names::FL_ACC_CLASS_PREFIX), a);
                     if c >= tail_from {
                         tail_sum += a;
                     }
                 }
                 if tail_len > 0 {
-                    reg.gauge_set("fl.acc.tail", tail_sum / tail_len as f64);
+                    reg.gauge_set(names::FL_ACC_TAIL, tail_sum / tail_len as f64);
                 }
             }
             acc
         };
-        self.observe_phase(registry, "fl.phase.evaluate", t0);
+        self.observe_phase(registry, names::FL_PHASE_EVALUATE, t0);
         acc
     }
 
@@ -952,7 +958,7 @@ impl<'a> Simulation<'a> {
                 if let Some((k, v)) = detail {
                     fields.push((k, Value::U64(v)));
                 }
-                tracer.point("fault", fields);
+                tracer.point(names::FAULT, fields);
             }
         };
         let mut received: Vec<ReceivedUpdate> = Vec::with_capacity(updates.len());

@@ -200,6 +200,10 @@ pub enum Expr {
     Loop {
         /// Iterated (`for`) or condition (`while`) expression.
         head: Option<Box<Expr>>,
+        /// The `for` pattern's binding name when it is a plain
+        /// identifier (`for d in …` → `d`, `for mut x in …` → `x`);
+        /// `None` for `while`/`loop` and destructuring patterns.
+        binding: Option<String>,
         /// Loop body.
         body: Block,
         /// 1-based line.
@@ -445,6 +449,16 @@ impl TypeEnv {
             Expr::Cast { ty, .. } => Some(ty.clone()),
             Expr::Path { segs, .. } if segs.len() == 1 => self.get(&segs[0]).map(str::to_string),
             Expr::MethodCall { method, .. } if method == "len" => Some("usize".to_string()),
+            // `Ty::new(…)` names its own type — enough to recognise
+            // `let mut r = ByteReader::new(body)` receivers.
+            Expr::Call { callee, .. } => match &**callee {
+                Expr::Path { segs, .. }
+                    if segs.len() >= 2 && segs.last().is_some_and(|s| s == "new") =>
+                {
+                    Some(segs[segs.len() - 2].clone())
+                }
+                _ => None,
+            },
             Expr::Unary {
                 op: '*' | '-',
                 expr,

@@ -1,0 +1,280 @@
+//! A small forward-dataflow framework over the mini-AST, plus the
+//! interprocedural summary fixpoint the v3 protocol-conformance rules
+//! share.
+//!
+//! # Shape
+//!
+//! * [`JoinLattice`] — the abstract-state contract: states are joined
+//!   at control-flow merges and the join reports whether anything grew,
+//!   which is what lets loops run to a (bounded) fixpoint.
+//! * [`ForwardSemantics`] + [`run_block`] — a structural interpreter
+//!   over [`Block`]s: statements run in source order, `if`/`match`
+//!   branches fork a clone of the state and join afterwards, and loops
+//!   iterate their body until the state stops changing (bounded by
+//!   [`LOOP_FIXPOINT_BOUND`] as a backstop). The client supplies the
+//!   transfer function for atomic statements and may claim a whole loop
+//!   as one atomic effect (e.g. "multiply every delta element by the
+//!   discount" is *one* discount application, not zero-or-more).
+//! * [`summary_fixpoint`] — a generic bottom-up interprocedural
+//!   fixpoint over the [`CallGraph`]: per-function summaries are
+//!   recomputed from their callees' current summaries until stable
+//!   (bounded by [`SUMMARY_FIXPOINT_BOUND`]).
+//!
+//! # Soundness direction
+//!
+//! The framework inherits the call graph's bias: edges are
+//! **under-approximated** (ambiguous names resolve to nothing), while
+//! per-function states **over-approximate** (joins keep every branch's
+//! possibility). Rules built here therefore miss flows hidden behind
+//! ambiguous calls rather than inventing them — the same contract as
+//! the v2 families — and findings about a value's state ("may reach the
+//! sink undiscounted") cover every path the analysis can see.
+
+use crate::ast::{Block, Expr, Stmt};
+use crate::callgraph::{CallGraph, FnId};
+
+/// Backstop on loop-body reinterpretations. Real states here are small
+/// finite sets, so fixpoints land in two or three rounds; the bound
+/// only matters for a pathological lattice that keeps growing.
+pub const LOOP_FIXPOINT_BOUND: usize = 8;
+
+/// Backstop on whole-workspace summary recomputation rounds.
+pub const SUMMARY_FIXPOINT_BOUND: usize = 12;
+
+/// An abstract state with a join: the merge applied where control flow
+/// meets (after `if`/`match`, around loop back-edges).
+pub trait JoinLattice: Clone {
+    /// Merge `other` into `self`; return `true` when `self` changed.
+    /// Must be monotone: joining never removes information.
+    fn join_from(&mut self, other: &Self) -> bool;
+}
+
+/// How to treat an `if`'s branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchChoice {
+    /// Fork the state, run both branches, join the results (default).
+    Join,
+    /// Run only the then-branch as if unconditional. Used when the
+    /// guard itself proves the else-branch is the identity — e.g.
+    /// `if staleness > 0 { discount }` skips an identity discount, so
+    /// both paths count as discounted.
+    ThenOnly,
+}
+
+/// Client transfer functions for the structural interpreter.
+pub trait ForwardSemantics {
+    /// The abstract state threaded through the function body.
+    type State: JoinLattice;
+
+    /// Transfer a `let` binding. `init` is `None` for `let x;`.
+    fn let_stmt(&mut self, name: &str, init: Option<&Expr>, state: &mut Self::State);
+
+    /// Transfer an atomic (non-control-flow) expression statement.
+    fn expr_stmt(&mut self, e: &Expr, state: &mut Self::State);
+
+    /// Decide how an `if` with this condition forks the state.
+    fn branch_choice(&mut self, _cond: &Expr) -> BranchChoice {
+        BranchChoice::Join
+    }
+
+    /// Claim a whole loop as a single atomic effect. Return `true`
+    /// after applying the effect to `state`; return `false` to have the
+    /// driver interpret the loop structurally (zero-or-more iterations,
+    /// joined to a fixpoint).
+    fn loop_as_atomic(
+        &mut self,
+        _head: Option<&Expr>,
+        _binding: Option<&str>,
+        _body: &Block,
+        _state: &mut Self::State,
+    ) -> bool {
+        false
+    }
+}
+
+/// Interpret a block: statements in source order, control flow forked
+/// and joined per [`ForwardSemantics`].
+pub fn run_block<S: ForwardSemantics>(b: &Block, sems: &mut S, state: &mut S::State) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let { name, init, .. } => sems.let_stmt(name, init.as_ref(), state),
+            Stmt::Expr(e) => run_expr(e, sems, state),
+        }
+    }
+}
+
+/// Interpret one statement-position expression, descending into
+/// control-flow shells and delegating everything else to the client.
+pub fn run_expr<S: ForwardSemantics>(e: &Expr, sems: &mut S, state: &mut S::State) {
+    match e {
+        Expr::BlockExpr(b) => run_block(b, sems, state),
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            // The condition is evaluated on every path.
+            sems.expr_stmt(cond, state);
+            match sems.branch_choice(cond) {
+                BranchChoice::ThenOnly => run_block(then, sems, state),
+                BranchChoice::Join => {
+                    let mut then_state = state.clone();
+                    run_block(then, sems, &mut then_state);
+                    if let Some(els) = els {
+                        // The else-expression is itself an `If` (chain)
+                        // or a `BlockExpr`; interpret it on the
+                        // fall-through state, then join the then-side.
+                        run_expr(els, sems, state);
+                    }
+                    state.join_from(&then_state);
+                }
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            sems.expr_stmt(scrutinee, state);
+            let entry = state.clone();
+            for (i, arm) in arms.iter().enumerate() {
+                if i == 0 {
+                    run_expr(arm, sems, state);
+                } else {
+                    let mut arm_state = entry.clone();
+                    run_expr(arm, sems, &mut arm_state);
+                    state.join_from(&arm_state);
+                }
+            }
+        }
+        Expr::Loop {
+            head,
+            binding,
+            body,
+            ..
+        } => {
+            if let Some(h) = head {
+                sems.expr_stmt(h, state);
+            }
+            if sems.loop_as_atomic(head.as_deref(), binding.as_deref(), body, state) {
+                return;
+            }
+            // Zero-or-more iterations: join the effect of running the
+            // body once more until nothing changes.
+            for round in 0..LOOP_FIXPOINT_BOUND {
+                let mut once = state.clone();
+                run_block(body, sems, &mut once);
+                if !state.join_from(&once) {
+                    return;
+                }
+                debug_assert!(
+                    round + 1 < LOOP_FIXPOINT_BOUND,
+                    "loop fixpoint did not converge within {LOOP_FIXPOINT_BOUND} rounds — \
+                     a JoinLattice impl is not monotone"
+                );
+            }
+        }
+        other => sems.expr_stmt(other, state),
+    }
+}
+
+/// Compute per-function summaries bottom-up over the call graph:
+/// `recompute(id, summaries)` produces function `id`'s summary from the
+/// current table; iterate until a full pass changes nothing. Summaries
+/// must grow monotonically for this to converge; the bound is a
+/// backstop, and (with debug assertions on) non-convergence is loud.
+pub fn summary_fixpoint<Summary: Clone + PartialEq>(
+    cg: &CallGraph<'_>,
+    init: Summary,
+    mut recompute: impl FnMut(FnId, &[Summary]) -> Summary,
+) -> Vec<Summary> {
+    let mut summaries = vec![init; cg.fns.len()];
+    for round in 0..SUMMARY_FIXPOINT_BOUND {
+        let mut changed = false;
+        for id in 0..cg.fns.len() {
+            let next = recompute(id, &summaries);
+            if next != summaries[id] {
+                summaries[id] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            return summaries;
+        }
+        debug_assert!(
+            round + 1 < SUMMARY_FIXPOINT_BOUND,
+            "summary fixpoint did not converge within {SUMMARY_FIXPOINT_BOUND} rounds — \
+             a summary recomputation is not monotone"
+        );
+    }
+    summaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FileCtx;
+    use std::collections::BTreeSet;
+
+    /// Toy semantics: collect every identifier assigned a literal,
+    /// per-branch, to exercise fork/join and the loop fixpoint.
+    #[derive(Clone, Default, PartialEq)]
+    struct Names(BTreeSet<String>);
+
+    impl JoinLattice for Names {
+        fn join_from(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            self.0.extend(other.0.iter().cloned());
+            self.0.len() != before
+        }
+    }
+
+    struct Collect;
+    impl ForwardSemantics for Collect {
+        type State = Names;
+        fn let_stmt(&mut self, name: &str, _init: Option<&Expr>, state: &mut Names) {
+            state.0.insert(name.to_string());
+        }
+        fn expr_stmt(&mut self, _e: &Expr, _state: &mut Names) {}
+    }
+
+    fn state_of(src: &str) -> Names {
+        let ctx = FileCtx::new("crates/fl/src/x.rs", src);
+        let f = &ctx.ast.fns[0];
+        let mut st = Names::default();
+        run_block(&f.body, &mut Collect, &mut st);
+        st
+    }
+
+    #[test]
+    fn branches_fork_and_join() {
+        let st = state_of("fn f(c: bool) { if c { let a = 1; } else { let b = 2; } let t = 3; }");
+        assert!(st.0.contains("a") && st.0.contains("b") && st.0.contains("t"));
+    }
+
+    #[test]
+    fn loops_reach_a_fixpoint() {
+        let st = state_of("fn f(xs: &[u32]) { for x in xs { let inner = 1; } }");
+        assert!(st.0.contains("inner"));
+    }
+
+    #[test]
+    fn summary_fixpoint_converges() {
+        let ctx = FileCtx::new(
+            "crates/fl/src/x.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        );
+        let files = [ctx];
+        let cg = CallGraph::build(&files);
+        // Summary: transitive callee count.
+        let sums = summary_fixpoint(&cg, 0usize, |id, table| {
+            cg.calls_of(id)
+                .iter()
+                .map(|&(_, t)| 1 + table[t])
+                .sum::<usize>()
+        });
+        let of = |name: &str| {
+            let id = cg.fns.iter().position(|(_, f)| f.name == name).unwrap();
+            sums[id]
+        };
+        assert_eq!(of("a"), 2);
+        assert_eq!(of("b"), 1);
+        assert_eq!(of("c"), 0);
+    }
+}

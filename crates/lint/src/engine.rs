@@ -40,6 +40,119 @@ pub const ALL_RULES: &[&str] = &[
     "rng-stream-hygiene",
     "lock-order",
     "cast-soundness",
+    "checkpoint-symmetry",
+    "discount-once",
+    "metrics-registry",
+];
+
+/// One row of the rule taxonomy printed by `fedwcm-lint --rules`.
+#[derive(Debug)]
+pub struct RuleInfo {
+    /// Rule id (kebab-case, an [`ALL_RULES`] entry).
+    pub id: &'static str,
+    /// Family: `safety`, `determinism`, `robustness`, `docs`, or
+    /// `protocol` (the v3 dataflow analyses).
+    pub family: &'static str,
+    /// Severity — every family is a hard CI gate today.
+    pub severity: &'static str,
+    /// The legitimate escape hatch, if any.
+    pub escape: &'static str,
+}
+
+/// The taxonomy, one row per [`ALL_RULES`] entry in the same order
+/// (tested in the fixtures crate, and synced against DESIGN.md §9 and
+/// the README rule table by the doc-sync test).
+pub const RULE_INFO: &[RuleInfo] = &[
+    RuleInfo {
+        id: "unsafe-safety",
+        family: "safety",
+        severity: "error",
+        escape: "write the `// SAFETY:` comment the rule asks for",
+    },
+    RuleInfo {
+        id: "determinism-collections",
+        family: "determinism",
+        severity: "error",
+        escape: "lint:allow(determinism-collections) <reason>",
+    },
+    RuleInfo {
+        id: "determinism-time",
+        family: "determinism",
+        severity: "error",
+        escape: "lint:allow(determinism-time) <reason>",
+    },
+    RuleInfo {
+        id: "determinism-std-time",
+        family: "determinism",
+        severity: "error",
+        escape: "blessed-file table in rules::BLESSINGS",
+    },
+    RuleInfo {
+        id: "determinism-env",
+        family: "determinism",
+        severity: "error",
+        escape: "blessed-file table in rules::BLESSINGS",
+    },
+    RuleInfo {
+        id: "determinism-threads",
+        family: "determinism",
+        severity: "error",
+        escape: "only the `parallel` crate may probe parallelism",
+    },
+    RuleInfo {
+        id: "panic-freedom",
+        family: "robustness",
+        severity: "error",
+        escape: "lint:allow(panic-freedom) <reason>",
+    },
+    RuleInfo {
+        id: "doc-coverage",
+        family: "docs",
+        severity: "error",
+        escape: "document the item (no suppression in DOC_CRATES)",
+    },
+    RuleInfo {
+        id: "float-reduction-order",
+        family: "determinism",
+        severity: "error",
+        escape: "use the index-ordered reducers in `parallel`/`stats`",
+    },
+    RuleInfo {
+        id: "rng-stream-hygiene",
+        family: "determinism",
+        severity: "error",
+        escape: "lint:allow(rng-stream-hygiene) <reason>",
+    },
+    RuleInfo {
+        id: "lock-order",
+        family: "robustness",
+        severity: "error",
+        escape: "lint:allow(lock-order) <reason>",
+    },
+    RuleInfo {
+        id: "cast-soundness",
+        family: "robustness",
+        severity: "error",
+        escape: "lint:allow(cast-soundness) <reason>",
+    },
+    RuleInfo {
+        id: "checkpoint-symmetry",
+        family: "protocol",
+        severity: "error",
+        escape: "lint:allow(checkpoint-symmetry) <reason>",
+    },
+    RuleInfo {
+        id: "discount-once",
+        family: "protocol",
+        severity: "error",
+        escape: "lint:allow(discount-once) <reason>",
+    },
+    RuleInfo {
+        id: "metrics-registry",
+        family: "protocol",
+        severity: "error",
+        escape: "add the constant to crates/trace/src/names.rs",
+    },
 ];
 
 /// Pseudo-rule for invalid suppression markers; never suppressible.
@@ -56,17 +169,6 @@ pub const LIB_CRATES: &[&str] = &[
 
 /// Crates whose public items must carry rustdoc.
 pub const DOC_CRATES: &[&str] = &["tensor", "fl", "core", "parallel", "faults", "trace"];
-
-/// Files (workspace-relative, `/`-separated) blessed to read process
-/// environment variables.
-pub const ENV_BLESSED_FILES: &[&str] = &["crates/fl/src/config.rs"];
-
-/// Files (workspace-relative, `/`-separated) blessed to name `std::time`
-/// at all. With `fedwcm-trace` in the workspace every other library file
-/// must go through its [`Clock`] trait, so even importing `std::time`
-/// types is flagged (`determinism-std-time`) — the direct-read rules
-/// (`determinism-time`) still apply inside the blessed file itself.
-pub const TIME_BLESSED_FILES: &[&str] = &["crates/trace/src/clock.rs"];
 
 /// Crate allowed to call `thread::available_parallelism`.
 pub const THREADS_BLESSED_CRATE: &str = "parallel";

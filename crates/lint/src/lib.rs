@@ -20,6 +20,9 @@
 //! | `rng-stream-hygiene` | named RNG streams are never mixed in one function or passed across unaudited crate boundaries |
 //! | `lock-order` | the static `lock_recover`/`wait_recover` acquisition graph is acyclic |
 //! | `cast-soundness` | no lossy `as` casts / unchecked byte-counter arithmetic in the serializing crates |
+//! | `checkpoint-symmetry` | every `to_bytes` write sequence matches its `from_bytes` read sequence op for op |
+//! | `discount-once` | every update flowing from the fault pipeline into aggregation crosses `staleness_discount` exactly once |
+//! | `metrics-registry` | span/metric names at call sites resolve to `fedwcm_trace::names` constants; no literals, typos, or dead taxonomy |
 //!
 //! Run it locally with `cargo run -p fedwcm-lint` (add `--format json`
 //! for machine-readable findings); see the binary's `--help` for rule
@@ -35,16 +38,23 @@
 //! recovering item/expression tree ([`ast`]) for each file — lexed and
 //! parsed exactly once per run — and [`callgraph`] resolves calls
 //! across files so the stream-hygiene, reduction-order, and lock-order
-//! analyses can follow values through the workspace.
+//! analyses can follow values through the workspace. The v3 rules sit
+//! on top of [`dataflow`], a small forward-dataflow framework (join
+//! lattices, branch joins, bounded loop fixpoints, interprocedural
+//! summaries) that powers the protocol-conformance analyses
+//! (`checkpoint-symmetry`, `discount-once`). See DESIGN.md §9 and
+//! `--rules` for the full taxonomy with per-rule escape hatches.
 
 pub mod ast;
 pub mod callgraph;
+pub mod dataflow;
 pub mod engine;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
 
 pub use engine::{
-    lint_file, lint_sources, lint_workspace, Diagnostic, FileCtx, LintConfig, LintRun, ALL_RULES,
-    DOC_CRATES, LIB_CRATES, MARKER_RULE,
+    lint_file, lint_sources, lint_workspace, Diagnostic, FileCtx, LintConfig, LintRun, RuleInfo,
+    ALL_RULES, DOC_CRATES, LIB_CRATES, MARKER_RULE, RULE_INFO,
 };
+pub use rules::{Blessing, BLESSINGS};

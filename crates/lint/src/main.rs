@@ -7,6 +7,7 @@
 //! cargo run -p fedwcm-lint -- --root /path/to/workspace
 //! cargo run -p fedwcm-lint -- --format json    # machine-readable findings
 //! cargo run -p fedwcm-lint -- --list-rules
+//! cargo run -p fedwcm-lint -- --rules         # full taxonomy + blessings
 //! ```
 //!
 //! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O error.
@@ -17,7 +18,8 @@
 //! byte-identical and CI can archive and diff the artifact. The timing
 //! line goes to stderr in that mode.
 
-use fedwcm_lint::engine::ALL_RULES;
+use fedwcm_lint::engine::{ALL_RULES, RULE_INFO};
+use fedwcm_lint::rules::BLESSINGS;
 use fedwcm_lint::{lint_workspace, Diagnostic, LintConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,7 +37,9 @@ fn usage() -> &'static str {
      --disable RULE   skip the named rule (repeatable)\n\
      --format FMT     output format: text (default) or json (stable,\n\
      \u{20}                byte-identical across runs on the same tree)\n\
-     --list-rules     print the known rules and exit\n"
+     --list-rules     print the known rule ids and exit\n\
+     --rules          print the full taxonomy (id, family, severity,\n\
+     \u{20}                escape hatch) and blessed-file table, then exit\n"
 }
 
 /// Walk up from `start` to the directory whose `Cargo.toml` declares
@@ -115,6 +119,23 @@ fn main() -> ExitCode {
             "--list-rules" => {
                 for r in ALL_RULES {
                     println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rules" => {
+                let id_w = RULE_INFO.iter().map(|r| r.id.len()).max().unwrap_or(0);
+                let fam_w = RULE_INFO.iter().map(|r| r.family.len()).max().unwrap_or(0);
+                for r in RULE_INFO {
+                    println!(
+                        "{:id_w$}  {:fam_w$}  {:5}  {}",
+                        r.id, r.family, r.severity, r.escape
+                    );
+                }
+                if !BLESSINGS.is_empty() {
+                    println!("\nblessed files (rule does not fire in path):");
+                    for b in BLESSINGS {
+                        println!("  {}  {}  — {}", b.rule, b.path, b.why);
+                    }
                 }
                 return ExitCode::SUCCESS;
             }

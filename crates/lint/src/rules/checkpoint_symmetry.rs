@@ -1,0 +1,443 @@
+//! `checkpoint-symmetry` — static writer/reader conformance for the
+//! hand-rolled binary serializers (`FWCK` checkpoints and friends).
+//!
+//! PR 6's FWCK v2→v3 skew bug was a *schema drift*: `to_bytes` gained
+//! fields that `from_bytes` read in a different order. This rule makes
+//! that class unrepresentable: for every paired writer/reader —
+//! `to_bytes`/`from_bytes` on the same `impl` type, and same-file
+//! `put_X`/`read_X` helper pairs — it extracts the **effect sequence**
+//! of primitive serializer operations and requires the two sequences to
+//! be identical: same operations, same widths, same order, same loop
+//! structure.
+//!
+//! # Effect extraction
+//!
+//! The primitive vocabulary is `fedwcm_nn::serialize`: writes are
+//! `put_u32`/`put_u64`/`put_f32`/`put_f64`/`put_f32s`/`put_str`/
+//! `put_bytes` calls; reads are the matching `ByteReader` methods
+//! (`u32`/`u64`/`f32`/`f64`/`f32s`/`str`/`bytes`) on a receiver the
+//! type environment knows to be a `ByteReader`. These names are
+//! **axioms**: they emit their op before call-graph resolution, so the
+//! helpers' raw `extend_from_slice` bodies never dilute a sequence.
+//! Every other resolved call splices in the callee's own sequence,
+//! computed through [`crate::dataflow::summary_fixpoint`] — this is how
+//! `put_metrics`/`read_metrics`, `put_update`/`read_update`, and
+//! `read_usize` participate without any special cases.
+//!
+//! Control flow maps onto sequence structure:
+//!
+//! * loops become a [`SerOp::Rep`] group (a `Rep` only matches a `Rep`
+//!   with an identical body);
+//! * `if`/`match` contribute their condition/scrutinee effects plus the
+//!   **longest** branch/arm — the "maximal schema" convention that
+//!   makes version gates (`if version >= 3 { read } else { default }`)
+//!   and tagged-union writers (`match value { Counter => …, Histogram
+//!   => … }`) line up with their counterparts.
+//!
+//! A serializer written entirely below this vocabulary (raw
+//! `to_le_bytes`, e.g. `he::rlwe`) extracts two empty sequences and
+//! passes vacuously — the rule gates exactly the serializers built on
+//! the shared helpers.
+
+use crate::ast::{Block, Expr, FnDef, Stmt, TypeEnv};
+use crate::callgraph::{CallGraph, FnId};
+use crate::dataflow::summary_fixpoint;
+use crate::engine::{Diagnostic, FileCtx};
+
+const RULE: &str = "checkpoint-symmetry";
+
+/// Primitive write helpers (free functions) and their op, in
+/// `fedwcm_nn::serialize`.
+const WRITE_PRIMS: &[(&str, &str)] = &[
+    ("put_u32", "u32"),
+    ("put_u64", "u64"),
+    ("put_f32", "f32"),
+    ("put_f64", "f64"),
+    ("put_f32s", "f32s"),
+    ("put_str", "str"),
+    ("put_bytes", "bytes"),
+];
+
+/// Primitive read methods on `ByteReader` and their op.
+const READ_PRIMS: &[&str] = &["u32", "u64", "f32", "f64", "f32s", "str", "bytes"];
+
+/// One element of a serializer's effect sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SerOp {
+    /// A primitive operation, named by width/kind (`u32`, `f32s`, …).
+    Prim(&'static str),
+    /// A loop repeating the inner sequence zero or more times.
+    Rep(Vec<SerOp>),
+}
+
+impl SerOp {
+    fn describe(&self) -> String {
+        match self {
+            SerOp::Prim(p) => p.to_string(),
+            SerOp::Rep(inner) => format!(
+                "loop[{}]",
+                inner
+                    .iter()
+                    .map(SerOp::describe)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ),
+        }
+    }
+}
+
+/// Which side of the wire a function is on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Write,
+    Read,
+}
+
+/// Weight of a sequence for the longest-branch rule: every primitive
+/// counts 1, a `Rep` counts 1 plus its body.
+fn weight(seq: &[SerOp]) -> usize {
+    seq.iter()
+        .map(|op| match op {
+            SerOp::Prim(_) => 1,
+            SerOp::Rep(inner) => 1 + weight(inner),
+        })
+        .sum()
+}
+
+fn render(seq: &[SerOp]) -> String {
+    seq.iter()
+        .map(SerOp::describe)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Per-function extraction context.
+struct Extract<'a> {
+    cg: &'a CallGraph<'a>,
+    id: FnId,
+    dir: Dir,
+    env: &'a TypeEnv,
+    /// Callee summaries from the interprocedural fixpoint.
+    summaries: &'a [Vec<SerOp>],
+}
+
+impl Extract<'_> {
+    fn block(&self, b: &Block, out: &mut Vec<SerOp>) {
+        for s in &b.stmts {
+            match s {
+                Stmt::Let {
+                    init: Some(init), ..
+                } => self.expr(init, out),
+                Stmt::Let { init: None, .. } => {}
+                Stmt::Expr(e) => self.expr(e, out),
+            }
+        }
+    }
+
+    fn expr(&self, e: &Expr, out: &mut Vec<SerOp>) {
+        match e {
+            Expr::Call { callee, args, .. } => {
+                // Arguments evaluate before the call.
+                for a in args {
+                    self.expr(a, out);
+                }
+                if self.dir == Dir::Write {
+                    if let Expr::Path { segs, .. } = &**callee {
+                        if let Some(name) = segs.last() {
+                            if let Some(&(_, op)) = WRITE_PRIMS.iter().find(|(p, _)| p == name) {
+                                out.push(SerOp::Prim(op));
+                                return;
+                            }
+                        }
+                    }
+                }
+                if let Some(target) = self.cg.resolve(self.id, e) {
+                    out.extend(self.summaries[target].iter().cloned());
+                }
+            }
+            Expr::MethodCall {
+                recv, method, args, ..
+            } => {
+                self.expr(recv, out);
+                for a in args {
+                    self.expr(a, out);
+                }
+                if self.dir == Dir::Read && args.is_empty() {
+                    if let Some(&op) = READ_PRIMS.iter().find(|&&p| p == method) {
+                        let is_reader = recv
+                            .base_ident()
+                            .and_then(|b| self.env.get(b))
+                            .is_some_and(|t| t.contains("ByteReader"));
+                        if is_reader {
+                            out.push(SerOp::Prim(op));
+                            return;
+                        }
+                    }
+                }
+                if let Some(target) = self.cg.resolve(self.id, e) {
+                    out.extend(self.summaries[target].iter().cloned());
+                }
+            }
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                self.expr(cond, out);
+                let mut then_seq = Vec::new();
+                self.block(then, &mut then_seq);
+                let mut else_seq = Vec::new();
+                if let Some(els) = els {
+                    self.expr(els, &mut else_seq);
+                }
+                out.extend(if weight(&else_seq) > weight(&then_seq) {
+                    else_seq
+                } else {
+                    then_seq
+                });
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.expr(scrutinee, out);
+                let mut longest: Vec<SerOp> = Vec::new();
+                for arm in arms {
+                    let mut seq = Vec::new();
+                    self.expr(arm, &mut seq);
+                    if weight(&seq) > weight(&longest) {
+                        longest = seq;
+                    }
+                }
+                out.extend(longest);
+            }
+            Expr::Loop { head, body, .. } => {
+                if let Some(h) = head {
+                    self.expr(h, out);
+                }
+                let mut inner = Vec::new();
+                self.block(body, &mut inner);
+                if !inner.is_empty() {
+                    out.push(SerOp::Rep(inner));
+                }
+            }
+            Expr::BlockExpr(b) => self.block(b, out),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => self.expr(expr, out),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs, out);
+                self.expr(rhs, out);
+            }
+            Expr::Assign { target, value, .. } => {
+                self.expr(target, out);
+                self.expr(value, out);
+            }
+            Expr::Field { base, .. } => self.expr(base, out),
+            Expr::Index { base, index, .. } => {
+                self.expr(base, out);
+                self.expr(index, out);
+            }
+            Expr::Closure { body, .. } => self.expr(body, out),
+            Expr::Struct { fields, .. } => {
+                for (_, v) in fields {
+                    self.expr(v, out);
+                }
+            }
+            Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+                for i in items {
+                    self.expr(i, out);
+                }
+            }
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    self.expr(a, out);
+                }
+            }
+            Expr::Jump { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v, out);
+                }
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => {}
+        }
+    }
+}
+
+/// Effect sequence of one function under the current summary table.
+fn sequence_of(cg: &CallGraph<'_>, id: FnId, summaries: &[Vec<SerOp>]) -> Vec<SerOp> {
+    let f = cg.fns[id].1;
+    let dir = dir_of(f);
+    let env = TypeEnv::of(f);
+    let ex = Extract {
+        cg,
+        id,
+        dir,
+        env: &env,
+        summaries,
+    };
+    let mut out = Vec::new();
+    ex.block(&f.body, &mut out);
+    // Backstop for (non-existent today) recursive serializers: cap the
+    // sequence so a self-splicing summary cannot grow without bound.
+    out.truncate(4096);
+    out
+}
+
+/// A function participates as writer when it writes (`to_bytes`,
+/// `put_*`, or contains write primitives), otherwise as reader. The
+/// direction only gates which primitive vocabulary is *recognised*, so
+/// classifying by name is enough for the paired functions; unpaired
+/// helpers inherit whichever side their name suggests.
+fn dir_of(f: &FnDef) -> Dir {
+    if f.name == "from_bytes" || f.name.starts_with("read_") || f.name.starts_with("load_") {
+        Dir::Read
+    } else {
+        Dir::Write
+    }
+}
+
+/// Run the rule over the parsed workspace.
+pub fn check_checkpoint_symmetry(
+    files: &[FileCtx],
+    cg: &CallGraph<'_>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Interprocedural summaries. Direction is per-function (a read
+    // helper only ever recognises read primitives), so one table serves
+    // both sides.
+    let summaries = summary_fixpoint(cg, Vec::new(), |id, table| sequence_of(cg, id, table));
+
+    // Pair writers with readers file by file.
+    for (fi, ctx) in files.iter().enumerate() {
+        if !ctx.is_lib_crate() {
+            continue;
+        }
+        let fn_ids: Vec<FnId> = cg
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(file, _))| file == fi)
+            .map(|(id, _)| id)
+            .collect();
+        let find = |pred: &dyn Fn(&FnDef) -> bool| -> Option<FnId> {
+            let matches: Vec<FnId> = fn_ids
+                .iter()
+                .copied()
+                .filter(|&id| pred(cg.fns[id].1))
+                .collect();
+            (matches.len() == 1).then(|| matches[0])
+        };
+
+        let mut pairs: Vec<(FnId, FnId)> = Vec::new();
+        // `to_bytes`/`from_bytes` on the same impl type.
+        for &id in &fn_ids {
+            let f = cg.fns[id].1;
+            if f.name != "to_bytes" {
+                continue;
+            }
+            if let Some(reader) =
+                find(&|g: &FnDef| g.name == "from_bytes" && g.self_ty == cg.fns[id].1.self_ty)
+            {
+                pairs.push((id, reader));
+            }
+        }
+        // Same-file `put_X`/`read_X` helper pairs (the primitives
+        // themselves are axioms, never paired).
+        for &id in &fn_ids {
+            let f = cg.fns[id].1;
+            let Some(suffix) = f.name.strip_prefix("put_") else {
+                continue;
+            };
+            if WRITE_PRIMS.iter().any(|(p, _)| *p == f.name) {
+                continue;
+            }
+            let reader_name = format!("read_{suffix}");
+            if let Some(reader) = find(&|g: &FnDef| g.name == reader_name) {
+                pairs.push((id, reader));
+            }
+        }
+
+        for (w, r) in pairs {
+            if ctx.is_test_line(cg.fns[w].1.line) {
+                continue;
+            }
+            compare_pair(ctx, cg, w, r, &summaries, diags);
+        }
+    }
+}
+
+/// Structural comparison of the writer's and reader's sequences; any
+/// divergence is a hard error on the writer, naming the reader.
+fn compare_pair(
+    ctx: &FileCtx,
+    cg: &CallGraph<'_>,
+    w: FnId,
+    r: FnId,
+    summaries: &[Vec<SerOp>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let (wf, rf) = (cg.fns[w].1, cg.fns[r].1);
+    let (ws, rs) = (&summaries[w], &summaries[r]);
+    if let Some(msg) = diff_seq(ws, rs, &format!("`{}`/`{}`", wf.name, rf.name)) {
+        diags.push(ctx.diag(
+            RULE,
+            wf.line,
+            format!(
+                "{msg} — writer `{}` (line {}) and reader `{}` (line {}) must perform \
+                 identical primitive sequences; writer: [{}], reader: [{}]",
+                wf.name,
+                wf.line,
+                rf.name,
+                rf.line,
+                render(ws),
+                render(rs),
+            ),
+        ));
+    }
+}
+
+/// First divergence between two sequences, described; `None` when equal.
+fn diff_seq(ws: &[SerOp], rs: &[SerOp], pair: &str) -> Option<String> {
+    for (i, (wo, ro)) in ws.iter().zip(rs.iter()).enumerate() {
+        match (wo, ro) {
+            (SerOp::Prim(a), SerOp::Prim(b)) => {
+                if a != b {
+                    return Some(format!(
+                        "{pair} diverge at step {}: field written as `{a}` but read as `{b}` \
+                         (width/order mismatch)",
+                        i + 1
+                    ));
+                }
+            }
+            (SerOp::Rep(wi), SerOp::Rep(ri)) => {
+                if let Some(msg) = diff_seq(wi, ri, pair) {
+                    return Some(format!("inside repeated group at step {}: {msg}", i + 1));
+                }
+            }
+            (a, b) => {
+                return Some(format!(
+                    "{pair} diverge at step {}: writer has {}, reader has {} \
+                     (loop structure mismatch)",
+                    i + 1,
+                    a.describe(),
+                    b.describe(),
+                ));
+            }
+        }
+    }
+    if ws.len() > rs.len() {
+        return Some(format!(
+            "{pair}: field written but never read (writer performs {} extra op{} starting \
+             with {})",
+            ws.len() - rs.len(),
+            if ws.len() - rs.len() == 1 { "" } else { "s" },
+            ws[rs.len()].describe(),
+        ));
+    }
+    if rs.len() > ws.len() {
+        return Some(format!(
+            "{pair}: field read but never written (reader performs {} extra op{} starting \
+             with {})",
+            rs.len() - ws.len(),
+            if rs.len() - ws.len() == 1 { "" } else { "s" },
+            rs[ws.len()].describe(),
+        ));
+    }
+    None
+}

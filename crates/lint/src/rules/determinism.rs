@@ -25,9 +25,8 @@
 //! themselves or build scratch hash maps without affecting simulation
 //! results.
 
-use crate::engine::{
-    Diagnostic, FileCtx, LintConfig, ENV_BLESSED_FILES, THREADS_BLESSED_CRATE, TIME_BLESSED_FILES,
-};
+use crate::engine::{Diagnostic, FileCtx, LintConfig, THREADS_BLESSED_CRATE};
+use crate::rules::{blessed_paths_list, is_blessed};
 
 /// Run the `determinism-*` family over one file.
 pub fn check_determinism(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
@@ -76,7 +75,7 @@ pub fn check_determinism(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagno
             "std"
                 if cfg.is_enabled("determinism-std-time")
                     && next2_is(':', ':', "time")
-                    && !TIME_BLESSED_FILES.contains(&ctx.path.as_str())
+                    && !is_blessed("determinism-std-time", &ctx.path)
                     && t.line != last_std_time_line =>
             {
                 last_std_time_line = t.line;
@@ -86,14 +85,14 @@ pub fn check_determinism(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagno
                     format!(
                         "`std::time` may only be named in the blessed clock module ({}); \
                          take time through fedwcm-trace's `Clock` trait instead",
-                        TIME_BLESSED_FILES.join(", ")
+                        blessed_paths_list("determinism-std-time")
                     ),
                 ));
             }
             "env"
                 if cfg.is_enabled("determinism-env")
                     && next2_is(':', ':', "var")
-                    && !ENV_BLESSED_FILES.contains(&ctx.path.as_str()) =>
+                    && !is_blessed("determinism-env", &ctx.path) =>
             {
                 diags.push(ctx.diag(
                     "determinism-env",
@@ -101,7 +100,7 @@ pub fn check_determinism(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagno
                     format!(
                         "`env::var` outside the blessed config entry points ({}) makes behaviour \
                          depend on ambient process state",
-                        ENV_BLESSED_FILES.join(", ")
+                        blessed_paths_list("determinism-env")
                     ),
                 ));
             }

@@ -1,0 +1,667 @@
+//! `discount-once` — every received update crosses the staleness
+//! discount exactly once on its way to aggregation.
+//!
+//! FedWCM's momentum-weighted aggregation is unusually sensitive to "a
+//! weight applied twice": the cadence PR's headline bug class was the
+//! `1/(1+s)` staleness discount paid both at receive time *and* at
+//! application time, silently shrinking every late update
+//! quadratically. The protocol since then: the fault pipeline returns
+//! **undiscounted** `ReceivedUpdate`s, buffers hold **undiscounted**
+//! deltas, and the one discount is paid where the cadence applies the
+//! update.
+//!
+//! This rule checks the protocol with a forward dataflow over
+//! [`crate::dataflow`]: values of type `ReceivedUpdate`/`BufferedUpdate`
+//! (and their `.update`/`.delta` projections) carry a *discount count* —
+//! the set of times `staleness_discount` may have scaled them on some
+//! path, saturating at 2. At every aggregation sink (a
+//! `RoundInput { updates: … }` construction), the count must be exactly
+//! `{1}`:
+//!
+//! * `0` reachable → "may reach aggregation undiscounted";
+//! * `≥ 2` reachable → "may be discounted twice" (the regression class).
+//!
+//! # What counts as a discount
+//!
+//! * an assignment `… *= w` where `w` derives from a
+//!   `staleness_discount(…)` call (through products and local `let`s) —
+//!   including the canonical loop
+//!   `for d in u.delta.iter_mut() { *d *= w; }`, which is recognised as
+//!   **one** application to `u` (the loop runs per element, not per
+//!   discount);
+//! * a call to a function whose interprocedural summary says "discounts
+//!   its parameter and returns it" (`into_discounted`), including
+//!   `.map(into_discounted)` / `.map(|b| into_discounted(…))` over a
+//!   collection of received updates.
+//!
+//! A guard of the shape `if staleness > 0 { discount }` counts as
+//! discounting on *both* paths: the guard proves the skipped discount
+//! is the identity (`staleness_discount(0) == 1`), so the else-path is
+//! already "discounted by 1". Iterator plumbing
+//! (`into_iter`/`drain`/`collect`/…) propagates counts unchanged, `for`
+//! bindings inherit the iterated collection's count, and `Vec::push`
+//! joins the pushed value's count into the collection. A local whose
+//! annotation names a delta type (`let batch: Vec<BufferedUpdate> = …`)
+//! is seeded undiscounted even when its initializer is opaque — that is
+//! what makes the buffer drain paths visible. Consumption inside
+//! algorithms (`aggregate(&input)`) is out of scope: the rule gates the
+//! construction side, where the protocol lives.
+
+use crate::ast::{Block, Expr, Stmt, TypeEnv};
+use crate::callgraph::{CallGraph, FnId};
+use crate::dataflow::{run_block, summary_fixpoint, BranchChoice, ForwardSemantics, JoinLattice};
+use crate::engine::{Diagnostic, FileCtx};
+use crate::lexer::TokKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+const RULE: &str = "discount-once";
+
+/// Type names whose values carry an (undiscounted-at-birth) delta.
+const DELTA_TYPES: &[&str] = &["ReceivedUpdate", "BufferedUpdate"];
+
+/// Field projections that follow the delta through its wrappers.
+const DELTA_FIELDS: &[&str] = &["update", "delta"];
+
+/// Methods that pass a value (or a collection's elements) through
+/// unchanged.
+const PROPAGATE_METHODS: &[&str] = &[
+    "into_iter",
+    "iter",
+    "iter_mut",
+    "drain",
+    "collect",
+    "clone",
+    "to_vec",
+    "take",
+    "filter",
+    "rev",
+    "cloned",
+    "copied",
+];
+
+/// A set of possible discount counts, saturating at 2 ("2 or more").
+type Counts = BTreeSet<u8>;
+
+fn once(c: u8) -> Counts {
+    std::iter::once(c).collect()
+}
+
+fn bump(counts: &Counts, by: u8) -> Counts {
+    counts
+        .iter()
+        .map(|&c| c.saturating_add(by).min(2))
+        .collect()
+}
+
+/// Root local of a place/chain expression: `u.delta.iter_mut()` → `u`,
+/// `state.pending` → `state`. Unlike [`Expr::base_ident`] this sees
+/// through method calls, so loop heads resolve.
+fn chain_root(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Path { segs, .. } => segs.first().map(String::as_str),
+        Expr::Field { base, .. } | Expr::Index { base, .. } => chain_root(base),
+        Expr::MethodCall { recv, .. } => chain_root(recv),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => chain_root(expr),
+        _ => None,
+    }
+}
+
+/// Per-variable abstract state inside one function.
+#[derive(Clone, Default)]
+struct State {
+    /// Delta-carrying variables → possible discount counts.
+    vars: BTreeMap<String, Counts>,
+    /// Variables holding a discount *factor* (derived from
+    /// `staleness_discount`).
+    factors: BTreeSet<String>,
+}
+
+impl JoinLattice for State {
+    fn join_from(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (k, v) in &other.vars {
+            let slot = self.vars.entry(k.clone()).or_default();
+            let before = slot.len();
+            slot.extend(v.iter().copied());
+            changed |= slot.len() != before;
+        }
+        let before = self.factors.len();
+        self.factors.extend(other.factors.iter().cloned());
+        changed | (self.factors.len() != before)
+    }
+}
+
+/// Interprocedural summary of one function's effect on delta values.
+#[derive(Clone, Default, PartialEq)]
+struct Summary {
+    /// `Some((i, k))`: the function returns parameter `i`'s delta with
+    /// `k` additional discounts applied (`into_discounted` → `(0, 1)`).
+    adds: Option<(usize, u8)>,
+    /// `Some(counts)`: the function returns a delta value born inside
+    /// it with these counts (a fault pipeline returning fresh
+    /// `ReceivedUpdate`s → `{0}`).
+    ret: Option<Counts>,
+}
+
+/// The analysis for one function body.
+struct Analysis<'a> {
+    cg: &'a CallGraph<'a>,
+    id: FnId,
+    summaries: &'a [Summary],
+    /// Flow-insensitive annotation types, for seeding locals whose
+    /// initializer is opaque (`let batch: Vec<BufferedUpdate> = …`).
+    env: TypeEnv,
+    /// Origin parameter of delta-carrying locals, for summary
+    /// derivation: `vars[name]` flowed from parameter `origins[name]`.
+    origins: BTreeMap<String, usize>,
+    /// Line → joined counts at every `RoundInput { updates: … }` sink.
+    sinks: BTreeMap<usize, Counts>,
+    /// Counts returned via tail expression / `return`.
+    returned: Vec<(Counts, Option<usize>)>,
+}
+
+impl Analysis<'_> {
+    /// Discount counts an expression evaluates to; empty set = not a
+    /// delta value the analysis can see.
+    fn eval(&mut self, e: &Expr, st: &State) -> Counts {
+        match e {
+            Expr::Path { segs, .. } if segs.len() == 1 => {
+                if let Some(c) = st.vars.get(&segs[0]) {
+                    return c.clone();
+                }
+                // Annotation fallback: a local declared with a delta
+                // type is undiscounted until the flow says otherwise.
+                if self
+                    .env
+                    .get(&segs[0])
+                    .is_some_and(|t| DELTA_TYPES.iter().any(|d| t.contains(d)))
+                {
+                    return once(0);
+                }
+                Counts::new()
+            }
+            Expr::Field { base, name, .. } if DELTA_FIELDS.contains(&name.as_str()) => {
+                self.eval(base, st)
+            }
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => self.eval(expr, st),
+            Expr::Tuple { items, .. } if items.len() == 1 => self.eval(&items[0], st),
+            Expr::Struct { segs, fields, .. }
+                if segs
+                    .last()
+                    .is_some_and(|s| DELTA_TYPES.contains(&s.as_str())) =>
+            {
+                // A fresh wrapper is born undiscounted, but inherits any
+                // discounts already applied to the delta placed in it.
+                let inner = fields
+                    .iter()
+                    .find(|(n, _)| DELTA_FIELDS.contains(&n.as_str()))
+                    .map(|(_, v)| self.eval(v, st))
+                    .unwrap_or_default();
+                if inner.is_empty() {
+                    once(0)
+                } else {
+                    inner
+                }
+            }
+            Expr::Call { args, .. } => {
+                let Some(target) = self.cg.resolve(self.id, e) else {
+                    return Counts::new();
+                };
+                let summary = self.summaries[target].clone();
+                if let Some((i, k)) = summary.adds {
+                    if let Some(arg) = args.get(i) {
+                        let counts = self.eval(arg, st);
+                        if !counts.is_empty() {
+                            return bump(&counts, k);
+                        }
+                    }
+                }
+                summary.ret.unwrap_or_default()
+            }
+            Expr::MethodCall {
+                recv, method, args, ..
+            } => {
+                if PROPAGATE_METHODS.contains(&method.as_str()) {
+                    return self.eval(recv, st);
+                }
+                if method == "map" {
+                    let elem = self.eval(recv, st);
+                    if let Some(f) = args.first() {
+                        return self.eval_mapper(f, elem, st);
+                    }
+                    return Counts::new();
+                }
+                if let Some(target) = self.cg.resolve(self.id, e) {
+                    let summary = self.summaries[target].clone();
+                    if let Some((_, k)) = summary.adds {
+                        let counts = self.eval(recv, st);
+                        if !counts.is_empty() {
+                            return bump(&counts, k);
+                        }
+                    }
+                    return summary.ret.unwrap_or_default();
+                }
+                Counts::new()
+            }
+            Expr::Macro { name, args, .. } if name == "vec" => {
+                let mut out = Counts::new();
+                for a in args {
+                    out.extend(self.eval(a, st));
+                }
+                out
+            }
+            Expr::If { then, els, .. } => {
+                let mut out = self.eval_block_tail(then, st);
+                if let Some(els) = els {
+                    out.extend(self.eval(els, st));
+                }
+                out
+            }
+            Expr::Match { arms, .. } => {
+                let mut out = Counts::new();
+                for a in arms {
+                    out.extend(self.eval(a, st));
+                }
+                out
+            }
+            Expr::BlockExpr(b) => self.eval_block_tail(b, st),
+            _ => Counts::new(),
+        }
+    }
+
+    /// Counts of a block's tail expression (shallow — good enough for
+    /// branch tails; full closure bodies go through the driver).
+    fn eval_block_tail(&mut self, b: &Block, st: &State) -> Counts {
+        match b.stmts.last() {
+            Some(Stmt::Expr(e)) => self.eval(e, st),
+            _ => Counts::new(),
+        }
+    }
+
+    /// Result counts of `.map(f)` where the elements carry `elem`.
+    fn eval_mapper(&mut self, f: &Expr, elem: Counts, st: &State) -> Counts {
+        match f {
+            // `.map(into_discounted)` — a function reference.
+            Expr::Path { segs, .. } => {
+                if let Some(target) = self.resolve_fn_value(segs) {
+                    let summary = self.summaries[target].clone();
+                    if let Some((_, k)) = summary.adds {
+                        if !elem.is_empty() {
+                            return bump(&elem, k);
+                        }
+                    }
+                    return summary.ret.unwrap_or_default();
+                }
+                elem
+            }
+            // `.map(|b| …)` — interpret the closure body with the
+            // parameter bound to the element counts.
+            Expr::Closure { params, body, .. } => {
+                let mut inner = st.clone();
+                if let (Some(p), false) = (params.first(), elem.is_empty()) {
+                    inner.vars.insert(p.name.clone(), elem.clone());
+                }
+                match &**body {
+                    Expr::BlockExpr(b) => {
+                        let mut sems = Driver { a: self };
+                        run_block(b, &mut sems, &mut inner);
+                        self.eval_block_tail(b, &inner)
+                    }
+                    e => self.eval(e, &inner),
+                }
+            }
+            _ => elem,
+        }
+    }
+
+    /// Resolve a bare path used as a function *value* (`map(f)`): the
+    /// caller's file first, then unique-in-workspace — the same bias as
+    /// [`CallGraph::resolve`].
+    fn resolve_fn_value(&self, segs: &[String]) -> Option<FnId> {
+        let name = segs.last()?;
+        let caller_file = self.cg.fns[self.id].0;
+        let mut same_file = Vec::new();
+        let mut global = Vec::new();
+        for (id, &(fi, f)) in self.cg.fns.iter().enumerate() {
+            if f.name == *name {
+                global.push(id);
+                if fi == caller_file {
+                    same_file.push(id);
+                }
+            }
+        }
+        match (same_file.as_slice(), global.as_slice()) {
+            ([one], _) => Some(*one),
+            ([], [one]) => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// Is this expression a discount factor (derived from
+    /// `staleness_discount`)?
+    fn is_factor(&self, e: &Expr, st: &State) -> bool {
+        match e {
+            Expr::Call { callee, .. } => matches!(
+                &**callee,
+                Expr::Path { segs, .. }
+                    if segs.last().is_some_and(|s| s == "staleness_discount")
+            ),
+            Expr::Path { segs, .. } if segs.len() == 1 => st.factors.contains(&segs[0]),
+            Expr::Binary { lhs, rhs, .. } => self.is_factor(lhs, st) || self.is_factor(rhs, st),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => self.is_factor(expr, st),
+            Expr::Tuple { items, .. } if items.len() == 1 => self.is_factor(&items[0], st),
+            _ => false,
+        }
+    }
+
+    /// Record the sink when `e` is a `RoundInput { updates: … }`.
+    fn check_sink(&mut self, e: &Expr, st: &State) {
+        let Expr::Struct {
+            segs, fields, line, ..
+        } = e
+        else {
+            return;
+        };
+        if segs.last().map(String::as_str) != Some("RoundInput") {
+            return;
+        }
+        let Some(v) = fields.iter().find(|(n, _)| n == "updates").map(|(_, v)| v) else {
+            return;
+        };
+        let mut counts = self.eval(v, st);
+        if counts.is_empty() {
+            // Fall back to any tracked delta variable mentioned in the
+            // field value (`&updates`, helper-wrapped, …).
+            v.walk(&mut |sub| {
+                if let Expr::Path { segs, .. } = sub {
+                    if segs.len() == 1 {
+                        if let Some(c) = st.vars.get(&segs[0]) {
+                            counts.extend(c.iter().copied());
+                        }
+                    }
+                }
+            });
+        }
+        if !counts.is_empty() {
+            self.sinks.entry(*line).or_default().extend(counts);
+        }
+    }
+}
+
+/// Driver adapter binding the dataflow framework to [`Analysis`]; used
+/// both for function bodies and for `.map` closure bodies.
+struct Driver<'a, 'b> {
+    a: &'a mut Analysis<'b>,
+}
+
+impl ForwardSemantics for Driver<'_, '_> {
+    type State = State;
+
+    fn let_stmt(&mut self, name: &str, init: Option<&Expr>, state: &mut State) {
+        let Some(init) = init else {
+            return;
+        };
+        // The initializer may itself contain a sink or a side effect.
+        self.expr_stmt(init, state);
+        let counts = self.a.eval(init, state);
+        if counts.is_empty() {
+            // Strong update: a re-binding drops stale possibilities.
+            state.vars.remove(name);
+        } else {
+            if let Some(base) = init.base_ident() {
+                if let Some(&origin) = self.a.origins.get(base) {
+                    self.a.origins.insert(name.to_string(), origin);
+                }
+            }
+            state.vars.insert(name.to_string(), counts);
+        }
+        if self.a.is_factor(init, state) {
+            state.factors.insert(name.to_string());
+        } else {
+            state.factors.remove(name);
+        }
+    }
+
+    fn expr_stmt(&mut self, e: &Expr, state: &mut State) {
+        // `u.delta[i] *= factor` outside a recognised loop.
+        if let Expr::Assign {
+            op, target, value, ..
+        } = e
+        {
+            if op == "*=" && self.a.is_factor(value, state) {
+                if let Some(root) = chain_root(target).map(str::to_string) {
+                    if let Some(counts) = state.vars.get(&root).cloned() {
+                        state.vars.insert(root, bump(&counts, 1));
+                    }
+                }
+            }
+        }
+        // `out.push(ReceivedUpdate { … })` joins the element's count
+        // into the collection (how the fault pipeline builds its vec).
+        if let Expr::MethodCall {
+            recv, method, args, ..
+        } = e
+        {
+            if matches!(method.as_str(), "push" | "extend") {
+                if let (Some(root), Some(arg)) = (chain_root(recv), args.first()) {
+                    let root = root.to_string();
+                    let counts = self.a.eval(arg, state);
+                    if !counts.is_empty() {
+                        state.vars.entry(root).or_default().extend(counts);
+                    }
+                }
+            }
+        }
+        // Sinks and returns anywhere inside the expression.
+        let mut structs: Vec<&Expr> = Vec::new();
+        let mut rets: Vec<&Expr> = Vec::new();
+        e.walk(&mut |sub| match sub {
+            Expr::Struct { .. } => structs.push(sub),
+            Expr::Jump { value: Some(v), .. } => rets.push(v),
+            _ => {}
+        });
+        for s in structs {
+            self.a.check_sink(s, state);
+        }
+        for r in rets {
+            let counts = self.a.eval(r, state);
+            if !counts.is_empty() {
+                let origin = r.base_ident().and_then(|b| self.a.origins.get(b)).copied();
+                self.a.returned.push((counts, origin));
+            }
+        }
+    }
+
+    fn branch_choice(&mut self, cond: &Expr) -> BranchChoice {
+        // `if staleness > 0 { discount }` — the guard proves the
+        // skipped discount is the identity; interpret the then-branch
+        // as unconditional.
+        let mut mentions = false;
+        cond.walk(&mut |e| match e {
+            Expr::Path { segs, .. } if segs.iter().any(|s| s.contains("staleness")) => {
+                mentions = true;
+            }
+            Expr::Field { name, .. } if name.contains("staleness") => mentions = true,
+            _ => {}
+        });
+        if mentions {
+            BranchChoice::ThenOnly
+        } else {
+            BranchChoice::Join
+        }
+    }
+
+    fn loop_as_atomic(
+        &mut self,
+        head: Option<&Expr>,
+        binding: Option<&str>,
+        body: &Block,
+        state: &mut State,
+    ) -> bool {
+        let Some(head) = head else {
+            return false;
+        };
+        let counts = self.a.eval(head, state);
+        if counts.is_empty() {
+            return false;
+        }
+        let Some(binding) = binding else {
+            return false;
+        };
+        // The canonical element-wise discount,
+        // `for d in u.delta.iter_mut() { *d *= w; }`, is ONE discount
+        // applied to the whole collection — claim it atomically so the
+        // zero-or-more loop join cannot report a spurious "maybe
+        // undiscounted" path.
+        let mut mults = 0u8;
+        body.walk(&mut |e| {
+            if let Expr::Assign {
+                op, target, value, ..
+            } = e
+            {
+                if op == "*="
+                    && target.base_ident() == Some(binding)
+                    && self.a.is_factor(value, state)
+                {
+                    mults = mults.saturating_add(1);
+                }
+            }
+        });
+        if mults > 0 {
+            if let Some(root) = chain_root(head).map(str::to_string) {
+                state.vars.insert(root, bump(&counts, mults));
+                return true;
+            }
+        }
+        // Otherwise: seed the `for` binding with the element counts and
+        // let the driver interpret the loop structurally.
+        state.vars.insert(binding.to_string(), counts);
+        false
+    }
+}
+
+/// Analyse one function: record sinks and derive return facts.
+fn analyse<'a>(cg: &'a CallGraph<'a>, id: FnId, summaries: &'a [Summary]) -> Analysis<'a> {
+    let f = cg.fns[id].1;
+    let mut a = Analysis {
+        cg,
+        id,
+        summaries,
+        env: TypeEnv::of(f),
+        origins: BTreeMap::new(),
+        sinks: BTreeMap::new(),
+        returned: Vec::new(),
+    };
+    let mut state = State::default();
+    for (i, p) in f.params.iter().enumerate() {
+        if DELTA_TYPES.iter().any(|t| p.ty.contains(t)) {
+            state.vars.insert(p.name.clone(), once(0));
+            a.origins.insert(p.name.clone(), i);
+        }
+    }
+    {
+        let mut sems = Driver { a: &mut a };
+        run_block(&f.body, &mut sems, &mut state);
+    }
+    // Tail-expression return.
+    if let Some(Stmt::Expr(tail)) = f.body.stmts.last() {
+        let counts = a.eval(tail, &state);
+        if !counts.is_empty() {
+            let origin = tail.base_ident().and_then(|b| a.origins.get(b)).copied();
+            a.returned.push((counts, origin));
+        }
+    }
+    a
+}
+
+/// Derive the interprocedural summary from what a function returned.
+fn summarize(a: &Analysis<'_>) -> Summary {
+    let mut summary = Summary::default();
+    for (counts, origin) in &a.returned {
+        match origin {
+            Some(i) => {
+                // Returned a (projection of a) parameter: the added
+                // discount is the largest count reached — parameters
+                // start at 0, so that is exactly "discounts applied".
+                let k = counts.iter().copied().max().unwrap_or(0);
+                summary.adds = Some(match summary.adds {
+                    Some((pi, pk)) if pi == *i => (pi, pk.max(k)),
+                    Some(prev) => prev,
+                    None => (*i, k),
+                });
+            }
+            None => {
+                summary
+                    .ret
+                    .get_or_insert_with(Counts::new)
+                    .extend(counts.iter().copied());
+            }
+        }
+    }
+    summary
+}
+
+/// Quick token-level filter: only files mentioning the protocol's names
+/// participate, keeping the workspace pass fast.
+fn file_is_relevant(ctx: &FileCtx) -> bool {
+    ctx.toks.iter().any(|t| {
+        matches!(t.kind, TokKind::Ident)
+            && matches!(
+                t.text.as_str(),
+                "staleness_discount" | "ReceivedUpdate" | "BufferedUpdate" | "RoundInput"
+            )
+    })
+}
+
+/// Run the rule over the parsed workspace.
+pub fn check_discount_once(files: &[FileCtx], cg: &CallGraph<'_>, diags: &mut Vec<Diagnostic>) {
+    let relevant: Vec<bool> = files.iter().map(file_is_relevant).collect();
+    if !relevant.iter().any(|&r| r) {
+        return;
+    }
+
+    // Interprocedural pass: summaries for every function in a relevant
+    // file (others keep the empty summary).
+    let summaries = summary_fixpoint(cg, Summary::default(), |id, table| {
+        if relevant[cg.fns[id].0] {
+            summarize(&analyse(cg, id, table))
+        } else {
+            Summary::default()
+        }
+    });
+
+    // Reporting pass.
+    for (id, &(fi, f)) in cg.fns.iter().enumerate() {
+        let ctx = &files[fi];
+        if !relevant[fi] || !ctx.is_lib_crate() || ctx.is_test_line(f.line) {
+            continue;
+        }
+        let a = analyse(cg, id, &summaries);
+        for (line, counts) in &a.sinks {
+            if counts.contains(&0) {
+                diags.push(ctx.diag(
+                    RULE,
+                    *line,
+                    format!(
+                        "updates may reach aggregation in `{}` without crossing \
+                         `staleness_discount` (possible discount counts: {counts:?}) — every \
+                         path from the fault pipeline to `RoundInput` must discount exactly once",
+                        f.name
+                    ),
+                ));
+            } else if counts.contains(&2) {
+                diags.push(ctx.diag(
+                    RULE,
+                    *line,
+                    format!(
+                        "updates may cross `staleness_discount` more than once before \
+                         aggregation in `{}` (possible discount counts: {counts:?}) — the \
+                         discount is paid at application time only; receive/buffer paths must \
+                         stay undiscounted",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}

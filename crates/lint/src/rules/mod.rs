@@ -6,27 +6,81 @@
 //! guarantees it). The v2 families ([`float_order`], [`rng_hygiene`],
 //! [`lock_order`], [`cast_soundness`]) walk the parsed syntax tree
 //! instead, and the first three run as a single workspace pass over
-//! every file at once so they can follow calls across crates.
+//! every file at once so they can follow calls across crates. The v3
+//! families ([`checkpoint_symmetry`], [`discount_once`],
+//! [`metrics_registry`]) build on [`crate::dataflow`] for
+//! interprocedural protocol conformance.
 
 use crate::engine::{Diagnostic, FileCtx, LintConfig};
 
 mod cast_soundness;
+mod checkpoint_symmetry;
 mod determinism;
+mod discount_once;
 mod doc_coverage;
 mod float_order;
 mod lock_order;
+mod metrics_registry;
 mod panic_freedom;
 mod rng_hygiene;
 mod unsafe_safety;
 
 pub use cast_soundness::check_cast_soundness;
+pub use checkpoint_symmetry::check_checkpoint_symmetry;
 pub use determinism::check_determinism;
+pub use discount_once::check_discount_once;
 pub use doc_coverage::check_doc_coverage;
 pub use float_order::check_float_order;
 pub use lock_order::check_lock_order;
+pub use metrics_registry::check_metrics_registry;
 pub use panic_freedom::check_panic_freedom;
 pub use rng_hygiene::check_rng_hygiene;
 pub use unsafe_safety::check_unsafe_safety;
+
+/// One blessed-file exemption: `rule` does not fire in `path`.
+///
+/// Consolidating every per-file escape hatch into this one table keeps
+/// the exemption surface auditable: the fixtures crate asserts each
+/// path exists on disk (a renamed module cannot leave a stale
+/// blessing), and `--rules` prints the table alongside the taxonomy.
+#[derive(Debug)]
+pub struct Blessing {
+    /// The exempted rule id.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: &'static str,
+    /// Why the exemption is sound — shown by `--rules`.
+    pub why: &'static str,
+}
+
+/// Every blessed-file exemption, in rule-then-path order.
+pub const BLESSINGS: &[Blessing] = &[
+    Blessing {
+        rule: "determinism-env",
+        path: "crates/fl/src/config.rs",
+        why: "the one config entry point allowed to read process environment variables",
+    },
+    Blessing {
+        rule: "determinism-std-time",
+        path: "crates/trace/src/clock.rs",
+        why: "the Clock trait's wall-clock implementation must name std::time to wrap it",
+    },
+];
+
+/// Is `path` blessed for `rule`?
+pub fn is_blessed(rule: &str, path: &str) -> bool {
+    BLESSINGS.iter().any(|b| b.rule == rule && b.path == path)
+}
+
+/// Comma-separated blessed paths for `rule`, for diagnostics.
+pub fn blessed_paths_list(rule: &str) -> String {
+    BLESSINGS
+        .iter()
+        .filter(|b| b.rule == rule)
+        .map(|b| b.path)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 /// Run every enabled per-file rule family over one file.
 pub fn run_all(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
@@ -51,7 +105,13 @@ pub fn run_workspace(files: &[FileCtx], cfg: &LintConfig, diags: &mut Vec<Diagno
     let float = cfg.is_enabled("float-reduction-order");
     let rng = cfg.is_enabled("rng-stream-hygiene");
     let lock = cfg.is_enabled("lock-order");
-    if !(float || rng || lock) {
+    let ckpt = cfg.is_enabled("checkpoint-symmetry");
+    let discount = cfg.is_enabled("discount-once");
+    let metrics = cfg.is_enabled("metrics-registry");
+    if metrics {
+        check_metrics_registry(files, diags);
+    }
+    if !(float || rng || lock || ckpt || discount) {
         return;
     }
     let cg = crate::callgraph::CallGraph::build(files);
@@ -63,5 +123,11 @@ pub fn run_workspace(files: &[FileCtx], cfg: &LintConfig, diags: &mut Vec<Diagno
     }
     if lock {
         check_lock_order(files, &cg, diags);
+    }
+    if ckpt {
+        check_checkpoint_symmetry(files, &cg, diags);
+    }
+    if discount {
+        check_discount_once(files, &cg, diags);
     }
 }

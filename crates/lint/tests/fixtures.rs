@@ -578,6 +578,18 @@ fn every_declared_rule_is_exercised_by_these_fixtures() {
             "crates/fl/src/fixture.rs",
             "fn shrink(n: u64) -> u32 { n as u32 }\n",
         ),
+        (
+            "crates/fl/src/fixture.rs",
+            "impl Snap {\n    fn to_bytes(&self) -> Vec<u8> {\n        let mut out = Vec::new();\n        put_u32(&mut out, self.a);\n        put_u64(&mut out, self.b);\n        out\n    }\n    fn from_bytes(bytes: &[u8]) -> Snap {\n        let mut r = ByteReader::new(bytes);\n        Snap { a: r.u32(), b: r.u32() as u64 }\n    }\n}\n",
+        ),
+        (
+            "crates/fl/src/fixture.rs",
+            "fn aggregate(received: Vec<ReceivedUpdate>) -> RoundInput {\n    let updates = received;\n    RoundInput { updates: updates, round: 0 }\n}\n",
+        ),
+        (
+            LIB,
+            "pub fn emit(t: &Tracer) { t.span(\"round\", vec![]); }\n",
+        ),
     ];
     let mut seen: std::collections::BTreeSet<String> = Default::default();
     for (path, src) in fixtures {
@@ -1043,22 +1055,18 @@ fn workspace_findings_are_byte_stable_across_runs() {
 #[test]
 fn cadence_event_loop_files_are_not_blessed() {
     // The event-driven cadence core must live under the full
-    // determinism gates: no file of it may ever land on the env/time
-    // blessed lists, which would let wall-clock or environment reads
-    // creep into the aggregation path unnoticed.
-    use fedwcm_lint::engine::{ENV_BLESSED_FILES, TIME_BLESSED_FILES};
+    // determinism gates: no file of it may ever land on the blessing
+    // table, which would let wall-clock or environment reads creep
+    // into the aggregation path unnoticed.
+    use fedwcm_lint::BLESSINGS;
     for f in [
         "crates/fl/src/engine.rs",
         "crates/fl/src/cadence.rs",
         "crates/fl/src/checkpoint.rs",
     ] {
         assert!(
-            !ENV_BLESSED_FILES.contains(&f),
-            "{f} must not be env-blessed"
-        );
-        assert!(
-            !TIME_BLESSED_FILES.contains(&f),
-            "{f} must not be time-blessed"
+            BLESSINGS.iter().all(|b| b.path != f),
+            "{f} must not appear in the blessing table"
         );
     }
 
@@ -1084,6 +1092,488 @@ fn cadence_event_loop_files_are_not_blessed() {
                 .map(|x| x.to_string())
                 .collect::<Vec<_>>()
                 .join("\n")
+        );
+    }
+}
+
+// ---------------------------------------------- checkpoint-symmetry (v3)
+
+/// Only the named rule's findings, in output order.
+fn fired_only<'a>(diags: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+    diags.iter().filter(|d| d.rule == rule).collect()
+}
+
+const CKPT: &str = "crates/fl/src/fixture.rs";
+
+#[test]
+fn checkpoint_narrowed_width_fires() {
+    let src = "\
+impl Snap {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.a);
+        put_u64(&mut out, self.b);
+        out
+    }
+    fn from_bytes(bytes: &[u8]) -> Snap {
+        let mut r = ByteReader::new(bytes);
+        Snap { a: r.u32(), b: r.u32() as u64 }
+    }
+}
+";
+    let d = lint(CKPT, src);
+    let ck = fired_only(&d, "checkpoint-symmetry");
+    assert_eq!(ck.len(), 1);
+    assert!(
+        ck[0].message.contains("width/order mismatch"),
+        "{}",
+        ck[0].message
+    );
+    assert!(
+        ck[0].message.contains("written as `u64` but read as `u32`"),
+        "{}",
+        ck[0].message
+    );
+}
+
+#[test]
+fn checkpoint_reordered_fields_fire() {
+    let src = "\
+impl Snap {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.version);
+        put_f64(&mut out, self.alpha);
+        out
+    }
+    fn from_bytes(bytes: &[u8]) -> Snap {
+        let mut r = ByteReader::new(bytes);
+        let alpha = r.f64();
+        let version = r.u32();
+        Snap { version: version, alpha: alpha }
+    }
+}
+";
+    let d = lint(CKPT, src);
+    let ck = fired_only(&d, "checkpoint-symmetry");
+    assert_eq!(ck.len(), 1);
+    assert!(
+        ck[0].message.contains("diverge at step 1"),
+        "{}",
+        ck[0].message
+    );
+}
+
+#[test]
+fn checkpoint_written_but_never_read_fires() {
+    let src = "\
+impl Snap {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.a);
+        put_f32s(&mut out, &self.weights);
+        out
+    }
+    fn from_bytes(bytes: &[u8]) -> Snap {
+        let mut r = ByteReader::new(bytes);
+        Snap { a: r.u32(), weights: Vec::new() }
+    }
+}
+";
+    let d = lint(CKPT, src);
+    let ck = fired_only(&d, "checkpoint-symmetry");
+    assert_eq!(ck.len(), 1);
+    assert!(
+        ck[0].message.contains("written but never read"),
+        "{}",
+        ck[0].message
+    );
+}
+
+#[test]
+fn checkpoint_loop_structure_mismatch_fires() {
+    let src = "\
+impl Snap {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.rows.len() as u32);
+        for row in &self.rows {
+            put_f32s(&mut out, row);
+        }
+        out
+    }
+    fn from_bytes(bytes: &[u8]) -> Snap {
+        let mut r = ByteReader::new(bytes);
+        let n = r.u32();
+        let rows = vec![r.f32s()];
+        Snap { n: n, rows: rows }
+    }
+}
+";
+    let d = lint(CKPT, src);
+    let ck = fired_only(&d, "checkpoint-symmetry");
+    assert_eq!(ck.len(), 1);
+    assert!(
+        ck[0].message.contains("loop structure mismatch"),
+        "{}",
+        ck[0].message
+    );
+}
+
+#[test]
+fn checkpoint_matching_pair_passes() {
+    // Loops pair with loops, and a version gate's read arm lines up
+    // with the unconditional write under the longest-branch rule.
+    let src = "\
+impl Snap {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.version);
+        put_f64(&mut out, self.alpha);
+        for row in &self.rows {
+            put_f32s(&mut out, row);
+        }
+        out
+    }
+    fn from_bytes(bytes: &[u8]) -> Snap {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u32();
+        let alpha = if version >= 3 { r.f64() } else { 0.0 };
+        let mut rows = Vec::new();
+        for _ in 0..3 {
+            rows.push(r.f32s());
+        }
+        Snap { version: version, alpha: alpha, rows: rows }
+    }
+}
+";
+    let d = lint(CKPT, src);
+    assert!(fired_only(&d, "checkpoint-symmetry").is_empty());
+}
+
+#[test]
+fn checkpoint_helper_pair_put_read_checked() {
+    // Same-file `put_X`/`read_X` helpers are paired too, and resolved
+    // helper calls splice the callee's sequence into the caller's.
+    let src = "\
+fn put_update(out: &mut Vec<u8>, u: &Update) {
+    put_u64(out, u.client);
+    put_f32s(out, &u.delta);
+}
+fn read_update(r: &mut ByteReader) -> Update {
+    Update { client: r.u64(), delta: r.f32s(), extra: r.u32() }
+}
+";
+    let d = lint(CKPT, src);
+    let ck = fired_only(&d, "checkpoint-symmetry");
+    assert_eq!(ck.len(), 1);
+    assert!(
+        ck[0].message.contains("read but never written"),
+        "{}",
+        ck[0].message
+    );
+}
+
+#[test]
+fn checkpoint_real_pair_is_clean_and_mutations_fire() {
+    // The real FWCK v3 writer/reader pair passes as written…
+    let root = workspace_root();
+    let path = "crates/fl/src/checkpoint.rs";
+    let src = std::fs::read_to_string(root.join(path)).expect("checkpoint.rs readable");
+    let cfg = LintConfig::only(["checkpoint-symmetry"]).expect("known rule");
+    assert!(
+        lint_file(path, &src, &cfg).is_empty(),
+        "real checkpoint pair must be symmetric"
+    );
+
+    // …a narrowed field width is a hard error… (`put_u64(` with the
+    // paren so the mutation hits a call site, not the import list)
+    let narrowed = src.replacen("put_u64(", "put_u32(", 1);
+    assert_ne!(narrowed, src, "expected a put_u64 write to narrow");
+    let d = lint_file(path, &narrowed, &cfg);
+    assert!(
+        d.iter().any(|x| x.message.contains("width/order mismatch")),
+        "narrowed width must fire:\n{}",
+        d.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // …and so is a reordered write sequence: swap the first two
+    // adjacent single-line primitive writes in the file.
+    let lines: Vec<&str> = src.lines().collect();
+    let is_put = |l: &str| {
+        let t = l.trim_start();
+        t.starts_with("put_") && t.ends_with(";")
+    };
+    let i = (0..lines.len() - 1)
+        .find(|&i| is_put(lines[i]) && is_put(lines[i + 1]) && lines[i] != lines[i + 1])
+        .expect("two adjacent primitive writes to swap");
+    let mut swapped: Vec<&str> = lines.clone();
+    swapped.swap(i, i + 1);
+    let reordered = swapped.join("\n");
+    let d = lint_file(path, &reordered, &cfg);
+    assert!(
+        !d.is_empty(),
+        "reordered writes at lines {}-{} must fire",
+        i + 1,
+        i + 2
+    );
+}
+
+// -------------------------------------------------- discount-once (v3)
+
+#[test]
+fn undiscounted_update_path_fires() {
+    let src = "\
+fn aggregate(received: Vec<ReceivedUpdate>) -> RoundInput {
+    let updates = received;
+    RoundInput { updates: updates, round: 0 }
+}
+";
+    let d = lint(CKPT, src);
+    let dc = fired_only(&d, "discount-once");
+    assert_eq!(dc.len(), 1);
+    assert!(
+        dc[0].message.contains("without crossing"),
+        "{}",
+        dc[0].message
+    );
+}
+
+#[test]
+fn double_discount_regression_fires() {
+    // The PR-6 class of bug: the buffered cadence discounting at
+    // buffer time *and* the apply path discounting again.
+    let src = "\
+fn into_discounted(u: ReceivedUpdate) -> ReceivedUpdate {
+    let mut u = u;
+    let w = staleness_discount(u.staleness);
+    for d in u.delta.iter_mut() {
+        *d *= w;
+    }
+    u
+}
+fn flush(received: Vec<ReceivedUpdate>) -> RoundInput {
+    let buffered = received.into_iter().map(into_discounted).collect::<Vec<_>>();
+    let updates = buffered.into_iter().map(into_discounted).collect::<Vec<_>>();
+    RoundInput { updates: updates, round: 0 }
+}
+";
+    let d = lint(CKPT, src);
+    let dc = fired_only(&d, "discount-once");
+    assert_eq!(dc.len(), 1);
+    assert!(
+        dc[0].message.contains("more than once"),
+        "{}",
+        dc[0].message
+    );
+}
+
+#[test]
+fn single_discount_through_helper_passes() {
+    let src = "\
+fn into_discounted(u: ReceivedUpdate) -> ReceivedUpdate {
+    let mut u = u;
+    let w = staleness_discount(u.staleness);
+    for d in u.delta.iter_mut() {
+        *d *= w;
+    }
+    u
+}
+fn flush(received: Vec<ReceivedUpdate>) -> RoundInput {
+    let updates = received.into_iter().map(into_discounted).collect::<Vec<_>>();
+    RoundInput { updates: updates, round: 0 }
+}
+";
+    let d = lint(CKPT, src);
+    assert!(fired_only(&d, "discount-once").is_empty());
+}
+
+#[test]
+fn staleness_guarded_discount_passes() {
+    // `if staleness > 0 { discount }` — the guard proves the skipped
+    // discount is the identity, so the then-branch counts as the path.
+    let src = "\
+fn into_discounted(u: ReceivedUpdate) -> ReceivedUpdate {
+    let mut u = u;
+    if u.staleness > 0 {
+        let w = staleness_discount(u.staleness);
+        for d in u.delta.iter_mut() {
+            *d *= w;
+        }
+    }
+    u
+}
+fn flush(received: Vec<ReceivedUpdate>) -> RoundInput {
+    let updates = received.into_iter().map(into_discounted).collect::<Vec<_>>();
+    RoundInput { updates: updates, round: 0 }
+}
+";
+    let d = lint(CKPT, src);
+    assert!(fired_only(&d, "discount-once").is_empty());
+}
+
+// ----------------------------------------------- metrics-registry (v3)
+
+const REG: &str = "crates/trace/src/names.rs";
+const REG_SRC: &str = "\
+/// Span: one federated round.
+pub const ROUND: &str = \"round\";
+/// Gauge prefix: per-class accuracy.
+pub const FL_ACC_CLASS_PREFIX: &str = \"fl.acc.class.\";
+";
+
+#[test]
+fn literal_metric_name_fires() {
+    let d = lint(
+        LIB,
+        "pub fn emit(t: &Tracer) { t.span(\"round\", vec![]); }\n",
+    );
+    let m = fired_only(&d, "metrics-registry");
+    assert_eq!(m.len(), 1);
+    assert!(
+        m[0].message.contains("literal span/metric name"),
+        "{}",
+        m[0].message
+    );
+}
+
+#[test]
+fn unknown_constant_name_fires() {
+    let user = "pub fn emit(t: &Tracer) { t.span(names::RUOND, vec![]); }\n";
+    let d = lint_many(&[(REG, REG_SRC), (LIB, user)]);
+    let m = fired_only(&d, "metrics-registry");
+    assert!(
+        m.iter()
+            .any(|x| x.message.contains("`RUOND` does not resolve")),
+        "typo'd constant must fire:\n{}",
+        m.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn format_without_prefix_const_fires() {
+    let user = "\
+pub fn emit(reg: &MetricsRegistry, c: usize, a: f64) {
+    reg.gauge_set(&format!(\"fl.acc.class.{c:02}\"), a);
+}
+pub fn ok(t: &Tracer) { t.span(names::ROUND, vec![]); }
+";
+    let d = lint_many(&[(REG, REG_SRC), (LIB, user)]);
+    let m = fired_only(&d, "metrics-registry");
+    assert!(
+        m.iter()
+            .any(|x| x.message.contains("dynamic span/metric name")),
+        "prefix-baking format! must fire:\n{}",
+        m.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn format_onto_registered_prefix_passes() {
+    let user = "\
+pub fn emit(reg: &MetricsRegistry, c: usize, a: f64) {
+    reg.gauge_set(&format!(\"{}{c:02}\", names::FL_ACC_CLASS_PREFIX), a);
+}
+pub fn ok(t: &Tracer) { t.span(names::ROUND, vec![]); }
+";
+    let d = lint_many(&[(REG, REG_SRC), (LIB, user)]);
+    assert!(fired_only(&d, "metrics-registry").is_empty());
+}
+
+#[test]
+fn dead_registry_constant_fires() {
+    // ROUND is referenced, FL_ACC_CLASS_PREFIX is not → dead taxonomy.
+    let user = "pub fn emit(t: &Tracer) { t.span(names::ROUND, vec![]); }\n";
+    let d = lint_many(&[(REG, REG_SRC), (LIB, user)]);
+    let m = fired_only(&d, "metrics-registry");
+    assert_eq!(m.len(), 1);
+    assert!(
+        m[0].message
+            .contains("`FL_ACC_CLASS_PREFIX` is referenced by no code"),
+        "{}",
+        m[0].message
+    );
+}
+
+#[test]
+fn constant_names_pass() {
+    let user = "\
+pub fn emit(t: &Tracer, reg: &MetricsRegistry, c: usize) {
+    t.span(names::ROUND, vec![]);
+    reg.gauge_set(&format!(\"{}{c:02}\", names::FL_ACC_CLASS_PREFIX), 0.0);
+}
+";
+    let d = lint_many(&[(REG, REG_SRC), (LIB, user)]);
+    assert!(fired_only(&d, "metrics-registry").is_empty());
+}
+
+// ------------------------------------------------- taxonomy governance
+
+#[test]
+fn rule_info_matches_all_rules_in_order() {
+    use fedwcm_lint::RULE_INFO;
+    let ids: Vec<&str> = RULE_INFO.iter().map(|r| r.id).collect();
+    assert_eq!(ids, ALL_RULES, "RULE_INFO must list ALL_RULES in order");
+    for r in RULE_INFO {
+        assert!(!r.family.is_empty(), "{}: empty family", r.id);
+        assert_eq!(r.severity, "error", "{}: all rules are hard gates", r.id);
+        assert!(
+            !r.escape.is_empty(),
+            "{}: every rule documents its escape hatch",
+            r.id
+        );
+    }
+}
+
+#[test]
+fn blessed_paths_exist_on_disk() {
+    use fedwcm_lint::BLESSINGS;
+    let root = workspace_root();
+    for b in BLESSINGS {
+        assert!(
+            root.join(b.path).is_file(),
+            "blessing for `{}` points at `{}`, which does not exist — \
+             renaming a module must retire or update its blessing",
+            b.rule,
+            b.path
+        );
+        assert!(
+            ALL_RULES.contains(&b.rule),
+            "blessing names unknown rule `{}`",
+            b.rule
+        );
+        assert!(
+            !b.why.is_empty(),
+            "blessing for `{}` needs a rationale",
+            b.path
+        );
+    }
+}
+
+#[test]
+fn taxonomy_is_documented() {
+    // DESIGN.md §9 and the README rule table must mention every rule id
+    // — `--rules` output, docs, and the engine cannot drift apart.
+    let root = workspace_root();
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md");
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    for rule in ALL_RULES {
+        assert!(
+            design.contains(rule),
+            "DESIGN.md does not mention rule `{rule}`"
+        );
+        assert!(
+            readme.contains(rule),
+            "README.md does not mention rule `{rule}`"
         );
     }
 }

@@ -32,13 +32,17 @@
 //! `buffer_flush`, `async_apply`, `evaluate`, `checkpoint`,
 //! `fault_inject` — see DESIGN.md §11 for the field contract of each
 //! (`buffer_flush` and `async_apply` are the buffered-K and async
-//! cadences' aggregation spans; DESIGN.md §12).
+//! cadences' aggregation spans; DESIGN.md §12). Every span, point, and
+//! metric name is declared once as a constant in [`names`];
+//! `fedwcm-lint`'s `metrics-registry` rule rejects string literals in
+//! name position at call sites.
 
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod event;
 pub mod metrics;
+pub mod names;
 pub mod prof;
 pub mod sink;
 pub mod tracer;

@@ -1,0 +1,104 @@
+//! Canonical span, point, and metric names.
+//!
+//! Every `tracer.span(…)`, `tracer.point(…)`, and `MetricsRegistry`
+//! key used anywhere in the workspace's library crates is declared
+//! here, once. Call sites reference these constants instead of string
+//! literals — `fedwcm-lint`'s `metrics-registry` rule enforces it
+//! statically: a literal name at a call site, a constant that does not
+//! resolve here, or a constant nothing references is a hard CI error.
+//! That makes this module the single authoritative taxonomy of the
+//! telemetry surface: rename a span here and the compiler walks you to
+//! every producer, while dashboards and trace consumers get one place
+//! to read.
+//!
+//! Grouping mirrors the instrument kinds in [`crate::metrics`] and
+//! [`crate::tracer`]: spans and points first, then counters, gauges,
+//! and histograms (all metric keys are dot-separated, `fl.`-prefixed).
+
+// ---- spans -------------------------------------------------------------
+
+/// Span: one federated round end to end.
+pub const ROUND: &str = "round";
+/// Span: one client's local training for a round.
+pub const CLIENT_UPDATE: &str = "client_update";
+/// Span: one local epoch inside a client update (thread-local buffer).
+pub const LOCAL_EPOCH: &str = "local_epoch";
+/// Span: the synchronous cadence's aggregation step.
+pub const AGGREGATE: &str = "aggregate";
+/// Span: one buffered-K cadence flush.
+pub const BUFFER_FLUSH: &str = "buffer_flush";
+/// Span: one asynchronous cadence apply.
+pub const ASYNC_APPLY: &str = "async_apply";
+/// Span: evaluation of the global model.
+pub const EVALUATE: &str = "evaluate";
+/// Span: writing a checkpoint.
+pub const CHECKPOINT: &str = "checkpoint";
+/// Span: the fault pipeline for one round.
+pub const FAULT_INJECT: &str = "fault_inject";
+
+// ---- points ------------------------------------------------------------
+
+/// Point: one injected fault event (kind in the fields).
+pub const FAULT: &str = "fault";
+/// Point: a free-form informational message.
+pub const INFO: &str = "info";
+
+// ---- counters ----------------------------------------------------------
+
+/// Counter: client→server payload bytes.
+pub const FL_BYTES_UP: &str = "fl.bytes.up";
+/// Counter: server→client payload bytes.
+pub const FL_BYTES_DOWN: &str = "fl.bytes.down";
+/// Counter: clients dropped for the round by the fault plan.
+pub const FL_FAULTS_DROPOUTS: &str = "fl.faults.dropouts";
+/// Counter: uploads delayed by straggler faults.
+pub const FL_FAULTS_STRAGGLERS: &str = "fl.faults.stragglers";
+/// Counter: late uploads merged into a later round.
+pub const FL_FAULTS_LATE_MERGED: &str = "fl.faults.late_merged";
+/// Counter: late uploads re-queued when their round skipped quorum.
+pub const FL_FAULTS_LATE_REQUEUED: &str = "fl.faults.late_requeued";
+/// Counter: uploads corrupted by the fault plan.
+pub const FL_FAULTS_CORRUPTIONS: &str = "fl.faults.corruptions";
+/// Counter: stale uploads replayed from the replay cache.
+pub const FL_FAULTS_REPLAYS: &str = "fl.faults.replays";
+/// Counter: uploads received before fault filtering.
+pub const FL_UPDATES_RECEIVED: &str = "fl.updates.received";
+/// Counter: uploads dropped by fault filtering.
+pub const FL_UPDATES_DROPPED: &str = "fl.updates.dropped";
+/// Counter: completed federated rounds.
+pub const FL_ROUNDS: &str = "fl.rounds";
+/// Counter: rounds skipped for missing quorum.
+pub const FL_ROUNDS_QUORUM_FAILED: &str = "fl.rounds.quorum_failed";
+/// Counter: buffered-K cadence flushes.
+pub const FL_CADENCE_FLUSHES: &str = "fl.cadence.flushes";
+/// Counter: asynchronous cadence applies.
+pub const FL_CADENCE_ASYNC_APPLIES: &str = "fl.cadence.async_applies";
+
+// ---- gauges ------------------------------------------------------------
+
+/// Gauge: uploads currently waiting in the aggregation buffer.
+pub const FL_CADENCE_BUFFERED: &str = "fl.cadence.buffered";
+/// Gauge: the momentum-calibration α chosen this aggregation.
+pub const FL_ALPHA: &str = "fl.alpha";
+/// Gauge: overall test accuracy of the global model.
+pub const FL_ACC_OVERALL: &str = "fl.acc.overall";
+/// Gauge: mean test accuracy over the tail third of classes.
+pub const FL_ACC_TAIL: &str = "fl.acc.tail";
+/// Gauge name prefix: per-class accuracy, suffixed with the
+/// zero-padded class id (`fl.acc.class.07`).
+pub const FL_ACC_CLASS_PREFIX: &str = "fl.acc.class.";
+
+// ---- histograms --------------------------------------------------------
+
+/// Histogram: L2 norm of the global-model movement per aggregation.
+pub const FL_UPDATE_NORM: &str = "fl.update_norm";
+/// Histogram: distribution of chosen α values.
+pub const FL_ALPHA_TRAJECTORY: &str = "fl.alpha.trajectory";
+/// Histogram: ticks spent in local training per round.
+pub const FL_PHASE_LOCAL_TRAIN: &str = "fl.phase.local_train";
+/// Histogram: ticks spent aggregating per round.
+pub const FL_PHASE_AGGREGATE: &str = "fl.phase.aggregate";
+/// Histogram: ticks spent evaluating per evaluation.
+pub const FL_PHASE_EVALUATE: &str = "fl.phase.evaluate";
+/// Histogram: total ticks per round.
+pub const FL_ROUND_TICKS: &str = "fl.round_ticks";

@@ -172,7 +172,7 @@ impl ConsoleSink {
 
 impl Sink for ConsoleSink {
     fn record(&self, event: &Event) {
-        if event.kind == EventKind::Point && event.name == "info" {
+        if event.kind == EventKind::Point && event.name == crate::names::INFO {
             for (k, v) in &event.fields {
                 if *k == "msg" {
                     if let Value::Str(s) = v {

@@ -70,7 +70,7 @@ impl Tracer {
     /// `info` with a `msg` field — what [`crate::ConsoleSink`] renders).
     pub fn info(&self, msg: impl Into<String>) {
         if self.enabled() {
-            self.point("info", vec![("msg", Value::Str(msg.into()))]);
+            self.point(crate::names::INFO, vec![("msg", Value::Str(msg.into()))]);
         }
     }
 
