@@ -1,7 +1,7 @@
 //! Minimal CLI parsing shared by the experiment binaries (no external
 //! argument-parsing dependency).
 
-use fedwcm_fl::Cadence;
+use fedwcm_fl::{Cadence, NetConfig};
 use fedwcm_trace::{ConsoleSink, Tracer, WallClock};
 use std::sync::Arc;
 
@@ -31,6 +31,9 @@ pub struct Cli {
     pub rounds: Option<usize>,
     /// Server aggregation cadence (`--cadence sync|buffered:K|async:N`).
     pub cadence: Cadence,
+    /// Network-fault plan for the wire transport
+    /// (`--net drop:0.1,delay:2`); `None` runs without a transport.
+    pub net: Option<NetConfig>,
     /// Console verbosity: 0 (`--quiet`) silences progress, 1 (default)
     /// prints progress lines, 2 (`--verbose`) echoes every trace event.
     pub verbosity: u8,
@@ -45,6 +48,7 @@ impl Default for Cli {
             dataset: None,
             rounds: None,
             cadence: Cadence::Sync,
+            net: None,
             verbosity: 1,
         }
     }
@@ -107,6 +111,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Cli {
                     .and_then(Cadence::parse)
                     .unwrap_or_else(|| usage("--cadence needs sync, buffered:K, or async:N"));
             }
+            "--net" => {
+                let spec = it.next().unwrap_or_else(|| usage("--net needs a spec"));
+                cli.net =
+                    Some(NetConfig::parse(&spec).unwrap_or_else(|e| usage(&format!("--net: {e}"))));
+            }
             "--quiet" | "-q" => cli.verbosity = 0,
             "--verbose" | "-v" => cli.verbosity = 2,
             "--help" | "-h" => usage(""),
@@ -124,7 +133,9 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <experiment> [--smoke|--quick|--paper-scale] [--seed N] \
          [--trials N] [--rounds N] [--dataset NAME] \
-         [--cadence sync|buffered:K|async:N] [--quiet|-q] [--verbose|-v]"
+         [--cadence sync|buffered:K|async:N] \
+         [--net drop:F,corrupt:F,dup:F,reorder:F,delayp:F,delay:N,seed:N] \
+         [--quiet|-q] [--verbose|-v]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -185,6 +196,15 @@ mod tests {
             parse(&["--cadence", "async:2"]).cadence,
             Cadence::Async { max_in_flight: 2 }
         );
+    }
+
+    #[test]
+    fn net_flag() {
+        assert!(parse(&[]).net.is_none());
+        let cfg = parse(&["--net", "drop:0.1,delay:2"]).net.expect("parsed");
+        assert_eq!(cfg.drop, 0.1);
+        assert_eq!(cfg.max_delay_rounds, 2);
+        assert!(cfg.delay > 0.0, "delay:N implies a default delay rate");
     }
 
     #[test]

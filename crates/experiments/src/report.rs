@@ -3,7 +3,7 @@
 use crate::cli::Cli;
 use crate::methods::{build_method, Method};
 use crate::setup::ExpConfig;
-use fedwcm_fl::History;
+use fedwcm_fl::{History, NetPlan};
 use fedwcm_trace::{MetricValue, MetricsRegistry, MetricsSnapshot};
 use std::sync::Arc;
 
@@ -19,7 +19,10 @@ pub fn run_cell(exp: &ExpConfig, method: Method, cli: &Cli) -> f64 {
         }
         e.cadence = cli.cadence;
         let task = e.prepare();
-        let sim = task.simulation();
+        let mut sim = task.simulation();
+        if let Some(net) = &cli.net {
+            sim = sim.with_net_plan(NetPlan::new(net.clone()));
+        }
         let mut algo = build_method(method, &task);
         let history = sim.run(algo.as_mut());
         acc += history.final_accuracy(3);
@@ -41,9 +44,12 @@ pub fn run_history(exp: &ExpConfig, method: Method, cli: &Cli) -> History {
     }
     e.cadence = cli.cadence;
     let task = e.prepare();
-    let sim = task
+    let mut sim = task
         .simulation()
         .with_metrics(Arc::new(MetricsRegistry::new()));
+    if let Some(net) = &cli.net {
+        sim = sim.with_net_plan(NetPlan::new(net.clone()));
+    }
     let mut algo = build_method(method, &task);
     sim.run(algo.as_mut())
 }
@@ -228,6 +234,7 @@ mod tests {
             aggregations: 0,
             dropped_updates: 0,
             faults: fedwcm_fl::RoundFaults::default(),
+            net: fedwcm_fl::NetCounters::default(),
         };
         // Two methods evaluated at *different* rounds: pairing by index
         // would misattribute h2's round-2 accuracy to round 1.

@@ -33,6 +33,8 @@
 
 #![warn(missing_docs)]
 
+pub mod rates;
+
 use fedwcm_stats::rng::{Rng, Xoshiro256pp};
 
 /// Stream label for fault draws (disjoint from the engine's sampling
@@ -107,22 +109,12 @@ impl FaultConfig {
 
     /// Validate rates; panics with context on misconfiguration.
     pub fn validate(&self) {
-        for (name, r) in [
+        rates::validate(&[
             ("dropout", self.dropout),
             ("straggler", self.straggler),
             ("corruption", self.corruption),
             ("replay", self.replay),
-        ] {
-            assert!(
-                (0.0..=1.0).contains(&r),
-                "{name} rate must be in [0,1], got {r}"
-            );
-        }
-        let total = self.dropout + self.straggler + self.corruption + self.replay;
-        assert!(
-            total <= 1.0 + 1e-12,
-            "fault rates must sum to ≤ 1, got {total}"
-        );
+        ]);
         assert!(
             self.straggler == 0.0 || self.max_delay >= 1,
             "max_delay must be ≥ 1 when stragglers are enabled"
@@ -184,29 +176,31 @@ impl FaultPlan {
         let mut rng =
             Xoshiro256pp::stream(self.cfg.seed, &[STREAM_FAULT, round as u64, client as u64]);
         let u = rng.next_f64();
-        let mut edge = self.cfg.dropout;
-        if u < edge {
-            return Some(FaultKind::Dropout);
+        match rates::pick(
+            u,
+            &[
+                self.cfg.dropout,
+                self.cfg.straggler,
+                self.cfg.corruption,
+                self.cfg.replay,
+            ],
+        ) {
+            Some(0) => Some(FaultKind::Dropout),
+            Some(1) => {
+                let delay = 1 + rng.index(self.cfg.max_delay);
+                Some(FaultKind::Straggler { delay })
+            }
+            Some(2) => {
+                let kind = match rng.index(3) {
+                    0 => Corruption::NanInject,
+                    1 => Corruption::SignFlip,
+                    _ => Corruption::NormBlowup,
+                };
+                Some(FaultKind::Corrupt(kind))
+            }
+            Some(3) => Some(FaultKind::Replay),
+            _ => None,
         }
-        edge += self.cfg.straggler;
-        if u < edge {
-            let delay = 1 + rng.index(self.cfg.max_delay);
-            return Some(FaultKind::Straggler { delay });
-        }
-        edge += self.cfg.corruption;
-        if u < edge {
-            let kind = match rng.index(3) {
-                0 => Corruption::NanInject,
-                1 => Corruption::SignFlip,
-                _ => Corruption::NormBlowup,
-            };
-            return Some(FaultKind::Corrupt(kind));
-        }
-        edge += self.cfg.replay;
-        if u < edge {
-            return Some(FaultKind::Replay);
-        }
-        None
     }
 
     /// The faults scheduled for one round over the given sampled clients,

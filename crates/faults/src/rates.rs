@@ -1,0 +1,95 @@
+//! Shared rate-partitioning helpers for seeded fault schedules.
+//!
+//! Both the client-level [`FaultPlan`](crate::FaultPlan) and the
+//! frame-level network plan in `fedwcm-transport` follow the same
+//! discipline: one uniform draw per decision point, partitioned by a
+//! fixed-order list of rates. Centralising the partition (and the rate
+//! validation) here keeps the two plans bitwise consistent with each
+//! other and with any future plan family.
+
+/// Partition a uniform draw `u ∈ [0, 1)` by `rates`, returning the index
+/// of the interval it falls in, or `None` for the healthy remainder.
+///
+/// Edges accumulate left to right (`rates[0]`, then `rates[0]+rates[1]`,
+/// …), exactly reproducing the original hand-rolled edge walk so that
+/// refactored call sites draw bitwise-identical schedules.
+pub fn pick(u: f64, rates: &[f64]) -> Option<usize> {
+    let mut edge = 0.0;
+    for (i, &r) in rates.iter().enumerate() {
+        edge += r;
+        if u < edge {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Validate a named rate list; panics with context on misconfiguration.
+///
+/// Each rate must lie in `[0, 1]` and the rates must sum to at most 1
+/// (the remainder is the healthy probability).
+pub fn validate(named: &[(&str, f64)]) {
+    for &(name, r) in named {
+        assert!(
+            (0.0..=1.0).contains(&r),
+            "{name} rate must be in [0,1], got {r}"
+        );
+    }
+    let total: f64 = named.iter().map(|&(_, r)| r).sum();
+    assert!(
+        total <= 1.0 + 1e-12,
+        "fault rates must sum to ≤ 1, got {total}"
+    );
+}
+
+/// Non-panicking twin of [`validate`], for parsing user-supplied specs
+/// (CLI flags) where misconfiguration should surface as an error message
+/// rather than a panic.
+pub fn check(named: &[(&str, f64)]) -> Result<(), String> {
+    for &(name, r) in named {
+        if !(0.0..=1.0).contains(&r) {
+            return Err(format!("{name} rate must be in [0,1], got {r}"));
+        }
+    }
+    let total: f64 = named.iter().map(|&(_, r)| r).sum();
+    if total > 1.0 + 1e-12 {
+        return Err(format!("fault rates must sum to ≤ 1, got {total}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_walks_edges_left_to_right() {
+        let rates = [0.3, 0.1, 0.05, 0.05];
+        assert_eq!(pick(0.0, &rates), Some(0));
+        assert_eq!(pick(0.29, &rates), Some(0));
+        assert_eq!(pick(0.3, &rates), Some(1));
+        assert_eq!(pick(0.39, &rates), Some(1));
+        assert_eq!(pick(0.4, &rates), Some(2));
+        assert_eq!(pick(0.45, &rates), Some(3));
+        assert_eq!(pick(0.5, &rates), None);
+        assert_eq!(pick(0.99, &rates), None);
+    }
+
+    #[test]
+    fn pick_with_no_rates_is_always_healthy() {
+        assert_eq!(pick(0.0, &[]), None);
+    }
+
+    #[test]
+    fn check_mirrors_validate() {
+        assert!(check(&[("a", 0.5), ("b", 0.5)]).is_ok());
+        assert!(check(&[("a", -0.1)]).is_err());
+        assert!(check(&[("a", 0.9), ("b", 0.2)]).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_sum_over_one() {
+        validate(&[("a", 0.9), ("b", 0.2)]);
+    }
+}

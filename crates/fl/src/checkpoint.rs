@@ -17,11 +17,16 @@
 //! `fedwcm_nn::serialize`. Float bit patterns are preserved exactly, so
 //! serialize → deserialize → serialize is the identity on bytes.
 //!
-//! Version 3 (current) added the cadence tag after the fingerprint, the
-//! `aggregations`/`late_requeued` record columns, and the aggregation
-//! buffer after the replay cache. Version 2 checkpoints (no cadence —
-//! always synchronous, empty aggregation buffer, `aggregations`
-//! back-filled from `update_norm`) still parse.
+//! Version 4 (current) added the transport state: the logical-clock
+//! tick counter after the cadence, eight per-round network counters
+//! after the fault columns, and a `via_net` flag on each straggler-
+//! buffer entry — so a run killed mid-retry resumes with identical
+//! backoff clocks and books. Version 3 added the cadence tag after the
+//! fingerprint, the `aggregations`/`late_requeued` record columns, and
+//! the aggregation buffer after the replay cache. Version 2
+//! checkpoints (no cadence — always synchronous, empty aggregation
+//! buffer, `aggregations` back-filled from `update_norm`) still parse;
+//! pre-v4 fields default to zero transport activity.
 
 use crate::algorithm::{FederatedAlgorithm, StateError};
 use crate::cadence::Cadence;
@@ -32,12 +37,14 @@ use fedwcm_nn::serialize::{
     put_bytes, put_f32, put_f32s, put_f64, put_str, put_u32, put_u64, ByteReader,
 };
 use fedwcm_trace::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
+use fedwcm_transport::NetCounters;
 
 const MAGIC: &[u8; 4] = b"FWCK";
 // Version 2 added the metrics snapshot after the history records;
 // version 3 the cadence tag, per-round aggregation counts, re-queue
-// tallies, and the aggregation buffer.
-const VERSION: u32 = 3;
+// tallies, and the aggregation buffer; version 4 the transport tick
+// counter, per-round network counters, and per-pending via_net flags.
+const VERSION: u32 = 4;
 /// Oldest version [`ServerCheckpoint::from_bytes`] still parses.
 const MIN_VERSION: u32 = 2;
 
@@ -108,6 +115,9 @@ pub struct ServerCheckpoint {
     /// Aggregation cadence the run was using (always [`Cadence::Sync`]
     /// for pre-v3 checkpoints).
     cadence: Cadence,
+    /// Transport logical-clock position (zero when no network plan was
+    /// active, and for pre-v4 checkpoints).
+    net_ticks: u64,
     /// Fingerprint of the producing simulation: seed, clients, rounds,
     /// parameter arity.
     fingerprint: [u64; 4],
@@ -168,6 +178,7 @@ impl ServerCheckpoint {
             agg_buffer: state.agg_buffer.clone(),
             replay_cache: state.replay_cache.clone(),
             cadence: sim.cfg.cadence,
+            net_ticks: state.net_ticks,
             fingerprint: Self::fingerprint_of(sim, state.global.len()),
         })
     }
@@ -208,6 +219,7 @@ impl ServerCheckpoint {
             pending: self.pending.clone(),
             agg_buffer: self.agg_buffer.clone(),
             replay_cache: self.replay_cache.clone(),
+            net_ticks: self.net_ticks,
         })
     }
 
@@ -222,6 +234,7 @@ impl ServerCheckpoint {
         let (cadence_tag, cadence_param) = self.cadence.tag_param();
         put_u32(&mut out, cadence_tag);
         put_u64(&mut out, cadence_param);
+        put_u64(&mut out, self.net_ticks);
         put_u64(&mut out, self.next_round as u64);
         put_f32s(&mut out, &self.global);
         put_str(&mut out, &self.algo_name);
@@ -245,6 +258,14 @@ impl ServerCheckpoint {
             put_u32(&mut out, r.faults.corruptions);
             put_u32(&mut out, r.faults.replays);
             put_u32(&mut out, r.faults.quorum_failed as u32);
+            put_u64(&mut out, r.net.frames_sent);
+            put_u64(&mut out, r.net.retries);
+            put_u64(&mut out, r.net.rejected_frames);
+            put_u64(&mut out, r.net.duplicates);
+            put_u64(&mut out, r.net.delayed);
+            put_u64(&mut out, r.net.degraded);
+            put_u64(&mut out, r.net.retransmitted_bytes);
+            put_u64(&mut out, r.net.rejected_bytes);
         }
         put_metrics(&mut out, &self.history.metrics);
 
@@ -253,6 +274,7 @@ impl ServerCheckpoint {
         for p in &self.pending {
             put_u64(&mut out, p.arrival_round as u64);
             put_u64(&mut out, p.staleness as u64);
+            put_u32(&mut out, u32::from(p.via_net));
             put_update(&mut out, &p.update);
         }
 
@@ -299,6 +321,12 @@ impl ServerCheckpoint {
             // v2 predates cadences: every run was round-synchronous.
             Cadence::Sync
         };
+        let net_ticks = if version >= 4 {
+            r.u64().ok_or(CheckpointError::Malformed)?
+        } else {
+            // Pre-v4 runs had no transport: clock never advanced.
+            0
+        };
         let next_round = read_usize(&mut r)?;
         let global = r.f32s().ok_or(CheckpointError::Malformed)?;
         let algo_name = r.str().ok_or(CheckpointError::Malformed)?;
@@ -333,6 +361,20 @@ impl ServerCheckpoint {
                 replays: r.u32().ok_or(CheckpointError::Malformed)?,
                 quorum_failed: r.u32().ok_or(CheckpointError::Malformed)? != 0,
             };
+            let net = if version >= 4 {
+                NetCounters {
+                    frames_sent: r.u64().ok_or(CheckpointError::Malformed)?,
+                    retries: r.u64().ok_or(CheckpointError::Malformed)?,
+                    rejected_frames: r.u64().ok_or(CheckpointError::Malformed)?,
+                    duplicates: r.u64().ok_or(CheckpointError::Malformed)?,
+                    delayed: r.u64().ok_or(CheckpointError::Malformed)?,
+                    degraded: r.u64().ok_or(CheckpointError::Malformed)?,
+                    retransmitted_bytes: r.u64().ok_or(CheckpointError::Malformed)?,
+                    rejected_bytes: r.u64().ok_or(CheckpointError::Malformed)?,
+                }
+            } else {
+                NetCounters::default()
+            };
             history.records.push(RoundRecord {
                 round,
                 train_loss,
@@ -342,6 +384,7 @@ impl ServerCheckpoint {
                 aggregations,
                 dropped_updates,
                 faults,
+                net,
             });
         }
         history.metrics = read_metrics(&mut r)?;
@@ -351,10 +394,20 @@ impl ServerCheckpoint {
         for _ in 0..n_pending {
             let arrival_round = read_usize(&mut r)?;
             let staleness = read_usize(&mut r)?;
+            let via_net = if version >= 4 {
+                match r.u32().ok_or(CheckpointError::Malformed)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(CheckpointError::Malformed),
+                }
+            } else {
+                false
+            };
             let update = read_update(&mut r)?;
             pending.push(PendingUpdate {
                 arrival_round,
                 staleness,
+                via_net,
                 update,
             });
         }
@@ -394,6 +447,7 @@ impl ServerCheckpoint {
             agg_buffer,
             replay_cache,
             cadence,
+            net_ticks,
             fingerprint,
         })
     }

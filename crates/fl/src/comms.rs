@@ -7,15 +7,20 @@
 //! counters are `u64`: a paper-scale run (hundreds of clients, ResNet-18
 //! parameters, hundreds of rounds) overflows 32-bit byte counts.
 //!
-//! Volumes are cadence-independent: every sampled client downloads the
-//! model and uploads one delta per round regardless of *when* the
-//! server applies it, so the buffered-K and async cadences
+//! **Nominal** volumes are cadence-independent: every sampled client
+//! downloads the model and uploads one delta per round regardless of
+//! *when* the server applies it, so the buffered-K and async cadences
 //! ([`crate::Cadence`]) move exactly the same bytes as the synchronous
-//! barrier — they only shift the aggregation schedule.
+//! barrier — they only shift the aggregation schedule. That claim
+//! covers nominal volume only: a lossy wire transport adds
+//! retransmissions on top, which depend on the network plan, not the
+//! cadence. Fold those in with [`CommReport::with_transport`], which
+//! keeps the books balanced as `total = nominal + retransmitted`.
 
 use crate::config::FlConfig;
 use crate::engine::sampled_clients_for;
 use fedwcm_faults::{FaultKind, FaultPlan};
+use fedwcm_transport::NetCounters;
 
 /// Bytes moved in one direction for one client exchanging a full model
 /// (f32 parameters).
@@ -45,6 +50,26 @@ pub struct CommReport {
     /// Upload bytes that never transited because the client dropped out.
     /// Zero without a fault plan.
     pub dropped_upload_bytes: u64,
+    /// Upload bytes re-transmitted by the wire transport after a Nack
+    /// or timeout. Zero without a network plan (measured at runtime,
+    /// folded in via [`CommReport::with_transport`]).
+    pub retransmitted_bytes: u64,
+    /// Upload bytes that arrived in frames the receiver rejected
+    /// (checksum or framing damage). Zero without a network plan.
+    pub rejected_bytes: u64,
+}
+
+impl CommReport {
+    /// Fold measured transport counters into a nominal report: the
+    /// retransmitted bytes join `total_bytes` (they really crossed the
+    /// wire) and both runtime tallies become visible, so
+    /// `total = nominal + retransmitted` holds by construction.
+    pub fn with_transport(mut self, net: &NetCounters) -> CommReport {
+        self.retransmitted_bytes = net.retransmitted_bytes;
+        self.rejected_bytes = net.rejected_bytes;
+        self.total_bytes = self.total_bytes.saturating_add(net.retransmitted_bytes);
+        self
+    }
 }
 
 /// Compute the fault-free communication profile of a run.
@@ -68,6 +93,8 @@ pub fn communication_report(
         total_bytes: (down + up) * cfg.rounds as u64,
         stale_upload_bytes: 0,
         dropped_upload_bytes: 0,
+        retransmitted_bytes: 0,
+        rejected_bytes: 0,
     }
 }
 
@@ -231,5 +258,34 @@ mod tests {
             r.total_bytes,
             plain.total_bytes - dropouts * model + stragglers * model
         );
+    }
+
+    #[test]
+    fn transport_books_balance() {
+        let cfg = FlConfig::default_sim();
+        let nominal = communication_report(&cfg, 1000, true);
+        let net = NetCounters {
+            frames_sent: 40,
+            retries: 6,
+            retransmitted_bytes: 6 * 4000,
+            rejected_frames: 2,
+            rejected_bytes: 2 * 4000,
+            ..NetCounters::default()
+        };
+        let r = nominal.with_transport(&net);
+        assert_eq!(r.retransmitted_bytes, 24_000);
+        assert_eq!(r.rejected_bytes, 8_000);
+        // total = nominal + retransmitted, exactly.
+        assert_eq!(r.total_bytes, nominal.total_bytes + 24_000);
+        // Nominal per-round figures are untouched by the transport.
+        assert_eq!(r.up_bytes_per_round, nominal.up_bytes_per_round);
+        assert_eq!(r.down_bytes_per_round, nominal.down_bytes_per_round);
+    }
+
+    #[test]
+    fn fault_free_transport_changes_nothing() {
+        let cfg = FlConfig::default_sim();
+        let nominal = communication_report(&cfg, 1000, false);
+        assert_eq!(nominal.with_transport(&NetCounters::default()), nominal);
     }
 }

@@ -7,6 +7,7 @@ use crate::checkpoint::{CheckpointError, ServerCheckpoint};
 use crate::client::{ClientEnv, ClientUpdate, ModelFactory};
 use crate::config::FlConfig;
 use crate::metrics::{History, RoundFaults, RoundRecord};
+use crate::wire;
 use fedwcm_data::dataset::{ClientView, Dataset};
 use fedwcm_faults::{corrupt_delta, staleness_discount, FaultKind, FaultPlan};
 use fedwcm_nn::model::Model;
@@ -14,6 +15,7 @@ use fedwcm_parallel::{chunk_ranges, parallel_map, with_intra_threads, ThreadBudg
 use fedwcm_stats::rng::{Rng, Xoshiro256pp};
 use fedwcm_tensor::invariants;
 use fedwcm_trace::{local, names, MetricsRegistry, SpanBuffer, Tracer, Value};
+use fedwcm_transport::{AttemptOutcome, Courier, NetCounters, NetPlan, RetryPolicy, Verdict};
 use std::sync::Arc;
 
 /// Stream label for per-round client sampling.
@@ -68,6 +70,10 @@ pub(crate) struct PendingUpdate {
     pub(crate) arrival_round: usize,
     /// Rounds of lateness (the staleness discount is `1/(1+staleness)`).
     pub(crate) staleness: usize,
+    /// True when the lateness came from a transport-level delay (the
+    /// network plan) rather than a client-level straggler fault. Carried
+    /// through checkpoints so a resumed run replays the same trace.
+    pub(crate) via_net: bool,
     /// The buffered client update.
     pub(crate) update: ClientUpdate,
 }
@@ -82,6 +88,10 @@ pub(crate) struct ReceivedUpdate {
     /// Rounds since the global model this delta was trained against
     /// (0 for a fresh upload from this round's cohort).
     pub(crate) staleness: usize,
+    /// True once the upload has crossed the wire transport (delivered
+    /// or delayed by the network plan). An upload transits the network
+    /// exactly once; re-queued entries keep the flag.
+    pub(crate) via_net: bool,
     /// The upload, delta undiscounted.
     pub(crate) update: ClientUpdate,
 }
@@ -116,6 +126,11 @@ pub(crate) struct RunState {
     /// Per-client copy of the last upload the server received; maintained
     /// only when the fault plan can schedule replays.
     pub(crate) replay_cache: Vec<Option<Vec<f32>>>,
+    /// Transport logical-clock position (0 when no network plan is in
+    /// effect). Checkpointed so a kill-mid-run resume continues the
+    /// transport tick sequence exactly where the interrupted run left
+    /// off instead of restarting it at zero.
+    pub(crate) net_ticks: u64,
 }
 
 /// What a cadence did with this round's received uploads; the common
@@ -194,6 +209,18 @@ pub struct Simulation<'a> {
     /// the fault-free trajectory bit for bit: the plan draws from its own
     /// RNG streams and never touches sampling or training streams.
     pub fault_plan: Option<FaultPlan>,
+    /// Frame-level network fault plan. When set (and not all-zero), the
+    /// client-upload path is routed through the wire transport: uploads
+    /// are framed, checksummed, and delivered over a lossy deterministic
+    /// link with retries; exhausted retry budgets degrade into the
+    /// dropout machinery and transport delays into the straggler
+    /// machinery. `None` and any zero-rate plan reproduce the
+    /// direct-call trajectory bit for bit.
+    pub net_plan: Option<NetPlan>,
+    /// Retry policy the transport courier runs under (deadlines,
+    /// backoff, attempt budget). Ignored unless a network plan is in
+    /// effect.
+    pub retry_policy: RetryPolicy,
     /// Tracing and metrics attachments (off by default).
     pub obs: Observability,
 }
@@ -224,6 +251,8 @@ impl<'a> Simulation<'a> {
             views,
             factory,
             fault_plan: None,
+            net_plan: None,
+            retry_policy: RetryPolicy::default(),
             obs: Observability::default(),
         }
     }
@@ -232,6 +261,27 @@ impl<'a> Simulation<'a> {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
+    }
+
+    /// Attach a frame-level network fault plan (builder style). A
+    /// zero-rate plan is a bitwise no-op: the transport path is skipped
+    /// entirely, exactly as if no plan were attached.
+    pub fn with_net_plan(mut self, plan: NetPlan) -> Self {
+        self.net_plan = Some(plan);
+        self
+    }
+
+    /// Override the transport retry policy (builder style); validated
+    /// when the courier is constructed.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// The network plan actually in effect: `None` when absent *or*
+    /// all-zero, so both cases skip the transport path identically.
+    fn effective_net_plan(&self) -> Option<&NetPlan> {
+        self.net_plan.as_ref().filter(|p| !p.is_zero())
     }
 
     /// Attach a tracer (builder style). Pair a
@@ -333,6 +383,7 @@ impl<'a> Simulation<'a> {
             pending: Vec::new(),
             agg_buffer: Vec::new(),
             replay_cache,
+            net_ticks: 0,
         }
     }
 
@@ -469,11 +520,27 @@ impl<'a> Simulation<'a> {
                     vec![("round", Value::U64(round as u64))],
                 );
                 self.apply_faults(plan, round, updates, state, &mut faults, &tracer)
+            } else if self.effective_net_plan().is_some() {
+                // No client-level faults, but the transport can have
+                // parked delayed deliveries: merge the ones due this
+                // round, in the same client-id order apply_faults uses.
+                let mut received: Vec<ReceivedUpdate> = updates
+                    .into_iter()
+                    .map(|u| ReceivedUpdate {
+                        staleness: 0,
+                        via_net: false,
+                        update: u,
+                    })
+                    .collect();
+                self.merge_due_pending(round, &mut received, state, &mut faults, &tracer);
+                received.sort_by_key(|r| r.update.client);
+                received
             } else {
                 updates
                     .into_iter()
                     .map(|u| ReceivedUpdate {
                         staleness: 0,
+                        via_net: false,
                         update: u,
                     })
                     .collect()
@@ -484,6 +551,30 @@ impl<'a> Simulation<'a> {
                 reg.counter_add(names::FL_FAULTS_LATE_MERGED, u64::from(faults.late_merged));
                 reg.counter_add(names::FL_FAULTS_CORRUPTIONS, u64::from(faults.corruptions));
                 reg.counter_add(names::FL_FAULTS_REPLAYS, u64::from(faults.replays));
+            }
+
+            // Transport hook: route this round's fresh uploads through
+            // the wire. Skipped entirely (a bitwise no-op) without an
+            // effective network plan; with one, checksum-rejected frames
+            // are Nacked and retried, exhausted budgets fall through to
+            // the dropout machinery, and delays park the upload in the
+            // straggler buffer. The `fl.net.*` counters are only touched
+            // when the transport actually ran, so zero-plan metric
+            // snapshots stay identical to pre-transport runs.
+            let mut net = NetCounters::default();
+            if let Some(net_plan) = self.effective_net_plan() {
+                received =
+                    self.deliver_received(net_plan, round, received, state, &mut net, &tracer);
+                if let Some(reg) = registry {
+                    reg.counter_add(names::FL_NET_FRAMES_SENT, net.frames_sent);
+                    reg.counter_add(names::FL_NET_RETRIES, net.retries);
+                    reg.counter_add(names::FL_NET_REJECTED_FRAMES, net.rejected_frames);
+                    reg.counter_add(names::FL_NET_DUPLICATES, net.duplicates);
+                    reg.counter_add(names::FL_NET_DELAYED, net.delayed);
+                    reg.counter_add(names::FL_NET_DEGRADED, net.degraded);
+                    reg.counter_add(names::FL_NET_RETRANSMITTED_BYTES, net.retransmitted_bytes);
+                    reg.counter_add(names::FL_NET_REJECTED_BYTES, net.rejected_bytes);
+                }
             }
 
             // Failure containment: a delta that arrived non-finite (or
@@ -549,6 +640,7 @@ impl<'a> Simulation<'a> {
                 aggregations: outcome.aggregations,
                 dropped_updates,
                 faults,
+                net,
             });
             if let Some(reg) = registry {
                 reg.counter_add(names::FL_ROUNDS, 1);
@@ -622,6 +714,7 @@ impl<'a> Simulation<'a> {
                     state.pending.push(PendingUpdate {
                         arrival_round: round + 1,
                         staleness: r.staleness + 1,
+                        via_net: r.via_net,
                         update: r.update,
                     });
                 }
@@ -734,6 +827,7 @@ impl<'a> Simulation<'a> {
                 .map(|b| {
                     into_discounted(ReceivedUpdate {
                         staleness: round - b.base_round,
+                        via_net: false,
                         update: b.update,
                     })
                 })
@@ -964,6 +1058,7 @@ impl<'a> Simulation<'a> {
         let mut received: Vec<ReceivedUpdate> = Vec::with_capacity(updates.len());
         let fresh = |update: ClientUpdate| ReceivedUpdate {
             staleness: 0,
+            via_net: false,
             update,
         };
         for mut u in updates {
@@ -978,6 +1073,7 @@ impl<'a> Simulation<'a> {
                     state.pending.push(PendingUpdate {
                         arrival_round: round + delay,
                         staleness: delay,
+                        via_net: false,
                         update: u,
                     });
                 }
@@ -1004,28 +1100,7 @@ impl<'a> Simulation<'a> {
             }
         }
 
-        // Merge buffered uploads due this round, each tagged with its
-        // staleness: a delta computed against an s-round-old global is
-        // still signal, but weaker — the cadence discounts it by
-        // `staleness_discount(s)` when it is applied.
-        let mut still_pending = Vec::with_capacity(state.pending.len());
-        for p in state.pending.drain(..) {
-            if p.arrival_round <= round {
-                faults.late_merged += 1;
-                fault_point(
-                    "late_merge",
-                    p.update.client,
-                    Some(("staleness", p.staleness as u64)),
-                );
-                received.push(ReceivedUpdate {
-                    staleness: p.staleness,
-                    update: p.update,
-                });
-            } else {
-                still_pending.push(p);
-            }
-        }
-        state.pending = still_pending;
+        self.merge_due_pending(round, &mut received, state, faults, tracer);
 
         // Aggregation sees uploads in client-id order regardless of which
         // path (fresh, corrupted, replayed, late) produced them; the sort
@@ -1045,6 +1120,159 @@ impl<'a> Simulation<'a> {
             }
         }
         received
+    }
+
+    /// Merge buffered uploads due this round, each tagged with its
+    /// staleness: a delta computed against an s-round-old global is
+    /// still signal, but weaker — the cadence discounts it by
+    /// `staleness_discount(s)` when it is applied. Both client-level
+    /// stragglers and transport-level delays flow through here, so the
+    /// quorum/re-queue machinery treats them uniformly; a deferred
+    /// transport delivery additionally emits an `ack` point on arrival.
+    fn merge_due_pending(
+        &self,
+        round: usize,
+        received: &mut Vec<ReceivedUpdate>,
+        state: &mut RunState,
+        faults: &mut RoundFaults,
+        tracer: &Tracer,
+    ) {
+        let mut still_pending = Vec::with_capacity(state.pending.len());
+        for p in state.pending.drain(..) {
+            if p.arrival_round <= round {
+                faults.late_merged += 1;
+                if tracer.enabled() {
+                    tracer.point(
+                        names::FAULT,
+                        vec![
+                            ("round", Value::U64(round as u64)),
+                            ("client", Value::U64(p.update.client as u64)),
+                            ("kind", Value::Str("late_merge".to_string())),
+                            ("staleness", Value::U64(p.staleness as u64)),
+                        ],
+                    );
+                    if p.via_net {
+                        tracer.point(
+                            names::ACK,
+                            vec![
+                                ("round", Value::U64(round as u64)),
+                                ("client", Value::U64(p.update.client as u64)),
+                                ("deferred", Value::U64(1)),
+                            ],
+                        );
+                    }
+                }
+                received.push(ReceivedUpdate {
+                    staleness: p.staleness,
+                    via_net: p.via_net,
+                    update: p.update,
+                });
+            } else {
+                still_pending.push(p);
+            }
+        }
+        state.pending = still_pending;
+    }
+
+    /// Route this round's fresh uploads through the wire transport.
+    ///
+    /// Each fresh upload is serialized, framed, and delivered by a
+    /// [`Courier`] over the deterministic in-memory link in client-id
+    /// order (the order `received` already has). Outcomes map onto the
+    /// existing failure machinery: delivered payloads are decoded back
+    /// into received updates; transport delays park the upload in the
+    /// straggler buffer (merged with a staleness discount when due);
+    /// exhausted retry budgets drop the upload, exactly like a dropout
+    /// fault — the quorum rule decides what the round does about it.
+    /// Late arrivals (staleness > 0) already crossed the wire when they
+    /// were fresh and pass through untouched.
+    fn deliver_received(
+        &self,
+        plan: &NetPlan,
+        round: usize,
+        received: Vec<ReceivedUpdate>,
+        state: &mut RunState,
+        net: &mut NetCounters,
+        tracer: &Tracer,
+    ) -> Vec<ReceivedUpdate> {
+        let mut courier = Courier::new(plan, self.retry_policy, state.net_ticks);
+        let mut out: Vec<ReceivedUpdate> = Vec::with_capacity(received.len());
+        for r in received {
+            if r.staleness > 0 {
+                out.push(r);
+                continue;
+            }
+            let client = r.update.client;
+            // One sequence number per (round, client) delivery; retries
+            // of the same upload share it, so duplicates are detected.
+            let seq = ((round as u64) << 32) | client as u64;
+            let payload = wire::encode_update(&r.update);
+            let send_span = tracer.span(
+                names::SEND_FRAME,
+                vec![
+                    ("round", Value::U64(round as u64)),
+                    ("client", Value::U64(client as u64)),
+                ],
+            );
+            let delivery = courier.deliver(round as u64, client as u64, seq, &payload);
+            if tracer.enabled() {
+                for outcome in &delivery.log {
+                    match outcome {
+                        AttemptOutcome::Acked => tracer.point(
+                            names::ACK,
+                            vec![
+                                ("round", Value::U64(round as u64)),
+                                ("client", Value::U64(client as u64)),
+                                ("attempts", Value::U64(u64::from(delivery.attempts))),
+                            ],
+                        ),
+                        AttemptOutcome::Delayed { .. } => {
+                            // The `ack` point is emitted when the
+                            // deferred delivery is merged, rounds later.
+                        }
+                        failed => tracer.point(
+                            names::RETRY,
+                            vec![
+                                ("round", Value::U64(round as u64)),
+                                ("client", Value::U64(client as u64)),
+                                ("reason", Value::Str(failed.label().to_string())),
+                            ],
+                        ),
+                    }
+                }
+            }
+            drop(send_span);
+            match delivery.verdict {
+                Verdict::Delivered { payload } => match wire::decode_update(&payload) {
+                    Some(update) => out.push(ReceivedUpdate {
+                        staleness: 0,
+                        via_net: true,
+                        update,
+                    }),
+                    None => {
+                        // An acknowledged frame whose payload fails to
+                        // parse would be a codec defect; degrade to a
+                        // dropout rather than poison or panic.
+                        net.degraded = net.degraded.saturating_add(1);
+                    }
+                },
+                Verdict::Delayed { rounds } => {
+                    state.pending.push(PendingUpdate {
+                        arrival_round: round + rounds,
+                        staleness: rounds,
+                        via_net: true,
+                        update: r.update,
+                    });
+                }
+                Verdict::Exhausted => {
+                    // Degrades into the dropout machinery: the round has
+                    // one fewer fresh upload and quorum decides the rest.
+                }
+            }
+        }
+        net.merge(&courier.counters());
+        state.net_ticks = courier.ticks();
+        out
     }
 
     /// Run the loop and also return the final global model.
@@ -1468,6 +1696,7 @@ mod tests {
         PendingUpdate {
             arrival_round: 0,
             staleness,
+            via_net: false,
             update: ClientUpdate {
                 client,
                 delta,

@@ -27,8 +27,9 @@
 //! [`client`] (local-training helpers),
 //! [`algorithm`] (the [`algorithm::FederatedAlgorithm`] trait),
 //! [`engine`] (the round loop), [`checkpoint`] (crash/resume snapshots),
-//! [`metrics`] (histories and resilience reports), and
-//! [`quadratic`] (a convex testbed for the Theorem 6.1 rate check).
+//! [`metrics`] (histories and resilience reports),
+//! [`quadratic`] (a convex testbed for the Theorem 6.1 rate check), and
+//! [`wire`] (payload codec for the fault-tolerant transport).
 
 #![warn(missing_docs)]
 
@@ -41,6 +42,7 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod quadratic;
+pub mod wire;
 
 pub use algorithm::{FederatedAlgorithm, RoundInput, RoundLog, StateError};
 pub use cadence::Cadence;
@@ -51,4 +53,5 @@ pub use engine::{
     evaluate_accuracy, evaluate_accuracy_threads, per_class_accuracy, per_class_accuracy_threads,
     sampled_clients_for, Observability, Simulation,
 };
+pub use fedwcm_transport::{NetConfig, NetCounters, NetPlan, RetryPolicy};
 pub use metrics::{History, ResilienceReport, RoundFaults, RoundRecord};

@@ -1,6 +1,7 @@
 //! Round-by-round histories, fault accounting, and summary statistics.
 
 use fedwcm_trace::MetricsSnapshot;
+use fedwcm_transport::NetCounters;
 
 /// Per-round tally of injected faults and their handling (all zero on a
 /// fault-free run; see `fedwcm-faults` for the taxonomy).
@@ -60,6 +61,10 @@ pub struct RoundRecord {
     pub dropped_updates: usize,
     /// Injected-fault tally for this round.
     pub faults: RoundFaults,
+    /// Transport activity for this round: frames sent, retries, rejected
+    /// frames, and deliveries degraded to dropout. All zero when no
+    /// network plan (or a zero-rate plan) is attached.
+    pub net: NetCounters,
 }
 
 /// A full training trajectory for one algorithm run.
@@ -155,12 +160,23 @@ impl History {
         ResilienceReport {
             rounds: self.records.len(),
             totals,
+            net: self.net_totals(),
             quorum_failures,
             contained_updates: contained,
             final_accuracy,
             baseline_accuracy: baseline.map(|b| b.final_accuracy(1)),
             accuracy_delta: baseline.map(|b| final_accuracy - b.final_accuracy(1)),
         }
+    }
+
+    /// Transport counters summed over every round (all zero when no
+    /// network plan was attached).
+    pub fn net_totals(&self) -> NetCounters {
+        let mut totals = NetCounters::default();
+        for r in &self.records {
+            totals.merge(&r.net);
+        }
+        totals
     }
 
     /// Standard deviation of accuracy over the last `window` evaluations —
@@ -189,6 +205,9 @@ pub struct ResilienceReport {
     pub rounds: usize,
     /// Per-fault-type totals over all rounds.
     pub totals: RoundFaults,
+    /// Transport totals over all rounds: retries attempted, frames
+    /// rejected, deliveries degraded to dropout (zero without a plan).
+    pub net: NetCounters,
     /// Rounds that failed quorum and skipped aggregation.
     pub quorum_failures: usize,
     /// Updates discarded by the containment filter (includes the
@@ -220,6 +239,18 @@ impl core::fmt::Display for ResilienceReport {
             "  handled:  {} quorum failures, {} updates contained",
             self.quorum_failures, self.contained_updates
         )?;
+        if !self.net.is_zero() {
+            writeln!(
+                f,
+                "  network:  {} frames sent, {} retries, {} rejected, {} duplicates, {} delayed, {} degraded to dropout",
+                self.net.frames_sent,
+                self.net.retries,
+                self.net.rejected_frames,
+                self.net.duplicates,
+                self.net.delayed,
+                self.net.degraded
+            )?;
+        }
         write!(f, "  final accuracy: {:.4}", self.final_accuracy)?;
         if let (Some(base), Some(delta)) = (self.baseline_accuracy, self.accuracy_delta) {
             write!(f, " (baseline {base:.4}, delta {delta:+.4})")?;
@@ -244,6 +275,7 @@ mod tests {
                 aggregations: 1,
                 dropped_updates: 0,
                 faults: RoundFaults::default(),
+                net: NetCounters::default(),
             });
         }
         h
@@ -284,6 +316,7 @@ mod tests {
             aggregations: 1,
             dropped_updates: 0,
             faults: RoundFaults::default(),
+            net: NetCounters::default(),
         });
         assert!(h.accuracy_series().is_empty());
     }
@@ -305,6 +338,7 @@ mod tests {
             aggregations: 0,
             dropped_updates: 1,
             faults: RoundFaults::default(),
+            net: NetCounters::default(),
         });
         let mean = h.mean_train_loss().expect("two observed losses");
         assert_eq!(mean, 3.0);
@@ -350,5 +384,39 @@ mod tests {
         let text = rep.to_string();
         assert!(text.contains("3 dropouts"));
         assert!(text.contains("1 quorum failures"));
+        assert!(
+            !text.contains("network:"),
+            "no transport activity, no network line"
+        );
+    }
+
+    #[test]
+    fn resilience_report_surfaces_transport_outcomes() {
+        let mut h = history_with(&[(0, 0.4), (1, 0.6)]);
+        h.records[0].net = NetCounters {
+            frames_sent: 12,
+            retries: 3,
+            rejected_frames: 2,
+            rejected_bytes: 96,
+            retransmitted_bytes: 144,
+            ..NetCounters::default()
+        };
+        h.records[1].net = NetCounters {
+            frames_sent: 10,
+            degraded: 1,
+            delayed: 1,
+            duplicates: 1,
+            ..NetCounters::default()
+        };
+        let rep = h.resilience_report(None);
+        assert_eq!(rep.net.frames_sent, 22);
+        assert_eq!(rep.net.retries, 3);
+        assert_eq!(rep.net.rejected_frames, 2);
+        assert_eq!(rep.net.degraded, 1);
+        assert_eq!(rep.net, h.net_totals());
+        let text = rep.to_string();
+        assert!(text.contains("22 frames sent"));
+        assert!(text.contains("3 retries"));
+        assert!(text.contains("1 degraded to dropout"));
     }
 }

@@ -163,12 +163,32 @@ pub const MARKER_RULE: &str = "lint-marker";
 /// families apply only here — binaries, benches, and dev tools
 /// (`experiments`, `bench`, the shims, this linter) are exempt.
 pub const LIB_CRATES: &[&str] = &[
-    "tensor", "nn", "fl", "core", "algos", "data", "he", "longtail", "stats", "parallel",
-    "analysis", "faults", "trace",
+    "tensor",
+    "nn",
+    "fl",
+    "core",
+    "algos",
+    "data",
+    "he",
+    "longtail",
+    "stats",
+    "parallel",
+    "analysis",
+    "faults",
+    "trace",
+    "transport",
 ];
 
 /// Crates whose public items must carry rustdoc.
-pub const DOC_CRATES: &[&str] = &["tensor", "fl", "core", "parallel", "faults", "trace"];
+pub const DOC_CRATES: &[&str] = &[
+    "tensor",
+    "fl",
+    "core",
+    "parallel",
+    "faults",
+    "trace",
+    "transport",
+];
 
 /// Crate allowed to call `thread::available_parallelism`.
 pub const THREADS_BLESSED_CRATE: &str = "parallel";

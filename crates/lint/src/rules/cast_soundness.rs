@@ -29,7 +29,7 @@ use crate::engine::{Diagnostic, FileCtx};
 const RULE: &str = "cast-soundness";
 
 /// Crates that serialize state and are held to checked arithmetic.
-const SERIALIZING_CRATES: &[&str] = &["fl", "he", "trace"];
+const SERIALIZING_CRATES: &[&str] = &["fl", "he", "trace", "transport"];
 
 /// Run the rule over one file.
 pub fn check_cast_soundness(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {

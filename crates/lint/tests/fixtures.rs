@@ -1053,6 +1053,44 @@ fn workspace_findings_are_byte_stable_across_runs() {
 }
 
 #[test]
+fn transport_crate_is_fully_gated_not_blessed() {
+    // The wire transport carries checksums and byte counters, so it
+    // must sit inside every gate: the panic-freedom/determinism set
+    // (LIB_CRATES), the rustdoc requirement (DOC_CRATES), and the
+    // cast-soundness arithmetic checks — with no blanket blessing
+    // letting its CRC or counter code skip them.
+    use fedwcm_lint::{BLESSINGS, DOC_CRATES, LIB_CRATES};
+    assert!(
+        LIB_CRATES.contains(&"transport"),
+        "transport must be a gated library crate"
+    );
+    assert!(
+        DOC_CRATES.contains(&"transport"),
+        "transport's public API must require rustdoc"
+    );
+    for b in BLESSINGS {
+        assert!(
+            !b.path.starts_with("crates/transport/"),
+            "transport file `{}` must not be blessed for `{}`",
+            b.path,
+            b.rule
+        );
+    }
+
+    // cast-soundness is live in the crate: an unchecked narrowing cast
+    // under the transport path fires, instead of being silently exempt.
+    let d = lint(
+        "crates/transport/src/fixture.rs",
+        "pub fn f(x: u64) -> u32 { x as u32 }\n",
+    );
+    assert!(
+        fired(&d).contains(&"cast-soundness"),
+        "cast-soundness must cover crates/transport, fired: {:?}",
+        fired(&d)
+    );
+}
+
+#[test]
 fn cadence_event_loop_files_are_not_blessed() {
     // The event-driven cadence core must live under the full
     // determinism gates: no file of it may ever land on the blessing

@@ -40,6 +40,21 @@ impl LogicalClock {
     pub fn new() -> Self {
         LogicalClock(AtomicU64::new(0))
     }
+
+    /// A logical clock resuming at `tick` — used when restoring
+    /// clock-bearing state (e.g. the transport courier) from a
+    /// checkpoint so the tick sequence continues exactly where the
+    /// interrupted run left off.
+    pub fn starting_at(tick: u64) -> Self {
+        LogicalClock(AtomicU64::new(tick))
+    }
+
+    /// The current tick *without* advancing the clock. [`Clock::tick`]
+    /// reads-and-advances; this is a pure observation for capturing the
+    /// clock's position (e.g. into a checkpoint).
+    pub fn current(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
 }
 
 impl Clock for LogicalClock {

@@ -35,6 +35,8 @@ pub const EVALUATE: &str = "evaluate";
 pub const CHECKPOINT: &str = "checkpoint";
 /// Span: the fault pipeline for one round.
 pub const FAULT_INJECT: &str = "fault_inject";
+/// Span: one transport delivery (send + retries) of a client upload.
+pub const SEND_FRAME: &str = "send_frame";
 
 // ---- points ------------------------------------------------------------
 
@@ -42,6 +44,10 @@ pub const FAULT_INJECT: &str = "fault_inject";
 pub const FAULT: &str = "fault";
 /// Point: a free-form informational message.
 pub const INFO: &str = "info";
+/// Point: one failed transport attempt (reason in the fields).
+pub const RETRY: &str = "retry";
+/// Point: a transport delivery acknowledged (or merged after delay).
+pub const ACK: &str = "ack";
 
 // ---- counters ----------------------------------------------------------
 
@@ -73,6 +79,23 @@ pub const FL_ROUNDS_QUORUM_FAILED: &str = "fl.rounds.quorum_failed";
 pub const FL_CADENCE_FLUSHES: &str = "fl.cadence.flushes";
 /// Counter: asynchronous cadence applies.
 pub const FL_CADENCE_ASYNC_APPLIES: &str = "fl.cadence.async_applies";
+/// Counter: transport data frames transmitted (first sends + retries).
+pub const FL_NET_FRAMES_SENT: &str = "fl.net.frames_sent";
+/// Counter: transport re-transmissions after a Nack or timeout.
+pub const FL_NET_RETRIES: &str = "fl.net.retries";
+/// Counter: frames rejected by the receiver (checksum or malformed).
+pub const FL_NET_REJECTED_FRAMES: &str = "fl.net.rejected_frames";
+/// Counter: redundant intact frames discarded as duplicates.
+pub const FL_NET_DUPLICATES: &str = "fl.net.duplicates";
+/// Counter: deliveries deferred whole rounds by the network plan.
+pub const FL_NET_DELAYED: &str = "fl.net.delayed";
+/// Counter: deliveries that exhausted their retry budget and degraded
+/// into the dropout machinery.
+pub const FL_NET_DEGRADED: &str = "fl.net.degraded";
+/// Counter: bytes re-transmitted by the transport.
+pub const FL_NET_RETRANSMITTED_BYTES: &str = "fl.net.retransmitted_bytes";
+/// Counter: bytes arriving in rejected frames.
+pub const FL_NET_REJECTED_BYTES: &str = "fl.net.rejected_bytes";
 
 // ---- gauges ------------------------------------------------------------
 

@@ -1,0 +1,43 @@
+//! Fault-tolerant wire transport for federated simulations.
+//!
+//! Today the engine delivers every client upload by in-process function
+//! call — a channel that cannot lose, damage, duplicate, reorder, or
+//! delay anything. Real federations run over networks that do all five.
+//! This crate builds the robust delivery layer *first*, against a
+//! deterministic in-memory link, so a later process/socket substrate
+//! drops in beneath an already chaos-tested protocol:
+//!
+//! * [`frame`] — a length-prefixed frame codec (magic, version, typed
+//!   messages, CRC32 over header + payload) with a byte-exact
+//!   encode/decode round-trip contract: any single flipped bit is
+//!   rejected, never mis-parsed.
+//! * [`plan`] — a seeded [`NetPlan`] injecting drop, bit-corruption,
+//!   duplication, reorder, and whole-round delay at the frame level;
+//!   `net_fault_for(round, client, attempt)` is a pure function on its
+//!   own RNG stream, the same discipline as `fedwcm-faults`.
+//! * [`link`] — the [`Link`] trait and its deterministic in-memory
+//!   implementation releasing frames in logical-clock order.
+//! * [`retry`] — per-attempt deadlines and capped exponential backoff
+//!   with deterministically seeded jitter.
+//! * [`courier`] — the delivery state machine tying it together:
+//!   intact frames are Acked, damaged frames Nacked and retried,
+//!   exhausted budgets degrade into the engine's existing
+//!   dropout/straggler machinery instead of erroring.
+//!
+//! Everything is bitwise deterministic across thread counts: all
+//! randomness is pure in `(seed, round, client, attempt)` and all
+//! waiting is measured on a logical clock.
+
+#![warn(missing_docs)]
+
+pub mod courier;
+pub mod frame;
+pub mod link;
+pub mod plan;
+pub mod retry;
+
+pub use courier::{AttemptOutcome, Courier, Delivery, NetCounters, Verdict};
+pub use frame::{FrameError, Message, NackReason};
+pub use link::{FrameCtx, InMemoryLink, Link};
+pub use plan::{NetConfig, NetFault, NetPlan, STREAM_NET, STREAM_NET_JITTER};
+pub use retry::RetryPolicy;

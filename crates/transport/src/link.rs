@@ -1,0 +1,288 @@
+//! The delivery substrate: a [`Link`] trait and its deterministic
+//! in-memory implementation.
+//!
+//! A link moves opaque frame bytes from sender to receiver under a
+//! logical clock. [`InMemoryLink`] consults a [`NetPlan`] at send time —
+//! the fault drawn for `(round, client, attempt)` decides whether the
+//! frame is discarded, damaged, duplicated, held back, or queued
+//! normally — and releases queued frames in deterministic `(due, id)`
+//! order as the clock advances. Because both the plan and the queue are
+//! pure functions of their inputs, a run over this link is bitwise
+//! reproducible across thread counts; a future process/socket link can
+//! implement the same trait and inherit the already chaos-tested
+//! protocol above it.
+
+use crate::plan::{NetFault, NetPlan};
+
+/// Logical ticks a frame spends in flight on a healthy link.
+pub const LINK_LATENCY: u64 = 1;
+
+/// Extra in-flight ticks added by a [`NetFault::Reorder`], enough to land
+/// the frame behind traffic sent one tick later.
+pub const REORDER_EXTRA: u64 = 1;
+
+/// Logical ticks per simulated round: a [`NetFault::Delay`] of `r` rounds
+/// parks the frame `r * ROUND_TICKS` ticks out, far past any per-attempt
+/// deadline, so delayed traffic can never satisfy an in-round retry.
+pub const ROUND_TICKS: u64 = 1024;
+
+/// Sender-side context identifying one frame transmission attempt; the
+/// coordinates of the [`NetPlan`] fault draw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameCtx {
+    /// Simulation round of the delivery.
+    pub round: u64,
+    /// Client whose upload is being carried.
+    pub client: u64,
+    /// Zero-based transmission attempt.
+    pub attempt: u32,
+}
+
+/// A one-way frame channel under a logical clock.
+pub trait Link {
+    /// Transmit `frame` under `ctx`. The link may lose, damage,
+    /// duplicate, or hold back the frame per its fault model.
+    fn send(&mut self, ctx: FrameCtx, frame: Vec<u8>);
+
+    /// Advance the link's logical clock by one tick.
+    fn tick(&mut self);
+
+    /// The link's current logical time.
+    fn now(&self) -> u64;
+
+    /// Drain every frame whose delivery time has arrived, in
+    /// deterministic arrival order.
+    fn poll(&mut self) -> Vec<Vec<u8>>;
+}
+
+struct QueuedFrame {
+    due: u64,
+    id: u64,
+    bytes: Vec<u8>,
+}
+
+/// Deterministic in-memory [`Link`] driven by a [`NetPlan`].
+pub struct InMemoryLink {
+    plan: NetPlan,
+    now: u64,
+    next_id: u64,
+    queue: Vec<QueuedFrame>,
+}
+
+fn flip_bit(frame: &mut [u8], raw_bit: u64) {
+    if frame.is_empty() {
+        return;
+    }
+    let bits = (frame.len() as u64).saturating_mul(8);
+    let bit = raw_bit % bits;
+    let byte = usize::try_from(bit / 8).unwrap_or(0);
+    frame[byte] ^= 1u8 << (bit % 8);
+}
+
+impl InMemoryLink {
+    /// A fresh link at tick 0 under `plan`.
+    pub fn new(plan: NetPlan) -> Self {
+        InMemoryLink {
+            plan,
+            now: 0,
+            next_id: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    fn enqueue(&mut self, due: u64, bytes: Vec<u8>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push(QueuedFrame { due, id, bytes });
+    }
+}
+
+impl Link for InMemoryLink {
+    fn send(&mut self, ctx: FrameCtx, mut frame: Vec<u8>) {
+        let due = self.now + LINK_LATENCY;
+        match self.plan.net_fault_for(ctx.round, ctx.client, ctx.attempt) {
+            Some(NetFault::Drop) => {}
+            Some(NetFault::Corrupt { bit }) => {
+                flip_bit(&mut frame, bit);
+                self.enqueue(due, frame);
+            }
+            Some(NetFault::Duplicate) => {
+                self.enqueue(due, frame.clone());
+                self.enqueue(due, frame);
+            }
+            Some(NetFault::Reorder) => {
+                self.enqueue(due + REORDER_EXTRA, frame);
+            }
+            Some(NetFault::Delay { rounds }) => {
+                self.enqueue(due + ROUND_TICKS * rounds as u64, frame);
+            }
+            None => self.enqueue(due, frame),
+        }
+    }
+
+    fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn poll(&mut self) -> Vec<Vec<u8>> {
+        let now = self.now;
+        let mut ready: Vec<QueuedFrame> = Vec::new();
+        let mut rest: Vec<QueuedFrame> = Vec::new();
+        for q in self.queue.drain(..) {
+            if q.due <= now {
+                ready.push(q);
+            } else {
+                rest.push(q);
+            }
+        }
+        self.queue = rest;
+        ready.sort_by_key(|q| (q.due, q.id));
+        ready.into_iter().map(|q| q.bytes).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::NetConfig;
+
+    fn ctx(client: u64, attempt: u32) -> FrameCtx {
+        FrameCtx {
+            round: 0,
+            client,
+            attempt,
+        }
+    }
+
+    fn drain_after(link: &mut InMemoryLink, ticks: u64) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for _ in 0..ticks {
+            link.tick();
+            out.extend(link.poll());
+        }
+        out
+    }
+
+    #[test]
+    fn healthy_frame_arrives_after_link_latency() {
+        let mut link = InMemoryLink::new(NetPlan::zero(1));
+        link.send(ctx(0, 0), vec![1, 2, 3]);
+        assert!(link.poll().is_empty(), "nothing arrives at send time");
+        link.tick();
+        assert_eq!(link.poll(), vec![vec![1, 2, 3]]);
+        assert!(link.poll().is_empty(), "poll drains");
+    }
+
+    #[test]
+    fn dropped_frames_never_arrive() {
+        let plan = NetPlan::new(NetConfig {
+            drop: 1.0,
+            ..NetConfig::zero(2)
+        });
+        let mut link = InMemoryLink::new(plan);
+        link.send(ctx(0, 0), vec![9; 8]);
+        assert!(drain_after(&mut link, 10_000).is_empty());
+    }
+
+    #[test]
+    fn duplicated_frames_arrive_twice() {
+        let plan = NetPlan::new(NetConfig {
+            duplicate: 1.0,
+            ..NetConfig::zero(3)
+        });
+        let mut link = InMemoryLink::new(plan);
+        link.send(ctx(0, 0), vec![7]);
+        link.tick();
+        assert_eq!(link.poll(), vec![vec![7], vec![7]]);
+    }
+
+    #[test]
+    fn corrupted_frames_differ_by_exactly_one_bit() {
+        let plan = NetPlan::new(NetConfig {
+            corrupt: 1.0,
+            ..NetConfig::zero(4)
+        });
+        let sent = vec![0u8; 16];
+        let mut link = InMemoryLink::new(plan);
+        link.send(ctx(0, 0), sent.clone());
+        link.tick();
+        let got = link.poll();
+        assert_eq!(got.len(), 1);
+        let flipped: u32 = got[0]
+            .iter()
+            .zip(sent.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn reordered_frame_lands_behind_later_traffic() {
+        let plan = NetPlan::new(NetConfig {
+            reorder: 1.0,
+            ..NetConfig::zero(5)
+        });
+        let mut link = InMemoryLink::new(plan);
+        // First frame reordered (+1 tick); plan is all-reorder, so hold
+        // the second frame out of the fault path with a zero-plan link…
+        // instead, send both through the same link but note both reorder:
+        // ids break the tie deterministically.
+        link.send(ctx(0, 0), vec![1]);
+        link.tick();
+        link.send(ctx(1, 0), vec![2]);
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            link.tick();
+            got.extend(link.poll());
+        }
+        // Frame 1 due at 0+1+1 = 2; frame 2 due at 1+1+1 = 3.
+        assert_eq!(got, vec![vec![1], vec![2]]);
+        // And a reordered frame does land behind a healthy later send:
+        let plan = NetPlan::new(NetConfig {
+            reorder: 0.5,
+            ..NetConfig::zero(17)
+        });
+        // Find a (client, attempt) pair where attempt 0 reorders and
+        // attempt 1 does not.
+        let pair = (0..64u64).find(|&c| {
+            plan.net_fault_for(0, c, 0) == Some(NetFault::Reorder)
+                && plan.net_fault_for(0, c, 1).is_none()
+        });
+        let c = pair.expect("some client reorders on attempt 0 only");
+        let mut link = InMemoryLink::new(plan);
+        link.send(ctx(c, 0), vec![10]);
+        link.send(ctx(c, 1), vec![11]);
+        link.tick();
+        assert_eq!(link.poll(), vec![vec![11]], "healthy frame overtakes");
+        link.tick();
+        assert_eq!(link.poll(), vec![vec![10]]);
+    }
+
+    #[test]
+    fn delayed_frames_park_for_whole_rounds() {
+        let plan = NetPlan::new(NetConfig {
+            delay: 1.0,
+            max_delay_rounds: 1,
+            ..NetConfig::zero(6)
+        });
+        let mut link = InMemoryLink::new(plan);
+        link.send(ctx(0, 0), vec![4]);
+        assert!(drain_after(&mut link, ROUND_TICKS).is_empty());
+        link.tick();
+        assert_eq!(link.poll(), vec![vec![4]]);
+    }
+
+    #[test]
+    fn flip_bit_handles_edge_cases() {
+        let mut empty: Vec<u8> = Vec::new();
+        flip_bit(&mut empty, 12345);
+        assert!(empty.is_empty());
+        let mut one = vec![0u8];
+        flip_bit(&mut one, 8); // wraps to bit 0
+        assert_eq!(one, vec![1]);
+    }
+}

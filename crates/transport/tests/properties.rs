@@ -1,0 +1,90 @@
+//! Property tests for the frame codec: round-trip identity, single-bit
+//! rejection, and truncation/length-prefix fuzzing.
+
+use fedwcm_transport::frame::{self, FrameError, Message, NackReason, HEADER_LEN, TRAILER_LEN};
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let payload = prop::collection::vec(any::<u8>(), 0..512);
+    let seq = any::<u64>();
+    (0u8..4, seq, payload, any::<bool>()).prop_map(|(kind, seq, payload, checksum)| match kind {
+        0 => Message::ModelDown { seq, payload },
+        1 => Message::DeltaUp { seq, payload },
+        2 => Message::Ack { seq },
+        _ => Message::Nack {
+            seq,
+            reason: if checksum {
+                NackReason::Checksum
+            } else {
+                NackReason::Malformed
+            },
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary messages encode→decode byte-identically.
+    #[test]
+    fn round_trip_is_byte_exact(msg in arb_message()) {
+        let bytes = frame::encode(&msg).expect("encodable");
+        let back = frame::decode(&bytes).expect("decodable");
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(frame::encode(&back).expect("encodable"), bytes);
+    }
+
+    /// Any single flipped bit anywhere in the frame is rejected —
+    /// never mis-parsed into a different message.
+    #[test]
+    fn single_bit_flip_is_always_rejected(
+        msg in arb_message(),
+        bit_pick in any::<u64>(),
+    ) {
+        let bytes = frame::encode(&msg).expect("encodable");
+        let bit = usize::try_from(bit_pick % (bytes.len() as u64 * 8)).unwrap();
+        let mut damaged = bytes.clone();
+        damaged[bit / 8] ^= 1u8 << (bit % 8);
+        prop_assert!(damaged != bytes);
+        let got = frame::decode(&damaged);
+        prop_assert!(got.is_err(), "flip at bit {} parsed as {:?}", bit, got);
+    }
+
+    /// Every strict prefix of a valid frame is rejected.
+    #[test]
+    fn truncation_is_always_rejected(msg in arb_message(), cut in any::<u64>()) {
+        let bytes = frame::encode(&msg).expect("encodable");
+        let keep = usize::try_from(cut % bytes.len() as u64).unwrap();
+        prop_assert!(frame::decode(&bytes[..keep]).is_err());
+    }
+
+    /// A fuzzed length prefix never panics and never yields a wrong
+    /// parse: either the mutation reproduces the original declared
+    /// length (CRC still guards the rest) or decoding errors out.
+    #[test]
+    fn fuzzed_length_prefix_is_safe(msg in arb_message(), fake_len in any::<u32>()) {
+        let bytes = frame::encode(&msg).expect("encodable");
+        let mut damaged = bytes.clone();
+        damaged[16..HEADER_LEN].copy_from_slice(&fake_len.to_le_bytes());
+        if let Ok(got) = frame::decode(&damaged) {
+            prop_assert_eq!(got, msg, "only the original length may parse");
+        }
+    }
+
+    /// Arbitrary raw bytes never panic the decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = frame::decode(&raw);
+    }
+}
+
+#[test]
+fn frame_overhead_is_header_plus_trailer() {
+    let bytes = frame::encode(&Message::DeltaUp {
+        seq: 1,
+        payload: vec![0; 100],
+    })
+    .expect("encodable");
+    assert_eq!(bytes.len(), HEADER_LEN + 100 + TRAILER_LEN);
+    assert!(matches!(frame::decode(&[]), Err(FrameError::Truncated)));
+}

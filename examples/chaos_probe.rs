@@ -10,7 +10,10 @@
 //!
 //! Pass a file path as the first argument to additionally write a JSONL
 //! trace of the run (spans + structured fault events under a
-//! `LogicalClock`); CI uploads it as a build artifact.
+//! `LogicalClock`); CI uploads it as a build artifact. Use `-` to skip
+//! the trace. A second argument is parsed as a network-plan spec (e.g.
+//! `drop:0.1,corrupt:0.05,delay:2`) and routes client uploads through
+//! the lossy wire transport on top of the fault plan.
 
 use fedwcm_suite::faults::FaultConfig;
 use fedwcm_suite::prelude::*;
@@ -58,8 +61,9 @@ fn main() {
     // Optional JSONL trace artifact: `chaos_probe <path>` stamps every
     // span and injected fault with a LogicalClock, so the file is
     // identical across thread counts and CI can diff or archive it.
+    // `-` skips the trace (placeholder when only a net spec is wanted).
     let mut tracer = Tracer::disabled();
-    if let Some(path) = std::env::args().nth(1) {
+    if let Some(path) = std::env::args().nth(1).filter(|p| p != "-") {
         let file = std::fs::File::create(&path)
             .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
         tracer = Tracer::new(
@@ -68,6 +72,16 @@ fn main() {
         );
         sim = sim.with_tracer(tracer.clone());
     }
+
+    // Optional lossy wire transport: `chaos_probe - drop:0.1,delay:2`
+    // stacks frame-level network faults on top of the fault plan.
+    let net_active = if let Some(spec) = std::env::args().nth(2) {
+        let cfg = NetConfig::parse(&spec).unwrap_or_else(|e| panic!("bad net spec {spec}: {e}"));
+        sim = sim.with_net_plan(NetPlan::new(cfg));
+        true
+    } else {
+        false
+    };
 
     let history = sim.run(&mut FedWcm::new());
     tracer.flush();
@@ -79,5 +93,13 @@ fn main() {
         corruptions > 0,
         "chaos probe never exercised the corruption/containment path"
     );
+    if net_active {
+        let net = history.net_totals();
+        assert!(net.frames_sent > 0, "net plan active but no frames sent");
+        println!(
+            "net: {} frames, {} retries, {} rejected, {} delayed, {} degraded",
+            net.frames_sent, net.retries, net.rejected_frames, net.delayed, net.degraded
+        );
+    }
     println!("chaos probe ok: {injected} faults injected, run completed");
 }

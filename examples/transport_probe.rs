@@ -1,0 +1,105 @@
+//! Transport determinism probe for CI.
+//!
+//! Runs a small federated simulation through the fault-tolerant wire
+//! transport under a lossy network plan (`cfg.threads = 0`, so the
+//! `FEDWCM_THREADS` env var decides the worker count) and prints every
+//! round metric *and* network counter at full bit precision. CI runs
+//! this twice — `FEDWCM_THREADS=1` and `FEDWCM_THREADS=4` — and diffs
+//! the output: any byte of difference means retries, backoff, or
+//! frame-level fault injection stopped being bitwise deterministic.
+//!
+//! Before the lossy run, the probe self-checks the zero-rate identity:
+//! a simulation with a zero-rate `NetPlan` must produce record-for-
+//! record identical bits to one with no plan at all, because the engine
+//! bypasses the transport when the plan cannot fire.
+
+use fedwcm_algos::fedavg::FedAvg;
+use fedwcm_data::longtail::longtail_counts;
+use fedwcm_data::partition::paper_partition;
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_fl::{FlConfig, History, NetConfig, NetPlan, Simulation};
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::Xoshiro256pp;
+
+fn run(net: Option<NetPlan>) -> History {
+    let spec = DatasetPreset::FashionMnist.spec();
+    let counts = longtail_counts(10, 40, 0.5);
+    let train = spec.generate_train(&counts, 31);
+    let test = spec.generate_test(31);
+
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 6;
+    cfg.participation = 0.5;
+    cfg.rounds = 6;
+    cfg.eval_every = 3;
+    cfg.threads = 0; // defer to FEDWCM_THREADS
+
+    let part = paper_partition(&train, cfg.clients, 0.5, cfg.seed);
+    let views = part.views(&train);
+    let mut sim = Simulation::new(
+        cfg,
+        &train,
+        &test,
+        views,
+        Box::new(|| {
+            let mut rng = Xoshiro256pp::seed_from(1234);
+            mlp(64, &[32], 10, &mut rng)
+        }),
+    );
+    if let Some(plan) = net {
+        sim = sim.with_net_plan(plan);
+    }
+    sim.run(&mut FedAvg::new())
+}
+
+fn record_bits(h: &History) -> Vec<String> {
+    h.records
+        .iter()
+        .map(|r| {
+            format!(
+                "round={} loss_bits={} norm_bits={:#018x} acc_bits={} \
+                 sent={} retries={} rejected={} dup={} delayed={} degraded={} \
+                 retx_bytes={} rej_bytes={}",
+                r.round,
+                r.train_loss
+                    .map(|l| format!("{:#018x}", l.to_bits()))
+                    .unwrap_or_else(|| "-".into()),
+                r.update_norm.to_bits(),
+                r.test_acc
+                    .map(|a| format!("{:#018x}", a.to_bits()))
+                    .unwrap_or_else(|| "-".into()),
+                r.net.frames_sent,
+                r.net.retries,
+                r.net.rejected_frames,
+                r.net.duplicates,
+                r.net.delayed,
+                r.net.degraded,
+                r.net.retransmitted_bytes,
+                r.net.rejected_bytes,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    // Zero-rate identity: a plan that can never fire must be invisible.
+    let plain = record_bits(&run(None));
+    let zeroed = record_bits(&run(Some(NetPlan::zero(0x4E17))));
+    assert_eq!(plain, zeroed, "zero-rate NetPlan changed the run");
+
+    let lossy = NetConfig::parse("drop:0.1,corrupt:0.05,delay:2,seed:77").expect("valid spec");
+    let history = run(Some(NetPlan::new(lossy)));
+    let totals = history.net_totals();
+    assert!(totals.frames_sent > 0, "lossy run sent no frames");
+    assert!(
+        totals.retries > 0 || totals.delayed > 0,
+        "lossy plan never perturbed a delivery"
+    );
+    for line in record_bits(&history) {
+        println!("{line}");
+    }
+    println!(
+        "transport probe ok: {} frames, {} retries, {} rejected, {} delayed, {} degraded",
+        totals.frames_sent, totals.retries, totals.rejected_frames, totals.delayed, totals.degraded
+    );
+}

@@ -46,6 +46,7 @@ pub use fedwcm_parallel as parallel;
 pub use fedwcm_stats as stats;
 pub use fedwcm_tensor as tensor;
 pub use fedwcm_trace as trace;
+pub use fedwcm_transport as transport;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -65,4 +66,5 @@ pub mod prelude {
     pub use fedwcm_trace::{
         JsonlSink, LogicalClock, MetricsRegistry, MetricsSnapshot, RingSink, Tracer, WallClock,
     };
+    pub use fedwcm_transport::{NetConfig, NetPlan, RetryPolicy};
 }

@@ -113,6 +113,46 @@ fn buffered_and_async_cadences_survive_chaos() {
     }
 }
 
+/// The transport chaos acceptance bar (ISSUE 8): stack a lossy wire —
+/// 10% dropped frames, 5% corrupted frames, deliveries delayed up to 2
+/// rounds — on top of the PR-3 fault plan. Retries and the straggler/
+/// dropout degradation paths must keep FedWCM within 5 accuracy points
+/// of the clean synchronous baseline.
+#[test]
+fn fedwcm_converges_over_a_lossy_wire() {
+    let (train, test, cfg) = cifar_task(2005);
+    let clean = sim(&train, &test, &cfg).run(&mut FedWcm::new());
+    let net = NetConfig::parse("drop:0.1,corrupt:0.05,delay:2,seed:19991").unwrap_or_else(|e| {
+        panic!("spec must parse: {e}");
+    });
+    let chaotic = sim(&train, &test, &cfg)
+        .with_fault_plan(chaos_plan(0xC0A7))
+        .with_net_plan(NetPlan::new(net))
+        .run(&mut FedWcm::new());
+
+    let clean_acc = clean.final_accuracy(2);
+    let chaos_acc = chaotic.final_accuracy(2);
+    assert!(
+        chaos_acc > clean_acc - 0.05,
+        "lossy-wire run collapsed: {chaos_acc:.4} vs clean {clean_acc:.4}"
+    );
+
+    let totals = chaotic.net_totals();
+    assert!(totals.frames_sent > 0, "transport never engaged");
+    assert!(
+        totals.retries > 0,
+        "a 10%-drop wire must force at least one retry over 15 rounds"
+    );
+    // The report surfaces the transport outcomes next to the faults.
+    let report = chaotic.resilience_report(Some(&clean)).to_string();
+    assert!(
+        report.contains("network:"),
+        "report must show the wire:\n{report}"
+    );
+    // The clean run's books stay silent.
+    assert!(clean.net_totals().is_zero());
+}
+
 #[test]
 fn fedwcm_crash_resume_matches_uninterrupted_run() {
     let (train, test, mut cfg) = cifar_task(2002);
