@@ -14,6 +14,7 @@
 pub mod cli;
 pub mod collapse;
 pub mod methods;
+pub mod prof;
 pub mod report;
 pub mod setup;
 

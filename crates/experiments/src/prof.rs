@@ -1,0 +1,218 @@
+//! `flprof`'s engine: load traces, render profiles, evaluate budgets.
+//!
+//! The binary in `bin/flprof.rs` is a thin argument parser around the
+//! functions here, so everything user-visible — the analysis pipeline,
+//! the table renderer, the exit-code decisions — is unit-testable
+//! without spawning a process. All JSON output is byte-stable: it is a
+//! pure function of the trace bytes, which are themselves bitwise
+//! deterministic across thread counts under a logical clock.
+
+use fedwcm_obs::{
+    analyze, build_forest, diff, folded_stacks, parse_trace, Budget, ObsError, Profile, SpanForest,
+};
+
+/// Parse trace text and run the full pipeline: records → forest →
+/// profile. Returns the forest too so callers can render flame output
+/// without re-parsing.
+pub fn analyze_trace_text(text: &str) -> Result<(Profile, SpanForest), ObsError> {
+    let records = parse_trace(text)?;
+    let forest = build_forest(&records)?;
+    let profile = analyze(&forest);
+    Ok((profile, forest))
+}
+
+/// The profile as a pretty-printed `fedwcm-prof/v1` JSON document
+/// (trailing newline included; byte-stable).
+pub fn profile_json(profile: &Profile) -> String {
+    profile.to_json().to_json_string_pretty()
+}
+
+/// Human-readable profile rendering: totals, the four-way attribution,
+/// a per-phase table, and one line per round with its label and
+/// critical path.
+pub fn profile_table(profile: &Profile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "records {}  spans {}  points {}  total_ticks {}\n",
+        profile.records, profile.spans, profile.points, profile.total_ticks
+    ));
+    let a = profile.attribution;
+    out.push_str(&format!(
+        "attribution: compute {}  faults {}  wire {}  overhead {}\n\n",
+        a.compute_ticks, a.fault_ticks, a.wire_ticks, a.overhead_ticks
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+        "phase", "count", "total", "self", "min", "max", "p50", "p95", "p99"
+    ));
+    for p in &profile.phases {
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+            p.name,
+            p.count,
+            p.total_ticks,
+            p.self_ticks,
+            p.min_ticks,
+            p.max_ticks,
+            p.p50_ticks,
+            p.p95_ticks,
+            p.p99_ticks
+        ));
+    }
+    if !profile.rounds.is_empty() {
+        out.push('\n');
+        for r in &profile.rounds {
+            out.push_str(&format!(
+                "round {:>3}: {:>7} ticks  {:<15} faults={} retries={}  {}\n",
+                r.round,
+                r.ticks,
+                r.label.as_str(),
+                r.fault_points,
+                r.retry_points,
+                r.critical_path
+            ));
+        }
+    }
+    out
+}
+
+/// Folded flame stacks for a trace (see [`fedwcm_obs::folded_stacks`]).
+pub fn flame_text(forest: &SpanForest) -> String {
+    folded_stacks(forest)
+}
+
+/// Evaluate a budget against a profile: the report JSON (pretty,
+/// byte-stable) and whether every ceiling held.
+pub fn run_budget(budget_text: &str, profile: &Profile) -> Result<(String, bool), ObsError> {
+    let budget = Budget::parse(budget_text)?;
+    let report = budget.check(profile);
+    Ok((report.to_json().to_json_string_pretty(), report.ok()))
+}
+
+/// Diff a current profile against a committed baseline document,
+/// optionally gated by a budget's `growth_ratio_max`. Returns the
+/// `fedwcm-prof-diff/v1` report JSON and whether no regression fired.
+pub fn run_diff(
+    baseline_text: &str,
+    current_text: &str,
+    budget_text: Option<&str>,
+) -> Result<(String, bool), ObsError> {
+    let baseline = Profile::from_json(&fedwcm_obs::json::parse(baseline_text.trim_end(), 1)?)?;
+    let current = Profile::from_json(&fedwcm_obs::json::parse(current_text.trim_end(), 1)?)?;
+    let budget = match budget_text {
+        Some(text) => Some(Budget::parse(text)?),
+        None => None,
+    };
+    let report = diff(&baseline, &current, budget.as_ref());
+    Ok((report.to_json().to_json_string_pretty(), report.ok()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small synthetic trace: two rounds, the second with a slowdown
+    /// factor applied to its client update — the "seeded regression"
+    /// used to prove the budget gate actually fails.
+    fn trace(slow_factor: u64) -> String {
+        let mut lines = Vec::new();
+        let mut t = 1u64;
+        for round in 0..2u64 {
+            let stretch = if round == 1 { slow_factor } else { 1 };
+            lines.push(format!(
+                "{{\"t\":{t},\"ev\":\"start\",\"name\":\"round\",\"round\":{round}}}"
+            ));
+            t += 1;
+            lines.push(format!(
+                "{{\"t\":{t},\"ev\":\"start\",\"name\":\"client_update\"}}"
+            ));
+            t += 10 * stretch;
+            lines.push(format!(
+                "{{\"t\":{t},\"ev\":\"end\",\"name\":\"client_update\"}}"
+            ));
+            t += 1;
+            lines.push(format!(
+                "{{\"t\":{t},\"ev\":\"start\",\"name\":\"aggregate\"}}"
+            ));
+            t += 3;
+            lines.push(format!(
+                "{{\"t\":{t},\"ev\":\"end\",\"name\":\"aggregate\"}}"
+            ));
+            t += 1;
+            lines.push(format!("{{\"t\":{t},\"ev\":\"end\",\"name\":\"round\"}}"));
+            t += 1;
+        }
+        lines.into_iter().map(|l| format!("{l}\n")).collect()
+    }
+
+    const BUDGET: &str = r#"{
+        "schema": "fedwcm-prof-budget/v1",
+        "total_ticks_max": 60,
+        "growth_ratio_max": 1.5,
+        "phases": [
+            {"name": "client_update", "p99_max": 15},
+            {"name": "aggregate", "total_max": 10}
+        ]
+    }"#;
+
+    #[test]
+    fn clean_trace_passes_the_budget() {
+        let (profile, _) = analyze_trace_text(&trace(1)).expect("valid trace");
+        let (report, ok) = run_budget(BUDGET, &profile).expect("valid budget");
+        assert!(ok, "unexpected violations: {report}");
+        assert!(report.contains("\"ok\": true"));
+    }
+
+    #[test]
+    fn seeded_regression_fails_the_budget() {
+        // Stretch round 1's client update 10x: p99 and total ticks both
+        // blow through the committed ceilings.
+        let (profile, _) = analyze_trace_text(&trace(10)).expect("valid trace");
+        let (report, ok) = run_budget(BUDGET, &profile).expect("valid budget");
+        assert!(!ok, "the slowed span must violate the budget");
+        assert!(report.contains("client_update"));
+        assert!(report.contains("total_ticks"));
+    }
+
+    #[test]
+    fn seeded_regression_fails_the_diff_gate_too() {
+        let (base, _) = analyze_trace_text(&trace(1)).expect("valid");
+        let (cur, _) = analyze_trace_text(&trace(10)).expect("valid");
+        let (report, ok) = run_diff(&profile_json(&base), &profile_json(&cur), Some(BUDGET))
+            .expect("valid inputs");
+        assert!(!ok);
+        assert!(report.contains("\"schema\": \"fedwcm-prof-diff/v1\""));
+        assert!(report.contains("client_update"));
+        // Self-diff stays clean.
+        let (_, ok) = run_diff(&profile_json(&base), &profile_json(&base), Some(BUDGET))
+            .expect("valid inputs");
+        assert!(ok);
+    }
+
+    #[test]
+    fn profile_json_is_byte_stable() {
+        let (a, _) = analyze_trace_text(&trace(1)).expect("valid");
+        let (b, _) = analyze_trace_text(&trace(1)).expect("valid");
+        assert_eq!(profile_json(&a), profile_json(&b));
+        assert!(profile_json(&a).ends_with('\n'));
+    }
+
+    #[test]
+    fn table_and_flame_render() {
+        let (profile, forest) = analyze_trace_text(&trace(1)).expect("valid");
+        let table = profile_table(&profile);
+        assert!(table.contains("client_update"));
+        assert!(table.contains("compute-bound"));
+        assert!(table.contains("round;client_update"));
+        let flame = flame_text(&forest);
+        assert!(flame.contains("round;aggregate 6\n"));
+    }
+
+    #[test]
+    fn bad_inputs_surface_typed_errors() {
+        assert!(analyze_trace_text("not json\n").is_err());
+        let (profile, _) = analyze_trace_text(&trace(1)).expect("valid");
+        assert!(run_budget("{\"schema\":\"wrong\"}", &profile).is_err());
+        assert!(run_diff("{}", "{}", None).is_err());
+    }
+}

@@ -127,7 +127,8 @@ pub fn accuracy_row(label: impl Into<String>, values: Vec<f64>) -> (String, Vec<
 }
 
 /// Markdown table of the per-phase timing histograms (`fl.phase.*` and
-/// `fl.round_ticks`): observation count, mean ticks, total ticks.
+/// `fl.round_ticks`): observation count, mean/total ticks, and the
+/// p50/p95/p99 bucket-interpolated percentile estimates.
 /// Empty string when the snapshot holds no phase histograms (e.g. the
 /// run had no tracer attached, so phase boundaries were never stamped).
 pub fn phase_time_table(snap: &MetricsSnapshot) -> String {
@@ -141,15 +142,25 @@ pub fn phase_time_table(snap: &MetricsSnapshot) -> String {
             continue;
         };
         if out.is_empty() {
-            out.push_str("| phase                  |      count |  mean ticks | total ticks |\n");
-            out.push_str("|------------------------|------------|-------------|-------------|\n");
+            out.push_str(
+                "| phase                  |      count |  mean ticks | total ticks \
+                 |         p50 |         p95 |         p99 |\n",
+            );
+            out.push_str(
+                "|------------------------|------------|-------------|-------------\
+                 |-------------|-------------|-------------|\n",
+            );
         }
+        let (p50, p95, p99) = h.p50_p95_p99().unwrap_or((0.0, 0.0, 0.0));
         out.push_str(&format!(
-            "| {:<22} | {:>10} | {:>11.1} | {:>11.0} |\n",
+            "| {:<22} | {:>10} | {:>11.1} | {:>11.0} | {:>11.1} | {:>11.1} | {:>11.1} |\n",
             e.name,
             h.total,
             h.mean().unwrap_or(0.0),
-            h.sum
+            h.sum,
+            p50,
+            p95,
+            p99,
         ));
     }
     out
@@ -286,6 +297,12 @@ mod tests {
         // count 2, mean 6.0, total 12
         assert!(table.contains("| fl.phase.aggregate"), "{table}");
         assert!(table.contains("6.0"), "{table}");
+        // Percentile columns are rendered from the bucket estimator.
+        assert!(table.contains("p50"), "{table}");
+        assert!(table.contains("p99"), "{table}");
+        // Both observations sit in the (0,10] bucket → p50 target rank
+        // 1 of 2 interpolates to 5.0.
+        assert!(table.contains("5.0"), "{table}");
     }
 
     #[test]

@@ -177,6 +177,7 @@ pub const LIB_CRATES: &[&str] = &[
     "faults",
     "trace",
     "transport",
+    "obs",
 ];
 
 /// Crates whose public items must carry rustdoc.
@@ -188,6 +189,7 @@ pub const DOC_CRATES: &[&str] = &[
     "faults",
     "trace",
     "transport",
+    "obs",
 ];
 
 /// Crate allowed to call `thread::available_parallelism`.

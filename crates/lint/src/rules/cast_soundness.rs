@@ -1,11 +1,12 @@
 //! `cast-soundness` — lossy casts and unchecked counter arithmetic in
 //! the serializing crates.
 //!
-//! `fl`, `he`, and `trace` write bytes that other processes (and
-//! future versions) read back: checkpoints, wire reports, trace
-//! streams. A silently truncating `as` cast or a wrapping multiply on
-//! a byte counter corrupts those artifacts without a panic. This rule
-//! flags, in those crates only:
+//! `fl`, `he`, `trace`, `transport`, and `obs` write (or re-encode)
+//! bytes that other processes (and future versions) read back:
+//! checkpoints, wire reports, trace streams, profile documents. A
+//! silently truncating `as` cast or a wrapping multiply on a byte
+//! counter corrupts those artifacts without a panic. This rule flags,
+//! in those crates only:
 //!
 //! 1. **lossy `as` casts** where the source type is syntactically
 //!    evident (a typed local/parameter, literal suffix, `.len()`, or
@@ -29,7 +30,7 @@ use crate::engine::{Diagnostic, FileCtx};
 const RULE: &str = "cast-soundness";
 
 /// Crates that serialize state and are held to checked arithmetic.
-const SERIALIZING_CRATES: &[&str] = &["fl", "he", "trace", "transport"];
+const SERIALIZING_CRATES: &[&str] = &["fl", "he", "trace", "transport", "obs"];
 
 /// Run the rule over one file.
 pub fn check_cast_soundness(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {

@@ -1091,6 +1091,53 @@ fn transport_crate_is_fully_gated_not_blessed() {
 }
 
 #[test]
+fn obs_crate_is_fully_gated_not_blessed() {
+    // The trace analyzer is the thing CI trusts to gate performance
+    // regressions, so it gets no special treatment: full panic-freedom
+    // and determinism (LIB_CRATES), rustdoc on every public item
+    // (DOC_CRATES), cast-soundness on its tick arithmetic — and zero
+    // blessed entries anywhere under its path.
+    use fedwcm_lint::{BLESSINGS, DOC_CRATES, LIB_CRATES};
+    assert!(
+        LIB_CRATES.contains(&"obs"),
+        "obs must be a gated library crate"
+    );
+    assert!(
+        DOC_CRATES.contains(&"obs"),
+        "obs's public API must require rustdoc"
+    );
+    for b in BLESSINGS {
+        assert!(
+            !b.path.starts_with("crates/obs/"),
+            "obs file `{}` must not be blessed for `{}`",
+            b.path,
+            b.rule
+        );
+    }
+
+    // The rule families are live in the crate, not just listed: an
+    // unwrap and a lossy cast under the obs path both fire.
+    let d = lint(
+        "crates/obs/src/fixture.rs",
+        "pub fn f(x: Option<u64>) -> u64 { x.unwrap() }\n",
+    );
+    assert!(
+        fired(&d).contains(&"panic-freedom"),
+        "panic-freedom must cover crates/obs, fired: {:?}",
+        fired(&d)
+    );
+    let d = lint(
+        "crates/obs/src/fixture.rs",
+        "pub fn f(x: u64) -> u32 { x as u32 }\n",
+    );
+    assert!(
+        fired(&d).contains(&"cast-soundness"),
+        "cast-soundness must cover crates/obs, fired: {:?}",
+        fired(&d)
+    );
+}
+
+#[test]
 fn cadence_event_loop_files_are_not_blessed() {
     // The event-driven cadence core must live under the full
     // determinism gates: no file of it may ever land on the blessing

@@ -1,0 +1,93 @@
+//! Folded-stack flame output.
+//!
+//! [`folded_stacks`] renders a [`SpanForest`] in the `flamegraph.pl`
+//! collapsed format: one line per unique span path, `names;joined;by;
+//! semicolons`, a space, and the total *self* ticks accumulated at
+//! that path. Feeding the output to any standard flame-graph renderer
+//! visualizes where the logical clock's ticks went. Paths aggregate
+//! over a `BTreeMap`, so the output is sorted and byte-stable — two
+//! runs of the same deterministic experiment produce identical flame
+//! files.
+
+use std::collections::BTreeMap;
+
+use crate::tree::SpanForest;
+
+/// Accumulate self-ticks per span path. Paths with zero self time are
+/// kept (count > 0 shows the span existed even if children covered it
+/// entirely) — renderers treat zero-width frames as structure.
+pub fn fold(forest: &SpanForest) -> BTreeMap<String, u64> {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    forest.visit(&mut |path, node| {
+        let mut key = String::with_capacity(32);
+        for part in path {
+            key.push_str(part);
+            key.push(';');
+        }
+        key.push_str(&node.name);
+        *folded.entry(key).or_insert(0) += node.self_ticks();
+    });
+    folded
+}
+
+/// Render the folded stacks as text: `path ticks\n` per line, sorted
+/// by path.
+pub fn folded_stacks(forest: &SpanForest) -> String {
+    let folded = fold(forest);
+    let mut out = String::with_capacity(folded.len() * 32);
+    for (path, ticks) in &folded {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&ticks.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::parse_trace;
+    use crate::tree::build_forest;
+
+    fn forest_of(lines: &[&str]) -> SpanForest {
+        let text: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        build_forest(&parse_trace(&text).expect("parses")).expect("well-formed")
+    }
+
+    #[test]
+    fn folds_self_ticks_per_path() {
+        let f = forest_of(&[
+            "{\"t\":1,\"ev\":\"start\",\"name\":\"round\"}",
+            "{\"t\":2,\"ev\":\"start\",\"name\":\"client_update\"}",
+            "{\"t\":3,\"ev\":\"start\",\"name\":\"local_epoch\"}",
+            "{\"t\":7,\"ev\":\"end\",\"name\":\"local_epoch\"}",
+            "{\"t\":8,\"ev\":\"end\",\"name\":\"client_update\"}",
+            "{\"t\":9,\"ev\":\"start\",\"name\":\"client_update\"}",
+            "{\"t\":11,\"ev\":\"end\",\"name\":\"client_update\"}",
+            "{\"t\":12,\"ev\":\"end\",\"name\":\"round\"}",
+        ]);
+        assert_eq!(
+            folded_stacks(&f),
+            "round 3\nround;client_update 4\nround;client_update;local_epoch 4\n"
+        );
+    }
+
+    #[test]
+    fn repeated_paths_aggregate_and_output_is_sorted() {
+        let f = forest_of(&[
+            "{\"t\":1,\"ev\":\"start\",\"name\":\"evaluate\"}",
+            "{\"t\":3,\"ev\":\"end\",\"name\":\"evaluate\"}",
+            "{\"t\":4,\"ev\":\"start\",\"name\":\"aggregate\"}",
+            "{\"t\":6,\"ev\":\"end\",\"name\":\"aggregate\"}",
+            "{\"t\":7,\"ev\":\"start\",\"name\":\"aggregate\"}",
+            "{\"t\":9,\"ev\":\"end\",\"name\":\"aggregate\"}",
+        ]);
+        assert_eq!(folded_stacks(&f), "aggregate 4\nevaluate 2\n");
+    }
+
+    #[test]
+    fn empty_forest_folds_to_nothing() {
+        assert_eq!(folded_stacks(&SpanForest::default()), "");
+    }
+}

@@ -1,0 +1,58 @@
+//! # fedwcm-obs — trace analysis and profiling
+//!
+//! The consumer side of the workspace's observability story. The
+//! `fedwcm-trace` crate *produces* deterministic JSONL traces (logical
+//! clock, fixed key order, shortest-roundtrip floats); this crate
+//! *consumes* them:
+//!
+//! 1. [`record::parse_trace`] — a strict parser that round-trips sink
+//!    output byte-for-byte into typed records (property-tested against
+//!    the real encoder). Anything the sink could not have written is a
+//!    typed [`ObsError`] naming the line.
+//! 2. [`tree::build_forest`] — span-tree reconstruction keyed on
+//!    logical-clock ticks, rejecting mismatched, unclosed, or
+//!    time-travelling spans.
+//! 3. [`profile::analyze`] — phase attribution (self vs child time per
+//!    span name, with exact nearest-rank percentiles), a four-way
+//!    compute / fault / wire / overhead split, and per-round critical
+//!    paths with compute- / straggler- / wire-bound labels.
+//! 4. [`flame::folded_stacks`] — collapsed flame-graph output.
+//! 5. [`budget`] — committed performance budgets ([`Budget::check`])
+//!    and baseline diffs ([`budget::diff`]) whose reports are sorted,
+//!    timestamp-free, and byte-stable, so CI can gate on them.
+//!
+//! Because traces are bitwise identical across thread counts, every
+//! artifact here — profile, flame file, diff report — is too. The
+//! crate has zero runtime dependencies by design: its determinism
+//! argument leans on nothing but the standard library.
+//!
+//! ```
+//! let trace = "{\"t\":1,\"ev\":\"start\",\"name\":\"round\",\"round\":0}\n\
+//!              {\"t\":2,\"ev\":\"start\",\"name\":\"client_update\"}\n\
+//!              {\"t\":5,\"ev\":\"end\",\"name\":\"client_update\"}\n\
+//!              {\"t\":6,\"ev\":\"end\",\"name\":\"round\"}\n";
+//! let records = fedwcm_obs::parse_trace(trace).unwrap();
+//! let forest = fedwcm_obs::build_forest(&records).unwrap();
+//! let profile = fedwcm_obs::analyze(&forest);
+//! assert_eq!(profile.total_ticks, 5);
+//! assert_eq!(profile.rounds[0].critical_path, "round;client_update");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod error;
+pub mod flame;
+pub mod json;
+pub mod profile;
+pub mod record;
+pub mod tree;
+
+pub use budget::{diff, Budget, BudgetReport, DiffReport, PhaseBudget, PhaseDiff};
+pub use error::ObsError;
+pub use flame::folded_stacks;
+pub use json::Json;
+pub use profile::{analyze, Attribution, PhaseStat, PointStat, Profile, RoundLabel, RoundProfile};
+pub use record::{parse_trace, RecordKind, TraceRecord, TraceValue};
+pub use tree::{build_forest, PointNode, SpanForest, SpanNode};

@@ -4,7 +4,67 @@
 
 use crate::{lock_recover, INVARIANTS_ENABLED};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Mutex;
+
+/// Why a histogram's bucket bounds were rejected at registration.
+///
+/// Returned by [`MetricsRegistry::try_observe`]; the non-fallible
+/// [`MetricsRegistry::observe`] discards the observation on these (and
+/// panics under `debug_invariants`), so a malformed bounds array can
+/// never silently create a histogram whose buckets lie.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundsError {
+    /// The bounds array was empty — a histogram needs at least one
+    /// bucket boundary to be meaningful.
+    Empty,
+    /// A bound was NaN or infinite; `index` is its position.
+    NonFinite {
+        /// Index of the offending bound.
+        index: usize,
+    },
+    /// Bounds were not strictly increasing; `index` is the first
+    /// position whose bound is ≤ its predecessor.
+    NotSorted {
+        /// Index of the first out-of-order bound.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundsError::Empty => write!(f, "histogram bounds must not be empty"),
+            BoundsError::NonFinite { index } => {
+                write!(f, "histogram bound at index {index} is not finite")
+            }
+            BoundsError::NotSorted { index } => write!(
+                f,
+                "histogram bounds must be strictly increasing (violated at index {index})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BoundsError {}
+
+/// Validate histogram bucket bounds: non-empty, all finite, strictly
+/// increasing. Every path that registers a histogram goes through this
+/// check.
+pub fn validate_bounds(bounds: &[f64]) -> Result<(), BoundsError> {
+    if bounds.is_empty() {
+        return Err(BoundsError::Empty);
+    }
+    for (index, b) in bounds.iter().enumerate() {
+        if !b.is_finite() {
+            return Err(BoundsError::NonFinite { index });
+        }
+        if index > 0 && bounds[index - 1] >= *b {
+            return Err(BoundsError::NotSorted { index });
+        }
+    }
+    Ok(())
+}
 
 /// A live fixed-bucket histogram (see [`HistogramSnapshot`] for the
 /// frozen form and the bucket semantics).
@@ -18,11 +78,9 @@ struct Histogram {
 }
 
 impl Histogram {
+    /// Build a live histogram from *validated* bounds — callers run
+    /// [`validate_bounds`] first, so construction itself cannot fail.
     fn new(bounds: &[f64]) -> Self {
-        debug_assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
-            "histogram bounds must be strictly increasing"
-        );
         Histogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
@@ -136,7 +194,25 @@ impl MetricsRegistry {
     /// slot past the last bound). NaN/∞ observations increment the
     /// snapshot's `nan_rejected` count instead (and panic under
     /// `debug_invariants`).
+    ///
+    /// Malformed `bounds` at registration (empty, non-finite, or not
+    /// strictly increasing) discard the observation — and panic under
+    /// `debug_invariants`. Use [`MetricsRegistry::try_observe`] to see
+    /// the typed [`BoundsError`].
     pub fn observe(&self, name: &str, bounds: &[f64], v: f64) {
+        let res = self.try_observe(name, bounds, v);
+        if INVARIANTS_ENABLED {
+            assert!(res.is_ok(), "invalid bounds for histogram {name}: {res:?}");
+        }
+    }
+
+    /// Fallible form of [`MetricsRegistry::observe`]: rejects malformed
+    /// bucket bounds with a typed [`BoundsError`] at registration
+    /// (first use of `name`) instead of silently accepting them, so a
+    /// broken histogram can never be created. Bounds of an
+    /// already-registered histogram are not re-validated — the bounds
+    /// supplied at registration stay authoritative.
+    pub fn try_observe(&self, name: &str, bounds: &[f64], v: f64) -> Result<(), BoundsError> {
         let mut m = lock_recover(&self.inner);
         match m.get_mut(name) {
             Some(Metric::Histogram(h)) => h.observe(name, v),
@@ -149,11 +225,13 @@ impl MetricsRegistry {
                 }
             }
             None => {
+                validate_bounds(bounds)?;
                 let mut h = Histogram::new(bounds);
                 h.observe(name, v);
                 m.insert(name.to_string(), Metric::Histogram(h));
             }
         }
+        Ok(())
     }
 
     /// Freeze the current state, entries sorted by name.
@@ -268,6 +346,68 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.total > 0).then(|| self.sum / self.total as f64)
     }
+
+    /// Estimate the `q`-quantile (`0 < q <= 1`) by linear interpolation
+    /// inside the bucket holding the target rank — the standard
+    /// fixed-bucket estimator (Prometheus's `histogram_quantile`):
+    ///
+    /// * the first bucket interpolates from 0 when its upper bound is
+    ///   positive (phase ticks, norms, and byte counts are
+    ///   non-negative), and reports its upper bound otherwise;
+    /// * the overflow bucket cannot be interpolated — the estimate
+    ///   clamps to the last finite bound;
+    /// * an empty histogram, or a `q` outside `(0, 1]`, is `None`.
+    ///
+    /// The estimate is a deterministic function of the snapshot, so
+    /// identical runs report identical percentiles.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !q.is_finite() || q <= 0.0 || q > 1.0 {
+            return None;
+        }
+        if self.counts.len() != self.bounds.len() + 1 {
+            // A malformed snapshot (hand-built or corrupted) has no
+            // meaningful quantile.
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut cumulative: u64 = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cumulative;
+            cumulative = cumulative.saturating_add(c);
+            if (cumulative as f64) < target {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                // Overflow bucket: clamp to the last finite bound.
+                return self.bounds.last().copied();
+            };
+            let lower = if i == 0 {
+                if upper > 0.0 {
+                    0.0
+                } else {
+                    return Some(upper);
+                }
+            } else {
+                self.bounds[i - 1]
+            };
+            if c == 0 {
+                return Some(upper);
+            }
+            let fraction = (target - prev as f64) / c as f64;
+            return Some(lower + (upper - lower) * fraction.clamp(0.0, 1.0));
+        }
+        self.bounds.last().copied()
+    }
+
+    /// The (p50, p95, p99) triple of [`HistogramSnapshot::percentile`]
+    /// estimates — the summary the profiling report prints.
+    pub fn p50_p95_p99(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.percentile(0.50)?,
+            self.percentile(0.95)?,
+            self.percentile(0.99)?,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +511,176 @@ mod tests {
         // Accumulation continues from the loaded state.
         r2.counter_add("z.count", 1);
         assert_eq!(r2.snapshot().get("z.count"), Some(&MetricValue::Counter(2)));
+    }
+
+    #[test]
+    fn bounds_validation_rejects_malformed_arrays() {
+        assert_eq!(validate_bounds(&[]), Err(BoundsError::Empty));
+        assert_eq!(
+            validate_bounds(&[1.0, f64::NAN]),
+            Err(BoundsError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            validate_bounds(&[1.0, f64::INFINITY]),
+            Err(BoundsError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            validate_bounds(&[1.0, 2.0, 2.0]),
+            Err(BoundsError::NotSorted { index: 2 })
+        );
+        assert_eq!(
+            validate_bounds(&[3.0, 1.0]),
+            Err(BoundsError::NotSorted { index: 1 })
+        );
+        assert_eq!(validate_bounds(&[-1.0, 0.5, 2.0]), Ok(()));
+    }
+
+    #[cfg(not(feature = "debug_invariants"))]
+    #[test]
+    fn malformed_bounds_never_register_a_histogram() {
+        // Regression: `observe` used to accept any bounds array and
+        // silently build a histogram with lying buckets. Now the typed
+        // error is surfaced and nothing is registered.
+        let r = MetricsRegistry::new();
+        assert_eq!(
+            r.try_observe("h", &[2.0, 1.0], 0.5),
+            Err(BoundsError::NotSorted { index: 1 })
+        );
+        r.observe("h", &[], 0.5);
+        assert!(r.snapshot().get("h").is_none(), "no metric may be created");
+        // A later, valid registration under the same name works.
+        assert_eq!(r.try_observe("h", &[1.0], 0.5), Ok(()));
+        assert!(r.snapshot().get("h").is_some());
+    }
+
+    #[cfg(feature = "debug_invariants")]
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn malformed_bounds_panic_under_invariants() {
+        let r = MetricsRegistry::new();
+        r.observe("h", &[2.0, 1.0], 0.5);
+    }
+
+    #[test]
+    fn percentile_empty_histogram_is_none() {
+        let r = MetricsRegistry::new();
+        r.observe("h", &[1.0, 2.0], f64::NAN); // rejected, still empty
+        match r.snapshot().get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.percentile(0.5), None);
+                assert_eq!(h.p50_p95_p99(), None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range_q() {
+        let r = MetricsRegistry::new();
+        r.observe("h", &[10.0], 5.0);
+        match r.snapshot().get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.percentile(0.0), None);
+                assert_eq!(h.percentile(-0.5), None);
+                assert_eq!(h.percentile(1.5), None);
+                assert_eq!(h.percentile(f64::NAN), None);
+                assert!(h.percentile(1.0).is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentile_single_bucket_interpolates_from_zero() {
+        let r = MetricsRegistry::new();
+        // Four observations, all in the one bucket (0, 10].
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.observe("h", &[10.0], v);
+        }
+        match r.snapshot().get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                // p50 target rank 2 of 4 → halfway through (0, 10].
+                assert_eq!(h.percentile(0.5), Some(5.0));
+                assert_eq!(h.percentile(1.0), Some(10.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_between_bucket_bounds() {
+        let r = MetricsRegistry::new();
+        let bounds = [10.0, 20.0, 40.0];
+        // 2 in (0,10], 2 in (10,20], none above.
+        for v in [5.0, 6.0, 15.0, 16.0] {
+            r.observe("h", &bounds, v);
+        }
+        match r.snapshot().get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                // p75 → rank 3 of 4, end of the second bucket's first
+                // half: 10 + (3-2)/2 * (20-10) = 15.
+                assert_eq!(h.percentile(0.75), Some(15.0));
+                // p25 → rank 1 of 2 within the first bucket: 5.
+                assert_eq!(h.percentile(0.25), Some(5.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentile_overflow_bucket_clamps_to_last_bound() {
+        let r = MetricsRegistry::new();
+        r.observe("h", &[1.0, 2.0], 100.0);
+        r.observe("h", &[1.0, 2.0], 200.0);
+        match r.snapshot().get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.percentile(0.5), Some(2.0));
+                assert_eq!(h.percentile(0.99), Some(2.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentile_negative_first_bucket_reports_its_bound() {
+        let r = MetricsRegistry::new();
+        r.observe("h", &[-5.0, 5.0], -7.0);
+        match r.snapshot().get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                // No lower edge to interpolate from below zero: report
+                // the bucket's upper bound instead of inventing one.
+                assert_eq!(h.percentile(0.5), Some(-5.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentile_saturated_histogram_stays_finite() {
+        // Counts pinned at u64::MAX (the saturating path) must not
+        // overflow the cumulative scan or return NaN.
+        let h = HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            counts: vec![u64::MAX, u64::MAX, 0],
+            total: u64::MAX,
+            sum: 0.0,
+            nan_rejected: 0,
+        };
+        let p = h.percentile(0.99).expect("saturated percentile");
+        assert!(p.is_finite());
+        assert!((0.0..=2.0).contains(&p), "estimate {p} inside bounds");
+    }
+
+    #[test]
+    fn percentile_malformed_snapshot_is_none() {
+        let h = HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            counts: vec![1], // wrong arity
+            total: 1,
+            sum: 0.5,
+            nan_rejected: 0,
+        };
+        assert_eq!(h.percentile(0.5), None);
     }
 
     #[test]

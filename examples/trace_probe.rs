@@ -8,6 +8,11 @@
 //! `FEDWCM_THREADS=4` and diffs the bytes. Any difference means the
 //! trace replay path (per-client span buffers re-stamped on the engine
 //! thread) stopped being bitwise deterministic.
+//!
+//! With an optional file argument (`trace_probe trace.jsonl`) the JSONL
+//! stream goes to that file instead of stdout — the shape `flprof` and
+//! the CI profile-budget job consume — while the metrics footer stays
+//! on stdout.
 
 use fedwcm_algos::fedavg::FedAvg;
 use fedwcm_data::longtail::longtail_counts;
@@ -16,10 +21,19 @@ use fedwcm_data::synth::DatasetPreset;
 use fedwcm_fl::{FlConfig, Simulation};
 use fedwcm_nn::models::mlp;
 use fedwcm_stats::Xoshiro256pp;
-use fedwcm_trace::{JsonlSink, LogicalClock, MetricValue, MetricsRegistry, Tracer};
+use fedwcm_trace::{JsonlSink, LogicalClock, MetricValue, MetricsRegistry, Sink, Tracer};
 use std::sync::Arc;
 
 fn main() {
+    let sink: Arc<dyn Sink> = match std::env::args().nth(1) {
+        Some(path) => {
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            Arc::new(JsonlSink::new(std::io::BufWriter::new(file)))
+        }
+        None => Arc::new(JsonlSink::new(std::io::stdout())),
+    };
+
     let spec = DatasetPreset::FashionMnist.spec();
     let counts = longtail_counts(10, 40, 0.5);
     let train = spec.generate_train(&counts, 31);
@@ -35,10 +49,7 @@ fn main() {
     let part = paper_partition(&train, cfg.clients, 0.5, cfg.seed);
     let views = part.views(&train);
 
-    let tracer = Tracer::new(
-        Box::new(LogicalClock::new()),
-        Arc::new(JsonlSink::new(std::io::stdout())),
-    );
+    let tracer = Tracer::new(Box::new(LogicalClock::new()), sink);
     let registry = Arc::new(MetricsRegistry::new());
     let sim = Simulation::new(
         cfg,

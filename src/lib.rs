@@ -42,6 +42,7 @@ pub use fedwcm_fl as fl;
 pub use fedwcm_he as he;
 pub use fedwcm_longtail as longtail;
 pub use fedwcm_nn as nn;
+pub use fedwcm_obs as obs;
 pub use fedwcm_parallel as parallel;
 pub use fedwcm_stats as stats;
 pub use fedwcm_tensor as tensor;

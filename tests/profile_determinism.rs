@@ -1,0 +1,94 @@
+//! Profile determinism: because JSONL traces are bitwise identical
+//! across worker-thread counts (see `trace_determinism.rs`), every
+//! artifact `flprof` derives from them — the `fedwcm-prof/v1` profile
+//! document, the folded flame stacks — must be byte-identical too.
+//! This is the property that makes committed performance budgets
+//! meaningful: a budget violation is a real behavioural change, never
+//! scheduling noise.
+
+use fedwcm_algos::fedavg::FedAvg;
+use fedwcm_data::longtail::longtail_counts;
+use fedwcm_data::partition::paper_partition;
+use fedwcm_data::synth::DatasetPreset;
+use fedwcm_experiments::prof;
+use fedwcm_fl::{FlConfig, Simulation};
+use fedwcm_nn::models::mlp;
+use fedwcm_stats::Xoshiro256pp;
+use fedwcm_trace::{JsonlSink, LogicalClock, MetricsRegistry, SharedBuf, Tracer};
+use std::sync::Arc;
+
+/// Run a small traced CIFAR-10-preset simulation and return the raw
+/// JSONL trace text.
+fn traced_cifar10_run(threads: usize) -> String {
+    let spec = DatasetPreset::Cifar10.spec();
+    let counts = longtail_counts(spec.classes, 24, 0.5);
+    let train = spec.generate_train(&counts, 55);
+    let test = spec.generate_test(55);
+
+    let mut cfg = FlConfig::default_sim();
+    cfg.clients = 5;
+    cfg.participation = 0.6;
+    cfg.rounds = 3;
+    cfg.eval_every = 2;
+    cfg.threads = threads;
+
+    let part = paper_partition(&train, cfg.clients, 0.5, cfg.seed);
+    let views = part.views(&train);
+
+    let buf = SharedBuf::new();
+    let tracer = Tracer::new(
+        Box::new(LogicalClock::new()),
+        Arc::new(JsonlSink::new(buf.clone())),
+    );
+    let dim = train.dim();
+    let sim = Simulation::new(
+        cfg,
+        &train,
+        &test,
+        views,
+        Box::new(move || {
+            let mut rng = Xoshiro256pp::seed_from(9);
+            mlp(dim, &[16], 10, &mut rng)
+        }),
+    )
+    .with_tracer(tracer.clone())
+    .with_metrics(Arc::new(MetricsRegistry::new()));
+
+    let _history = sim.run(&mut FedAvg::new());
+    tracer.flush();
+    String::from_utf8(buf.contents()).expect("trace is UTF-8")
+}
+
+#[test]
+fn cifar10_profiles_are_bitwise_identical_across_thread_counts() {
+    let t1 = traced_cifar10_run(1);
+    let t4 = traced_cifar10_run(4);
+    assert_eq!(t1, t4, "traces must already be identical");
+
+    let (p1, f1) = prof::analyze_trace_text(&t1).expect("1-thread trace analyzes");
+    let (p4, f4) = prof::analyze_trace_text(&t4).expect("4-thread trace analyzes");
+
+    // The profile documents and flame stacks are byte-identical.
+    assert_eq!(prof::profile_json(&p1), prof::profile_json(&p4));
+    assert_eq!(prof::flame_text(&f1), prof::flame_text(&f4));
+    assert_eq!(prof::profile_table(&p1), prof::profile_table(&p4));
+}
+
+#[test]
+fn cifar10_profile_has_the_expected_shape() {
+    let text = traced_cifar10_run(1);
+    let (profile, _) = prof::analyze_trace_text(&text).expect("trace analyzes");
+    assert_eq!(profile.rounds.len(), 3, "one RoundProfile per round");
+    assert!(profile.phase("round").is_some());
+    assert!(profile.phase("client_update").is_some());
+    // Every tick is attributed exactly once.
+    let a = profile.attribution;
+    assert_eq!(
+        a.compute_ticks + a.fault_ticks + a.wire_ticks + a.overhead_ticks,
+        profile.total_ticks
+    );
+    // Round-trip through the schema.
+    let doc = profile.to_json();
+    let back = fedwcm_obs::Profile::from_json(&doc).expect("schema round-trips");
+    assert_eq!(back, profile);
+}
