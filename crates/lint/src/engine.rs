@@ -43,6 +43,9 @@ pub const ALL_RULES: &[&str] = &[
     "checkpoint-symmetry",
     "discount-once",
     "metrics-registry",
+    "parallel-escape-capture",
+    "parallel-escape-index",
+    "parallel-escape-send-sync",
 ];
 
 /// One row of the rule taxonomy printed by `fedwcm-lint --rules`.
@@ -50,8 +53,9 @@ pub const ALL_RULES: &[&str] = &[
 pub struct RuleInfo {
     /// Rule id (kebab-case, an [`ALL_RULES`] entry).
     pub id: &'static str,
-    /// Family: `safety`, `determinism`, `robustness`, `docs`, or
-    /// `protocol` (the v3 dataflow analyses).
+    /// Family: `safety`, `determinism`, `robustness`, `docs`,
+    /// `protocol` (the v3 dataflow analyses), or `concurrency` (the
+    /// static half of the `race_check` soundness story).
     pub family: &'static str,
     /// Severity — every family is a hard CI gate today.
     pub severity: &'static str,
@@ -152,6 +156,24 @@ pub const RULE_INFO: &[RuleInfo] = &[
         family: "protocol",
         severity: "error",
         escape: "add the constant to crates/trace/src/names.rs",
+    },
+    RuleInfo {
+        id: "parallel-escape-capture",
+        family: "concurrency",
+        severity: "error",
+        escape: "return per-index values; `parallel`/`stats` are exempt",
+    },
+    RuleInfo {
+        id: "parallel-escape-index",
+        family: "concurrency",
+        severity: "error",
+        escape: "derive the index from the closure's own parameter",
+    },
+    RuleInfo {
+        id: "parallel-escape-send-sync",
+        family: "concurrency",
+        severity: "error",
+        escape: "state the disjointness argument in the `// SAFETY:` comment",
     },
 ];
 

@@ -23,6 +23,9 @@
 //! | `checkpoint-symmetry` | every `to_bytes` write sequence matches its `from_bytes` read sequence op for op |
 //! | `discount-once` | every update flowing from the fault pipeline into aggregation crosses `staleness_discount` exactly once |
 //! | `metrics-registry` | span/metric names at call sites resolve to `fedwcm_trace::names` constants; no literals, typos, or dead taxonomy |
+//! | `parallel-escape-capture` | closures passed to parallel entry points never write through captured shared state |
+//! | `parallel-escape-index` | indexed writes to captured state are provably derived from the closure's own index parameter |
+//! | `parallel-escape-send-sync` | every `unsafe impl Send`/`Sync` states a disjointness argument in its `// SAFETY:` comment |
 //!
 //! Run it locally with `cargo run -p fedwcm-lint` (add `--format json`
 //! for machine-readable findings); see the binary's `--help` for rule
@@ -42,8 +45,11 @@
 //! on top of [`dataflow`], a small forward-dataflow framework (join
 //! lattices, branch joins, bounded loop fixpoints, interprocedural
 //! summaries) that powers the protocol-conformance analyses
-//! (`checkpoint-symmetry`, `discount-once`). See DESIGN.md §9 and
-//! `--rules` for the full taxonomy with per-rule escape hatches.
+//! (`checkpoint-symmetry`, `discount-once`). The concurrency family
+//! (`parallel-escape-*`) reuses all three layers as the static half of
+//! the `race_check` sanitizer's soundness story (DESIGN.md §15). See
+//! DESIGN.md §9 and `--rules` for the full taxonomy with per-rule
+//! escape hatches.
 
 pub mod ast;
 pub mod callgraph;

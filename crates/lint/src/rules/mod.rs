@@ -9,7 +9,9 @@
 //! every file at once so they can follow calls across crates. The v3
 //! families ([`checkpoint_symmetry`], [`discount_once`],
 //! [`metrics_registry`]) build on [`crate::dataflow`] for
-//! interprocedural protocol conformance.
+//! interprocedural protocol conformance, and the concurrency family
+//! ([`parallel_escape`]) reuses all three layers — parser, call graph,
+//! dataflow — as the static half of the `race_check` soundness story.
 
 use crate::engine::{Diagnostic, FileCtx, LintConfig};
 
@@ -22,6 +24,7 @@ mod float_order;
 mod lock_order;
 mod metrics_registry;
 mod panic_freedom;
+mod parallel_escape;
 mod rng_hygiene;
 mod unsafe_safety;
 
@@ -34,6 +37,7 @@ pub use float_order::check_float_order;
 pub use lock_order::check_lock_order;
 pub use metrics_registry::check_metrics_registry;
 pub use panic_freedom::check_panic_freedom;
+pub use parallel_escape::{check_parallel_escape, check_send_sync_safety};
 pub use rng_hygiene::check_rng_hygiene;
 pub use unsafe_safety::check_unsafe_safety;
 
@@ -97,6 +101,9 @@ pub fn run_all(ctx: &FileCtx, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
     if cfg.is_enabled("cast-soundness") {
         check_cast_soundness(ctx, diags);
     }
+    if cfg.is_enabled("parallel-escape-send-sync") {
+        check_send_sync_safety(ctx, diags);
+    }
 }
 
 /// Run the cross-file rule families over the whole file set at once.
@@ -108,15 +115,20 @@ pub fn run_workspace(files: &[FileCtx], cfg: &LintConfig, diags: &mut Vec<Diagno
     let ckpt = cfg.is_enabled("checkpoint-symmetry");
     let discount = cfg.is_enabled("discount-once");
     let metrics = cfg.is_enabled("metrics-registry");
+    let escape =
+        cfg.is_enabled("parallel-escape-capture") || cfg.is_enabled("parallel-escape-index");
     if metrics {
         check_metrics_registry(files, diags);
     }
-    if !(float || rng || lock || ckpt || discount) {
+    if !(float || rng || lock || ckpt || discount || escape) {
         return;
     }
     let cg = crate::callgraph::CallGraph::build(files);
     if float {
         check_float_order(files, &cg, diags);
+    }
+    if escape {
+        check_parallel_escape(files, &cg, cfg, diags);
     }
     if rng {
         check_rng_hygiene(files, &cg, diags);

@@ -590,6 +590,18 @@ fn every_declared_rule_is_exercised_by_these_fixtures() {
             LIB,
             "pub fn emit(t: &Tracer) { t.span(\"round\", vec![]); }\n",
         ),
+        (
+            LIB,
+            "pub fn g(xs: &[u32]) -> u64 {\n    let mut total = 0u64;\n    parallel_for_each(xs, |x: &u32| { total += u64::from(*x); });\n    total\n}\n",
+        ),
+        (
+            LIB,
+            "pub fn h(xs: &[f32], shared: &mut [f32]) {\n    parallel_for_each(xs, |_x: &f32| { shared[0] = 1.0; });\n}\n",
+        ),
+        (
+            LIB,
+            "pub struct W(*mut u8);\nunsafe impl Send for W {}\n",
+        ),
     ];
     let mut seen: std::collections::BTreeSet<String> = Default::default();
     for (path, src) in fixtures {
@@ -616,7 +628,12 @@ pub fn sum_bad(xs: &[f32]) -> f32 {
 }
 ";
     let d = lint(LIB, src);
-    assert_eq!(fired(&d), ["float-reduction-order"]);
+    // The write is both order-sensitive (float) and a shared-state
+    // escape, so the determinism and concurrency families each fire.
+    assert_eq!(
+        fired(&d),
+        ["float-reduction-order", "parallel-escape-capture"]
+    );
     assert_eq!(d[0].line, 4);
     assert!(d[0].message.contains("total"), "{}", d[0].message);
 }
@@ -638,7 +655,12 @@ pub fn reduce_bad(xs: &[f32]) -> f32 {
 }
 ";
     let d = lint_many(&[("crates/fl/src/fixture_helper.rs", helper), (LIB, caller)]);
-    assert_eq!(fired(&d), ["float-reduction-order"]);
+    // `&mut acc` escaping into the helper is also a captured-state
+    // write, so the concurrency family fires alongside.
+    assert_eq!(
+        fired(&d),
+        ["float-reduction-order", "parallel-escape-capture"]
+    );
     assert!(d[0].message.contains("add_into"), "{}", d[0].message);
 }
 
@@ -674,8 +696,11 @@ pub fn mr_good(xs: &[f32]) -> f32 {
 }
 
 #[test]
-fn integer_accumulation_in_parallel_closure_passes() {
-    // Integer addition is associative — order cannot change the bits.
+fn integer_accumulation_is_order_safe_but_still_a_race() {
+    // Integer addition is associative — order cannot change the bits,
+    // so `float-reduction-order` stays quiet. The unsynchronized write
+    // to captured state is still a data race, which the concurrency
+    // family catches.
     let src = "\
 pub fn count_bad_order_but_int(xs: &[u32]) -> u64 {
     let mut total = 0u64;
@@ -685,7 +710,7 @@ pub fn count_bad_order_but_int(xs: &[u32]) -> u64 {
     total
 }
 ";
-    assert!(lint(LIB, src).is_empty());
+    assert_eq!(fired(&lint(LIB, src)), ["parallel-escape-capture"]);
 }
 
 #[test]
@@ -1599,6 +1624,232 @@ pub fn emit(t: &Tracer, reg: &MetricsRegistry, c: usize) {
 ";
     let d = lint_many(&[(REG, REG_SRC), (LIB, user)]);
     assert!(fired_only(&d, "metrics-registry").is_empty());
+}
+
+// ---------------------------------------------- parallel-escape (conc.)
+
+#[test]
+fn plain_assignment_to_captured_state_fires() {
+    // Not a float, not a compound assignment — the determinism family
+    // has nothing to say, but the write still races.
+    let src = "\
+pub fn find(xs: &[u32]) -> bool {
+    let mut found = false;
+    parallel_for_each(xs, |x: &u32| {
+        if *x == 7 {
+            found = true;
+        }
+    });
+    found
+}
+";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["parallel-escape-capture"]);
+    assert!(d[0].message.contains("found"), "{}", d[0].message);
+}
+
+#[test]
+fn mut_borrow_of_captured_state_fires() {
+    // `&mut` handed to an *unresolvable* helper: the borrow itself is
+    // the escape, no call-graph edge needed.
+    let src = "\
+pub fn collect(xs: &[u32], sink: &mut Vec<u32>) {
+    parallel_for_each(xs, |x: &u32| {
+        mystery_helper(&mut *sink, *x);
+    });
+}
+";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["parallel-escape-capture"]);
+    assert!(d[0].message.contains("sink"), "{}", d[0].message);
+}
+
+#[test]
+fn mutating_method_on_captured_receiver_fires() {
+    let src = "\
+pub fn gather(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    parallel_for_each(xs, |x: &u32| {
+        out.push(*x);
+    });
+    out
+}
+";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["parallel-escape-capture"]);
+    assert!(d[0].message.contains("out"), "{}", d[0].message);
+}
+
+#[test]
+fn self_mutating_helper_via_callgraph_fires() {
+    // The closure only calls a method; the mutation hides in the
+    // method's body in another file, reachable through the call graph.
+    let helper = "\
+impl Counter {
+    fn bump(&mut self) {
+        self.n += 1;
+    }
+}
+";
+    let caller = "\
+pub fn count(xs: &[u32], ctr: &mut Counter) {
+    parallel_for_each(xs, |_x: &u32| ctr.bump());
+}
+";
+    let d = lint_many(&[("crates/fl/src/fixture_helper.rs", helper), (LIB, caller)]);
+    assert_eq!(fired(&d), ["parallel-escape-capture"]);
+    assert!(d[0].message.contains("bump"), "{}", d[0].message);
+}
+
+#[test]
+fn non_derived_index_write_fires_once() {
+    // The index is a literal — every invocation writes the same slot.
+    // The loop around it must not duplicate the finding (the dataflow
+    // fixpoint re-interprets loop bodies).
+    let src = "\
+pub fn bad(xs: &[f32], shared: &mut [f32]) {
+    parallel_for_each(xs, |_x: &f32| {
+        for _pass in 0..3 {
+            shared[0] = 1.0;
+        }
+    });
+}
+";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["parallel-escape-index"]);
+    assert!(d[0].message.contains("shared"), "{}", d[0].message);
+}
+
+#[test]
+fn index_read_from_captured_state_fires() {
+    // `off` is initialized from captured state, not from the closure's
+    // index parameter — two invocations may collide.
+    let src = "\
+pub fn bad(xs: &[f32], shared: &mut [f32], base: usize) {
+    parallel_for_each(xs, |_x: &f32| {
+        let off = base + 1;
+        shared[off] = 1.0;
+    });
+}
+";
+    assert_eq!(fired(&lint(LIB, src)), ["parallel-escape-index"]);
+}
+
+#[test]
+fn index_derived_through_let_chain_passes() {
+    let src = "\
+pub fn good(n: usize, shared: &mut [f32]) {
+    parallel_for_each(n, |i: usize| {
+        let j = i * 2;
+        let k = j + 1;
+        shared[k] = 1.0;
+    });
+}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+#[test]
+fn loop_binding_over_derived_range_passes() {
+    // `for j in i..i + 4` — the binding inherits derivation from the
+    // loop head, the matmul row-chunk idiom.
+    let src = "\
+pub fn good(n: usize, rows: &mut [f32]) {
+    parallel_for_each(n, |i: usize| {
+        for j in i..i + 4 {
+            rows[j] = 0.0;
+        }
+    });
+}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+#[test]
+fn index_rule_is_not_blessed_in_the_parallel_crate() {
+    // `parallel-escape-capture` blesses the core crates;
+    // `parallel-escape-index` deliberately does not — even the core
+    // must index by the closure's own parameter.
+    let src = "\
+/// Fixture: a literal-indexed write inside the blessed crate.
+pub fn bad(xs: &[f32], shared: &mut [f32]) {
+    parallel_for_each(xs, |_x: &f32| {
+        shared[0] = 1.0;
+    });
+}
+";
+    assert_eq!(
+        fired(&lint("crates/parallel/src/fixture.rs", src)),
+        ["parallel-escape-index"]
+    );
+}
+
+#[test]
+fn send_sync_without_safety_comment_fires_both_rules() {
+    let src = "\
+pub struct W(*mut u8);
+unsafe impl Send for W {}
+";
+    let d = lint(LIB, src);
+    let mut rules = fired(&d);
+    rules.sort_unstable();
+    assert_eq!(rules, ["parallel-escape-send-sync", "unsafe-safety"]);
+}
+
+#[test]
+fn send_sync_safety_without_disjointness_argument_fires() {
+    // A SAFETY comment exists (unsafe-safety passes) but says nothing
+    // about which owner touches which region.
+    let src = "\
+pub struct W(*mut u8);
+// SAFETY: this wrapper is carefully used, trust the caller.
+unsafe impl Sync for W {}
+";
+    let d = lint(LIB, src);
+    assert_eq!(fired(&d), ["parallel-escape-send-sync"]);
+    assert!(d[0].message.contains("disjointness"), "{}", d[0].message);
+}
+
+#[test]
+fn send_sync_safety_with_disjointness_argument_passes() {
+    let src = "\
+pub struct W(*mut u8);
+// SAFETY: participants write pairwise-disjoint ranges; exactly one
+// writer touches any element before the join publishes them.
+unsafe impl Sync for W {}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+#[test]
+fn non_send_sync_unsafe_impl_is_exempt_from_disjointness() {
+    // Other unsafe impls still need a SAFETY comment (unsafe-safety),
+    // but the disjointness-vocabulary requirement is Send/Sync-only.
+    let src = "\
+pub struct W(*mut u8);
+// SAFETY: the trait contract only requires a stable address.
+unsafe impl Widget for W {}
+";
+    assert!(lint(LIB, src).is_empty());
+}
+
+#[test]
+fn closure_local_state_is_not_an_escape() {
+    // Locals, loop bindings, and nested-closure parameters are all
+    // per-invocation state — no finding.
+    let src = "\
+pub fn good(n: usize) -> Vec<f32> {
+    parallel_map(n, |i: usize| {
+        let mut acc = 0.0f32;
+        for j in 0..i {
+            acc += j as f32;
+        }
+        let bump = |v: f32| v + 1.0;
+        bump(acc)
+    })
+}
+";
+    assert!(lint(LIB, src).is_empty());
 }
 
 // ------------------------------------------------- taxonomy governance

@@ -26,6 +26,7 @@ use std::cell::{Cell, UnsafeCell};
 use std::num::NonZeroUsize;
 
 mod pool;
+pub mod shadow;
 pub mod sync;
 
 pub use pool::{pool_stats, PoolStats};
@@ -130,9 +131,17 @@ where
 /// claimed its index), hence safely shared without a lock.
 struct Slot<T>(UnsafeCell<Option<T>>);
 
-// SAFETY: the pool guarantees each index — and therefore each slot — is
-// written by at most one participant, and the caller only reads slots
-// after the job quiesced (publication via the job's completion lock).
+// SAFETY: `&Slot` is shared across participants, but the cell behind it
+// is written through a **disjointness** discipline, not a lock: the
+// pool's atomic claim counter hands index `i` to exactly one
+// participant (`pool::run_items`, checked by `shadow::ClaimTable`), and
+// that participant is the only writer of slot `i` for the job's
+// lifetime (checked by `shadow::ShadowSlots::record_write`). The caller
+// reads slots only after `pool::run_indexed` returns, i.e. after it
+// observed `active == 0` under `done_lock` — the release/acquire edge
+// that publishes every slot write (checked by `ShadowSlots::seal` /
+// `assert_readable`). `T: Send` because the value crosses from the
+// writing participant to the collecting caller.
 unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// Apply `f` to every index in `0..n`, producing a `Vec` ordered by index.
@@ -154,19 +163,35 @@ where
 
     let slots: Vec<Slot<T>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
     let slots_ref = &slots;
+    let shadow = shadow::ShadowSlots::new(n);
+    let shadow_ref = &shadow;
     pool::run_indexed(n, threads, &|i| {
         let value = f(i);
-        // SAFETY: index `i` is claimed exactly once, so this is the only
-        // write to slot `i`, and no read happens before quiescence.
+        if shadow::ENABLED {
+            shadow_ref.record_write(i);
+        }
+        // SAFETY: the pool's claim counter hands index `i` to exactly one
+        // participant, so for the job's lifetime this is the only `&mut`
+        // derived from slot `i`'s cell (no other participant even forms
+        // one — see `Slot`'s `Sync` impl). The write is published to the
+        // collecting caller by the job's join. Both halves are checked
+        // under `race_check`: `shadow_ref.record_write(i)` above panics
+        // on a second writer before this store could alias.
         unsafe {
             *slots_ref[i].0.get() = Some(value);
         }
     });
+    if shadow::ENABLED {
+        shadow.seal();
+    }
 
     slots
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
+            if shadow::ENABLED {
+                shadow.assert_readable(i);
+            }
             slot.0.into_inner().unwrap_or_else(|| {
                 // lint:allow(panic-freedom) unreachable unless the pool's
                 // exactly-once claim invariant is broken; crashing loudly
@@ -212,12 +237,20 @@ pub fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
 /// A disjoint mutable chunk handed to exactly one claimant.
 struct Chunk<T>(*mut T, usize);
 
-// SAFETY: chunks are created from non-overlapping `split_at_mut` regions
-// and each is consumed by exactly one index claimant.
+// SAFETY: a `Chunk` is a raw view of one `split_at_mut` region of the
+// caller's buffer, so distinct chunks are pairwise-**disjoint** by
+// construction (checked by `shadow::ShadowChunks::register`) and the
+// region outlives the job: `parallel_over_rows` borrows the buffer for
+// the whole call and `pool::run_indexed` joins before returning.
+// Sending the chunk to a pool worker therefore moves exclusive access
+// to a disjoint region, which is sound exactly when `T: Send`.
 unsafe impl<T: Send> Send for Chunk<T> {}
-// SAFETY: sharing `&Chunk` across participants is sound for the same
-// reason — the raw region behind it is only ever turned into a `&mut`
-// by the single claimant of its index, never concurrently.
+// SAFETY: `&Chunk` is shared across participants, but the raw region
+// behind it is turned into a `&mut` only by the **single claimant** of
+// its index (`shadow::ShadowChunks::claim` panics on a second
+// claimant), never concurrently — so shared access to the handle never
+// becomes shared access to the elements. `T: Send` suffices for the
+// same reason as the `Send` impl; no `&T` is ever shared cross-thread.
 unsafe impl<T: Send> Sync for Chunk<T> {}
 
 /// Partition `data` — a dense `rows × row_len` buffer — into at most
@@ -248,20 +281,38 @@ where
         return;
     }
 
+    let total = data.len();
+    let mut shadow = shadow::ShadowChunks::new(total, ranges.len());
     let mut chunks: Vec<Chunk<T>> = Vec::with_capacity(ranges.len());
     let mut rest = data;
-    for &(start, end) in &ranges {
+    for (ci, &(start, end)) in ranges.iter().enumerate() {
         let (head, tail) = rest.split_at_mut((end - start) * row_len);
+        if shadow::ENABLED {
+            shadow.register(ci, start * row_len, head.len());
+        }
         chunks.push(Chunk(head.as_mut_ptr(), head.len()));
         rest = tail;
+    }
+    if shadow::ENABLED {
+        shadow.assert_covering();
     }
 
     let chunks_ref = &chunks;
     let ranges_ref = &ranges;
+    let shadow_ref = &shadow;
     parallel_for_each(ranges.len(), ranges.len(), |ci| {
         let Chunk(ptr, len) = chunks_ref[ci];
-        // SAFETY: chunk `ci` is a unique `split_at_mut` region and index
-        // `ci` is claimed exactly once, so this is the only live `&mut`.
+        if shadow::ENABLED {
+            shadow_ref.claim(ci);
+        }
+        // SAFETY: chunk `ci` is one `split_at_mut` region — disjoint from
+        // every other chunk and borrowed from a buffer that outlives this
+        // call — and the pool hands index `ci` to exactly one participant,
+        // so this is the only `&mut` ever materialised over the region.
+        // Both halves are checked under `race_check`: `ShadowChunks`
+        // verified bounds/disjointness/coverage at partition time, and
+        // `shadow_ref.claim(ci)` above panics on a second claimant before
+        // an aliasing `&mut` could exist.
         let chunk = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
         let (start, end) = ranges_ref[ci];
         f(start, end, chunk);

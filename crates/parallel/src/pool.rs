@@ -56,6 +56,14 @@ std::thread_local! {
     static WORKER_SLOT: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Participant slot of the current thread: `0` for submitting callers,
+/// `1 + id` for pool worker `id`. The `race_check` shadow tables use
+/// this as the writer identity in their panic reports, matching the
+/// slot numbering of [`PoolStats::per_worker_items`].
+pub(crate) fn participant_slot() -> usize {
+    WORKER_SLOT.with(Cell::get)
+}
+
 /// Point-in-time snapshot of the pool's lifetime scheduling counters —
 /// queue pressure and per-worker load balance for benches and reports.
 /// Values observe OS scheduling, so they are *not* deterministic (unlike
@@ -116,6 +124,12 @@ struct Job {
     /// First panic payload raised by any participant, re-raised on the
     /// submitting caller after the job quiesces.
     panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Shadow exactly-once table over this job's index claims: the
+    /// atomic counter above must hand each index out once, and under
+    /// `race_check` every claim is recorded so a double execution
+    /// panics at its source (see [`crate::shadow::ClaimTable`]).
+    #[cfg(feature = "race_check")]
+    claims: crate::shadow::ClaimTable,
 }
 
 /// State shared between the pool handle and its worker threads.
@@ -194,10 +208,19 @@ pub(crate) fn run_indexed(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync
     let pool = Pool::global();
     pool.ensure_workers(threads - 1);
 
-    // SAFETY: the job is removed from the queue and quiesced
-    // (`active == 0`, synchronised through `done_lock`) before this frame
-    // returns, so the 'static lifetime is never actually relied upon
-    // beyond the true lifetime of `task`.
+    // SAFETY: the `'static` here is a promise about *this frame's*
+    // lifetime, not the closure's: `task` stays borrowed by the caller
+    // for the whole call, and before this function returns the job is
+    // (1) removed from the queue — after which no worker can attach,
+    // because attaching happens only under the queue lock for queued
+    // jobs — and (2) quiesced: the caller blocks until it observes
+    // `active == 0` under `done_lock`, which every participant
+    // decrements only after its last use of `task`. So no participant
+    // can observe `task` after the real borrow ends; the transmute only
+    // erases a lifetime the join makes true. Under `race_check` the
+    // join's happens-before obligation is asserted right after the wait
+    // loop below, and the disjointness of everything `task` writes is
+    // checked by `crate::shadow`.
     let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
     let job = Arc::new(Job {
         next: AtomicUsize::new(0),
@@ -209,6 +232,8 @@ pub(crate) fn run_indexed(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync
         done_cv: Condvar::new(),
         task,
         panic: Mutex::new(None),
+        #[cfg(feature = "race_check")]
+        claims: crate::shadow::ClaimTable::new(n),
     });
 
     {
@@ -242,6 +267,24 @@ pub(crate) fn run_indexed(n: usize, threads: usize, task: &(dyn Fn(usize) + Sync
         }
     }
 
+    // The wait above is the join: every participant decremented `active`
+    // under `done_lock` after its last use of the task, so observing
+    // zero is the happens-before edge publishing all slot/chunk writes
+    // to this thread. Assert the edge actually held before any caller
+    // reads results through it.
+    #[cfg(feature = "race_check")]
+    {
+        assert!(
+            job.next.load(Ordering::Relaxed) >= job.n,
+            "race_check: job released with unclaimed indices"
+        );
+        assert_eq!(
+            job.active.load(Ordering::Acquire),
+            0,
+            "race_check: job released before quiescence (join happens-before violated)"
+        );
+    }
+
     let payload = lock_recover(&job.panic).take();
     if let Some(payload) = payload {
         resume_unwind(payload);
@@ -256,6 +299,8 @@ fn run_items(job: &Job) {
         if i >= job.n {
             break;
         }
+        #[cfg(feature = "race_check")]
+        job.claims.record(i);
         executed += 1;
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (job.task)(i))) {
             // Stop further claims and record the first failure; the
@@ -268,7 +313,7 @@ fn run_items(job: &Job) {
     // hot path.
     if executed > 0 {
         ITEMS_EXECUTED.fetch_add(executed, Ordering::Relaxed);
-        let slot = WORKER_SLOT.with(Cell::get);
+        let slot = participant_slot();
         PER_WORKER_ITEMS[slot.min(MAX_POOL_WORKERS)].fetch_add(executed, Ordering::Relaxed);
     }
 }

@@ -10,6 +10,12 @@
 //! Recovering the guard therefore cannot observe a broken invariant —
 //! whereas unwrapping the poison error would turn one contained client
 //! panic into a cascading crash of every later round.
+//!
+//! Recovery also preserves the pool's **publication** duty: a
+//! `lock_recover` acquire is still a full mutex acquire, so the
+//! `done_lock` handshake that joins a job keeps its release/acquire
+//! edge even when some participant panicked — which is exactly the
+//! happens-before edge [`crate::shadow`] asserts under `race_check`.
 
 use std::sync::{Condvar, Mutex, MutexGuard};
 

@@ -1,0 +1,67 @@
+//! Property tests for `chunk_ranges`: the partition every disjoint-write
+//! argument in the crate rests on must be pairwise-disjoint and exactly
+//! covering for *arbitrary* `(len, n_chunks)` — including the degenerate
+//! shapes `len < n_chunks` and `len == 0` the unit tests only spot-check.
+
+use fedwcm_parallel::chunk_ranges;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chunks_pairwise_disjoint_and_exactly_covering(
+        len in 0usize..5000, parts in 1usize..128,
+    ) {
+        let ranges = chunk_ranges(len, parts);
+
+        // Exactly covering: the union of half-open ranges is 0..len.
+        let covered: usize = ranges.iter().map(|(s, e)| e - s).sum();
+        prop_assert_eq!(covered, len);
+        let mut seen = vec![false; len];
+        for &(s, e) in &ranges {
+            prop_assert!(s <= e && e <= len, "range ({}, {}) out of bounds", s, e);
+            for cell in &mut seen[s..e] {
+                // Pairwise-disjoint: no element may be claimed twice.
+                prop_assert!(!*cell, "element covered by two chunks");
+                *cell = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c), "element covered by no chunk");
+
+        // Explicit O(n²) pairwise-overlap check, independent of the
+        // bitmap above (two half-open ranges overlap iff s1 < e2 && s2 < e1).
+        for (i, &(s1, e1)) in ranges.iter().enumerate() {
+            for &(s2, e2) in &ranges[i + 1..] {
+                prop_assert!(!(s1 < e2 && s2 < e1), "chunks overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_count_and_balance(len in 0usize..5000, parts in 1usize..128) {
+        let ranges = chunk_ranges(len, parts);
+        if len == 0 {
+            prop_assert!(ranges.is_empty());
+        } else {
+            // Never empty chunks, so with len < parts there are len chunks.
+            prop_assert_eq!(ranges.len(), parts.min(len));
+            prop_assert!(ranges.iter().all(|(s, e)| e > s));
+            let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            prop_assert!(max - min <= 1, "chunks not balanced within one");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_exact(parts in 1usize..128) {
+        // len == 0: no chunks at all (never a zero-length chunk).
+        prop_assert!(chunk_ranges(0, parts).is_empty());
+        // len < n_chunks: one singleton chunk per element, in order.
+        let len = parts / 2;
+        let ranges = chunk_ranges(len, parts);
+        let expect: Vec<(usize, usize)> = (0..len).map(|i| (i, i + 1)).collect();
+        prop_assert_eq!(ranges, expect);
+    }
+}

@@ -1,0 +1,232 @@
+//! Seeded-violation tests for the `race_check` sanitizer.
+//!
+//! The deliberately overlapping write harness must panic **under
+//! `race_check` and only under it**: the `sanitized` module proves each
+//! violation class is detected with a named index/worker, and the
+//! `unsanitized` module proves the same harness completes silently when
+//! the feature is off (the shadow API degrades to no-ops). Both modules
+//! also pin the sanitizer's behavior-invisibility at the value level.
+
+use fedwcm_parallel::shadow::{ShadowChunks, ShadowSlots, ENABLED};
+use fedwcm_parallel::{parallel_for_each, parallel_map, parallel_over_rows};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A deliberately overlapping parallel write: 8 indices funnel into 4
+/// shadow slots, so under `race_check` some slot must observe a second
+/// writer. Without the feature every shadow call is a no-op and the
+/// job completes normally.
+fn overlapping_write_harness() {
+    let shadow = ShadowSlots::new(4);
+    parallel_for_each(8, 4, |i| {
+        shadow.record_write(i / 2);
+    });
+    shadow.seal();
+}
+
+/// Panic message of `f`, if it panics with a `&str` / `String` payload.
+fn panic_message(f: impl FnOnce()) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => None,
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "<non-string panic payload>".to_string()),
+        ),
+    }
+}
+
+/// Sanitizer on or off, the primitives must produce identical values —
+/// the check layer observes, it never steers.
+#[test]
+fn sanitized_values_match_sequential_semantics() {
+    for threads in [1, 2, 4, 8] {
+        let out = parallel_map(100, threads, |i| i * 3 + 1);
+        assert_eq!(out, (0..100).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+    let rows = 19;
+    let row_len = 7;
+    let fill = |r0: usize, _r1: usize, chunk: &mut [u32]| {
+        for (off, x) in chunk.iter_mut().enumerate() {
+            *x = ((r0 * row_len + off) * 13) as u32;
+        }
+    };
+    let mut gold = vec![0u32; rows * row_len];
+    fill(0, rows, &mut gold);
+    for threads in [1, 3, 8] {
+        let mut out = vec![0u32; rows * row_len];
+        parallel_over_rows(&mut out, row_len, threads, fill);
+        assert_eq!(out, gold, "threads={threads}");
+    }
+}
+
+#[cfg(feature = "race_check")]
+mod sanitized {
+    use super::*;
+
+    #[test]
+    // Asserting on the const IS the point: this test pins the
+    // feature-to-flag wiring.
+    #[allow(clippy::assertions_on_constants)]
+    fn feature_is_armed() {
+        assert!(ENABLED, "race_check build must arm the shadow checks");
+    }
+
+    #[test]
+    fn overlapping_writes_panic_with_named_slot() {
+        let msg = panic_message(overlapping_write_harness)
+            .expect("overlapping write harness must panic under race_check");
+        assert!(
+            msg.contains("double write to slot"),
+            "unexpected panic message: {msg}"
+        );
+        assert!(msg.contains("participant"), "must name the writers: {msg}");
+    }
+
+    #[test]
+    fn out_of_bounds_slot_write_panics() {
+        let shadow = ShadowSlots::new(3);
+        let msg = panic_message(|| shadow.record_write(5)).expect("oob write must panic");
+        assert!(
+            msg.contains("out-of-bounds write to slot 5"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn non_covering_job_panics_at_seal() {
+        let shadow = ShadowSlots::new(3);
+        shadow.record_write(0);
+        shadow.record_write(2);
+        let msg = panic_message(|| shadow.seal()).expect("hole must panic at seal");
+        assert!(
+            msg.contains("non-covering job") && msg.contains("slot 1"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn read_before_write_epoch_completes_panics() {
+        let shadow = ShadowSlots::new(2);
+        shadow.record_write(0);
+        shadow.record_write(1);
+        // No seal: the reader races the join.
+        let msg = panic_message(|| shadow.assert_readable(0)).expect("unsealed read must panic");
+        assert!(
+            msg.contains("before its write epoch") && msg.contains("completed"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn overlapping_chunks_panic_at_registration() {
+        let mut shadow = ShadowChunks::new(10, 3);
+        shadow.register(0, 0, 4);
+        let msg = panic_message(|| shadow.register(1, 3, 4)).expect("overlapping chunk must panic");
+        assert!(
+            msg.contains("overlaps chunk 0"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_chunk_panics_at_registration() {
+        let mut shadow = ShadowChunks::new(10, 2);
+        let msg = panic_message(|| shadow.register(0, 8, 4)).expect("oob chunk must panic");
+        assert!(
+            msg.contains("out-of-bounds chunk 0"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn non_covering_partition_panics() {
+        let mut shadow = ShadowChunks::new(10, 2);
+        shadow.register(0, 0, 4);
+        shadow.register(1, 4, 2);
+        let msg = panic_message(|| shadow.assert_covering()).expect("hole must panic");
+        assert!(
+            msg.contains("non-covering partition") && msg.contains("6 of 10"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn double_chunk_claim_panics() {
+        let mut shadow = ShadowChunks::new(10, 2);
+        shadow.register(0, 0, 5);
+        shadow.register(1, 5, 5);
+        shadow.assert_covering();
+        shadow.claim(1);
+        let msg = panic_message(|| shadow.claim(1)).expect("double claim must panic");
+        assert!(
+            msg.contains("double claim of chunk 1"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn clean_parallel_jobs_raise_no_false_positives() {
+        // The real primitives exercise the full shadow path (pool claim
+        // table, slot table, chunk table) and must stay silent.
+        for _ in 0..50 {
+            let out = parallel_map(64, 4, |i| i + 1);
+            assert_eq!(out.len(), 64);
+        }
+        let mut buf = vec![0.0f32; 64 * 8];
+        parallel_over_rows(&mut buf, 8, 4, |r0, _r1, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x = (r0 * 8 + off) as f32;
+            }
+        });
+        // Nested jobs: each shadow table is per-job/per-epoch, so inner
+        // jobs must not confuse the outer job's accounting.
+        let out = parallel_map(6, 3, |i| {
+            parallel_map(5, 2, move |j| (i + 1) * (j + 1))
+                .into_iter()
+                .sum::<usize>()
+        });
+        assert_eq!(out, (0..6).map(|i| (i + 1) * 15).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(not(feature = "race_check"))]
+mod unsanitized {
+    use super::*;
+
+    #[test]
+    // Asserting on the const IS the point: this test pins the
+    // feature-to-flag wiring.
+    #[allow(clippy::assertions_on_constants)]
+    fn feature_is_disarmed() {
+        assert!(!ENABLED, "shadow checks must be off without race_check");
+    }
+
+    #[test]
+    fn overlapping_write_harness_completes_silently() {
+        // "…and only under it": the identical harness that panics under
+        // race_check must run to completion when the feature is off.
+        assert!(
+            panic_message(overlapping_write_harness).is_none(),
+            "shadow API must be a no-op without race_check"
+        );
+    }
+
+    #[test]
+    fn shadow_api_is_inert() {
+        let slots = ShadowSlots::new(4);
+        slots.record_write(0);
+        slots.record_write(0); // double write: ignored
+        slots.record_write(99); // out of bounds: ignored
+        slots.assert_readable(2); // unsealed read: ignored
+        slots.seal();
+
+        let mut chunks = ShadowChunks::new(10, 2);
+        chunks.register(0, 0, 8);
+        chunks.register(1, 4, 8); // overlapping and out of bounds: ignored
+        chunks.assert_covering(); // non-covering: ignored
+        chunks.claim(1);
+        chunks.claim(1); // double claim: ignored
+    }
+}

@@ -1,0 +1,25 @@
+//! The workspace umbrella feature must actually reach the parallel
+//! core: `--features race_check` on the root package arms
+//! `fedwcm-parallel/race_check`, and a sanitized end-to-end job stays
+//! value-identical to the unsanitized build (the sanitizer observes,
+//! it never steers).
+
+use fedwcm_parallel::{parallel_map, shadow};
+
+#[test]
+fn umbrella_feature_reaches_the_parallel_core() {
+    // Armed exactly when the root feature is on — a broken forwarding
+    // entry in the root Cargo.toml fails here, not silently in CI.
+    assert_eq!(shadow::ENABLED, cfg!(feature = "race_check"));
+}
+
+#[test]
+fn sanitized_pool_results_are_value_identical() {
+    for threads in [1, 2, 4] {
+        let out = parallel_map(257, threads, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        let gold: Vec<u64> = (0..257)
+            .map(|i| (i as u64).wrapping_mul(0x9E37_79B9))
+            .collect();
+        assert_eq!(out, gold, "threads={threads}");
+    }
+}
